@@ -1,0 +1,105 @@
+// Experiment E3 (Section 3.3): the entire allocate/free activity happens on
+// the one-page space directory — at most one page I/O per request
+// regardless of segment size — and the superdirectory eliminates visits to
+// spaces that cannot satisfy a request.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace eos {
+namespace bench {
+namespace {
+
+void DirectoryOnlyIo() {
+  PrintHeader(
+      "E3a: page I/Os per allocate/free vs segment size (paper: one "
+      "directory-page access regardless of size; we count the read and "
+      "the write-back separately, hence 2)");
+  std::printf("%12s %14s %14s %16s\n", "seg pages", "alloc page-IO",
+              "free page-IO", "pages touched");
+  for (uint32_t pages : {1u, 4u, 16u, 64u, 256u, 1024u, 4096u}) {
+    Stack s = Stack::Make(4096, LobConfig{}, /*space_pages=*/8192,
+                          /*pager_frames=*/4);
+    s.Cold();
+    Extent e = Stack::Unwrap(s.allocator->Allocate(pages), "alloc");
+    Stack::Check(s.pager->FlushAll(), "flush");
+    IoStats alloc_io = s.Take();
+    s.Cold();
+    Stack::Check(s.allocator->Free(e), "free");
+    Stack::Check(s.pager->FlushAll(), "flush");
+    IoStats free_io = s.Take();
+    std::printf("%12u %14llu %14llu %16s\n", pages,
+                static_cast<unsigned long long>(alloc_io.transfers()),
+                static_cast<unsigned long long>(free_io.transfers()),
+                "directory only");
+  }
+}
+
+void AllocationThroughput() {
+  PrintHeader("E3b: CPU cost of allocate+free (directory arithmetic only)");
+  std::printf("%12s %16s\n", "seg pages", "ns per alloc+free");
+  for (uint32_t pages : {1u, 8u, 64u, 512u, 4096u}) {
+    Stack s = Stack::Make(4096, LobConfig{}, 8192, 64);
+    const int kIters = 20000;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      Extent e = Stack::Unwrap(s.allocator->Allocate(pages), "alloc");
+      Stack::Check(s.allocator->Free(e), "free");
+    }
+    auto end = std::chrono::steady_clock::now();
+    double ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count() /
+        static_cast<double>(kIters);
+    std::printf("%12u %16.0f\n", pages, ns);
+  }
+}
+
+void Superdirectory() {
+  PrintHeader(
+      "E3c: superdirectory eliminates unnecessary directory visits "
+      "(paper: the first wrong guess corrects the entry)");
+  std::printf("%10s %22s %22s\n", "spaces", "visits/alloc with SD",
+              "visits/alloc without");
+  for (uint32_t nspaces : {2u, 8u, 32u}) {
+    for (int use_sd = 1; use_sd >= 0; --use_sd) {
+      Stack s = Stack::Make(1024, LobConfig{}, 512, 256);
+      // Fill all but the last space completely.
+      for (uint32_t i = 0; i + 1 < nspaces; ++i) {
+        Stack::Unwrap(s.allocator->Allocate(512), "fill");
+      }
+      s.allocator->set_use_superdirectory(use_sd != 0);
+      // Warm-up allocation corrects the optimistic hints.
+      std::vector<Extent> es;
+      es.push_back(Stack::Unwrap(s.allocator->Allocate(64), "warm"));
+      s.allocator->ResetDirectoryVisits();
+      const int kIters = 100;
+      for (int i = 0; i < kIters; ++i) {
+        es.push_back(Stack::Unwrap(s.allocator->Allocate(4), "alloc"));
+        Stack::Check(s.allocator->Free(es.back()), "free");
+        es.pop_back();
+      }
+      double per = s.allocator->directory_visits() /
+                   static_cast<double>(kIters);
+      if (use_sd) {
+        std::printf("%10u %22.2f ", nspaces, per);
+      } else {
+        std::printf("%22.2f\n", per);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace eos
+
+int main() {
+  eos::bench::DirectoryOnlyIo();
+  eos::bench::AllocationThroughput();
+  eos::bench::Superdirectory();
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Google-benchmark microbenchmarks of the CPU-bound building blocks:
+// buddy allocation arithmetic, allocation-map scans, node serialization,
+// the reshuffle planner, and end-to-end LOB operations on the in-memory
+// device.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "lob/node.h"
+#include "lob/reshuffle.h"
+#include "lob/walker.h"
+
+namespace eos {
+namespace bench {
+namespace {
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  Stack s = Stack::Make(4096, LobConfig{}, 8192, 64);
+  uint32_t pages = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Extent e = Stack::Unwrap(s.allocator->Allocate(pages), "alloc");
+    benchmark::DoNotOptimize(e);
+    Stack::Check(s.allocator->Free(e), "free");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuddyAllocFree)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AllocMapSkipScan(benchmark::State& state) {
+  // A fragmented space: alternating allocated/free small segments, one
+  // free 8-segment near the end.
+  std::vector<uint8_t> bytes(1024, 0);
+  AllocMap map(bytes.data(), 4096 - 64, 12);
+  for (uint32_t p = 0; p + 4 <= 4096 - 64 - 8; p += 4) {
+    map.WriteAllocated(p, 2);
+  }
+  map.WriteFree(4024, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.FindFree(3));
+  }
+}
+BENCHMARK(BM_AllocMapSkipScan);
+
+void BM_NodeSerializeRoundTrip(benchmark::State& state) {
+  LobNode node;
+  node.level = 1;
+  for (int i = 0; i < 255; ++i) {
+    node.entries.push_back(LobEntry{uint64_t(1000 + i), uint64_t(7000 + i)});
+  }
+  std::vector<uint8_t> page(4096);
+  for (auto _ : state) {
+    NodeFormat::Serialize(node, page.data(), 4096);
+    LobNode out;
+    benchmark::DoNotOptimize(NodeFormat::Deserialize(page.data(), 4096,
+                                                     &out));
+  }
+}
+BENCHMARK(BM_NodeSerializeRoundTrip);
+
+void BM_ReshufflePlanner(benchmark::State& state) {
+  ReshuffleInput in;
+  in.lc = 12345;
+  in.nc = 777;
+  in.rc = 33333;
+  in.page_size = 4096;
+  in.threshold = static_cast<uint32_t>(state.range(0));
+  in.max_segment_pages = 8192;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanReshuffle(in));
+  }
+}
+BENCHMARK(BM_ReshufflePlanner)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_LobRandomRead(benchmark::State& state) {
+  LobConfig cfg;
+  cfg.threshold_pages = 8;
+  Stack s = Stack::Make(4096, cfg, 8192);
+  Random rng(1);
+  LobDescriptor d =
+      Stack::Unwrap(s.lob->CreateFrom(RandomBytes(&rng, 8 << 20)), "create");
+  Bytes out;
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    uint64_t off = rng.Uniform(d.size() - n);
+    Stack::Check(s.lob->Read(d, off, n, &out), "read");
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LobRandomRead)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_LobInsert(benchmark::State& state) {
+  LobConfig cfg;
+  cfg.threshold_pages = static_cast<uint32_t>(state.range(0));
+  Stack s = Stack::Make(4096, cfg, 8192);
+  Random rng(2);
+  LobDescriptor d =
+      Stack::Unwrap(s.lob->CreateFrom(RandomBytes(&rng, 4 << 20)), "create");
+  Bytes payload = RandomBytes(&rng, 200);
+  for (auto _ : state) {
+    Stack::Check(s.lob->Insert(&d, rng.Uniform(d.size()), payload), "ins");
+    if (d.size() > (64u << 20)) {
+      state.PauseTiming();
+      Stack::Check(s.lob->Truncate(&d, 4 << 20), "trim");
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LobInsert)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_LobAppend(benchmark::State& state) {
+  Stack s = Stack::Make(4096, LobConfig{}, 8192);
+  Random rng(3);
+  Bytes chunk = RandomBytes(&rng, static_cast<size_t>(state.range(0)));
+  LobDescriptor d = s.lob->CreateEmpty();
+  std::optional<LobAppender> app;
+  app.emplace(s.lob.get(), &d);
+  for (auto _ : state) {
+    Stack::Check(app->Append(chunk), "append");
+    if (d.size() > (64u << 20)) {
+      // Keep the in-memory volume bounded during long benchmark runs.
+      state.PauseTiming();
+      Stack::Check(app->Finish(), "finish");
+      Stack::Check(s.lob->Destroy(&d), "destroy");
+      app.emplace(s.lob.get(), &d);
+      state.ResumeTiming();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LobAppend)->Arg(512)->Arg(8192)->Arg(262144);
+
+void BM_LobReaderStream(benchmark::State& state) {
+  LobConfig cfg;
+  cfg.threshold_pages = 8;
+  Stack s = Stack::Make(4096, cfg, 8192);
+  Random rng(4);
+  LobDescriptor d =
+      Stack::Unwrap(s.lob->CreateFrom(RandomBytes(&rng, 16 << 20)), "create");
+  size_t chunk = static_cast<size_t>(state.range(0));
+  Bytes buf(chunk);
+  LobReader reader(s.lob.get(), d);
+  for (auto _ : state) {
+    if (reader.AtEnd()) {
+      state.PauseTiming();
+      Stack::Check(reader.Seek(0), "seek");
+      state.ResumeTiming();
+    }
+    auto got = reader.Read(chunk, buf.data());
+    Stack::Check(got.status(), "read");
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk));
+}
+BENCHMARK(BM_LobReaderStream)->Arg(4096)->Arg(262144);
+
+void BM_Reorganize(benchmark::State& state) {
+  LobConfig cfg;
+  cfg.threshold_pages = 1;
+  Stack s = Stack::Make(4096, cfg, 8192);
+  Random rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    LobDescriptor d = Stack::Unwrap(
+        s.lob->CreateFrom(RandomBytes(&rng, 1 << 20)), "create");
+    EditWorkload(s.lob.get(), &d, &rng, 50, 1000);
+    state.ResumeTiming();
+    Stack::Check(s.lob->Reorganize(&d), "reorganize");
+    state.PauseTiming();
+    Stack::Check(s.lob->Destroy(&d), "destroy");
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Reorganize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace eos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Experiment E12 (Section 4.5): recovery-related costs. Insert/delete/
+// append never overwrite leaf pages, so shadowing applies to index pages
+// only; replace updates leaves in place under logging. Redo via the root
+// LSN is idempotent and proportional to the log tail.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "txn/log_manager.h"
+#include "txn/recovery.h"
+
+namespace eos {
+namespace bench {
+namespace {
+
+void ShadowingOverhead() {
+  PrintHeader(
+      "E12a: index-page shadowing overhead per update (4 KB pages, 2 MB "
+      "object, 200 small inserts)");
+  std::printf("%14s %16s %16s %14s\n", "mode", "pages written",
+              "pages read", "model ms/op");
+  for (int shadow = 0; shadow <= 1; ++shadow) {
+    LobConfig cfg;
+    cfg.threshold_pages = 8;
+    // A small client root forces real index nodes, which are what
+    // shadowing re-homes.
+    cfg.max_root_bytes = 8 + 4 * 16 + 8;
+    Stack s = Stack::Make(4096, cfg, 8192);
+    s.lob->set_shadowing(shadow != 0);
+    Random rng(21);
+    LobDescriptor d = Stack::Unwrap(
+        s.lob->CreateFrom(RandomBytes(&rng, 2 << 20)), "create");
+    const int kOps = 200;
+    double ms = 0;
+    uint64_t written = 0, read = 0;
+    for (int i = 0; i < kOps; ++i) {
+      Bytes data = RandomBytes(&rng, 300);
+      s.Cold();
+      Stack::Check(s.lob->Insert(&d, rng.Uniform(d.size()), data), "insert");
+      Stack::Check(s.pager->FlushAll(), "flush");
+      IoStats io = s.Take();
+      written += io.pages_written;
+      read += io.pages_read;
+      ms += s.model.EstimateMs(io);
+    }
+    std::printf("%14s %16.1f %16.1f %14.1f\n",
+                shadow ? "shadowing" : "in-place",
+                written / static_cast<double>(kOps),
+                read / static_cast<double>(kOps), ms / kOps);
+  }
+  std::printf(
+      "(identical I/O counts are the point: because insert/delete/append "
+      "never overwrite leaf pages, shadowing the few modified index pages "
+      "costs no extra transfers — had whole data segments required "
+      "shadowing, every small update would rewrite its multi-page "
+      "segment)\n");
+}
+
+void RedoCost() {
+  PrintHeader("E12b: idempotent redo cost vs replayed log tail length");
+  std::printf("%14s %16s %16s\n", "ops replayed", "wall ms", "2nd redo ms");
+  for (int ops : {50, 200, 800}) {
+    Stack s = Stack::Make(4096, LobConfig{}, 8192);
+    LogManager log;
+    s.lob->set_log_manager(&log);
+    Random rng(31);
+    LobDescriptor d = s.lob->CreateEmpty();
+    Stack::Check(s.lob->Append(&d, RandomBytes(&rng, 1 << 20)), "seed");
+    LobDescriptor checkpoint = d;  // root snapshot after the first op
+    for (int i = 0; i < ops; ++i) {
+      if (rng.OneIn(2)) {
+        Stack::Check(
+            s.lob->Insert(&d, rng.Uniform(d.size()), RandomBytes(&rng, 100)),
+            "ins");
+      } else {
+        Stack::Check(s.lob->Delete(&d, rng.Uniform(d.size() - 200), 100),
+                     "del");
+      }
+    }
+    // Rebuild the checkpointed state in a fresh stack, then redo the tail.
+    Stack s2 = Stack::Make(4096, LobConfig{}, 8192);
+    LobDescriptor d2 = s2.lob->CreateEmpty();
+    Stack::Check(s2.lob->Append(&d2, log.records()[0].data), "seed2");
+    d2.lsn = 1;
+    Recovery rec(s2.lob.get());
+    auto t0 = std::chrono::steady_clock::now();
+    Stack::Check(rec.Redo(&d2, 0, log.records()), "redo");
+    auto t1 = std::chrono::steady_clock::now();
+    Stack::Check(rec.Redo(&d2, 0, log.records()), "redo2");
+    auto t2 = std::chrono::steady_clock::now();
+    auto ms = [](auto a, auto b) {
+      return std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+                 .count() /
+             1000.0;
+    };
+    std::printf("%14d %16.2f %16.3f\n", ops, ms(t0, t1), ms(t1, t2));
+  }
+  std::printf("(the second redo is a no-op thanks to the root LSN)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace eos
+
+int main() {
+  eos::bench::ShadowingOverhead();
+  eos::bench::RedoCost();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Experiment E13 (Section 1, objective 3): "the cost of the piece-wise
+// operations must depend on the number of bytes involved in the operation,
+// rather than the size of the entire object." Sweep object sizes and show
+// flat per-operation cost for every operation except whole-object scans.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace eos {
+namespace bench {
+namespace {
+
+void CostVsObjectSize() {
+  PrintHeader(
+      "E13: per-operation modeled cost vs object size (4 KB pages, T=8; "
+      "every op cold; costs should be flat across the sweep)");
+  std::printf("%12s %12s %12s %12s %12s %14s\n", "object MB", "insert ms",
+              "delete ms", "read-16K ms", "append ms", "depth/segments");
+  for (uint64_t mb : {1u, 4u, 16u, 64u}) {
+    LobConfig cfg;
+    cfg.threshold_pages = 8;
+    Stack s = Stack::Make(4096, cfg, 8192);
+    Random rng(mb);
+    LobDescriptor d = Stack::Unwrap(
+        s.lob->CreateFrom(RandomBytes(&rng, mb << 20)), "create");
+    const int kOps = 50;
+    double ins = 0, del = 0, rd = 0, app = 0;
+    Bytes out;
+    for (int i = 0; i < kOps; ++i) {
+      Bytes data = RandomBytes(&rng, 300);
+      s.Cold();
+      Stack::Check(s.lob->Insert(&d, rng.Uniform(d.size()), data), "ins");
+      ins += s.model.EstimateMs(s.device->stats());
+      s.Cold();
+      Stack::Check(s.lob->Delete(&d, rng.Uniform(d.size() - 400), 300),
+                   "del");
+      del += s.model.EstimateMs(s.device->stats());
+      s.Cold();
+      Stack::Check(s.lob->Read(d, rng.Uniform(d.size() - 16384), 16384,
+                               &out),
+                   "read");
+      rd += s.model.EstimateMs(s.device->stats());
+      s.Cold();
+      Stack::Check(s.lob->Append(&d, data), "append");
+      app += s.model.EstimateMs(s.device->stats());
+    }
+    LobStats st = Stack::Unwrap(s.lob->Stats(d), "stats");
+    char shape[32];
+    std::snprintf(shape, sizeof(shape), "%u / %llu", st.depth,
+                  static_cast<unsigned long long>(st.num_segments));
+    std::printf("%12llu %12.1f %12.1f %12.1f %12.1f %14s\n",
+                static_cast<unsigned long long>(mb), ins / kOps, del / kOps,
+                rd / kOps, app / kOps, shape);
+  }
+  std::printf(
+      "(contrast with Starburst in bench_vs_baselines E10b, whose insert "
+      "cost is linear in the object size)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace eos
+
+int main() {
+  eos::bench::CostVsObjectSize();
+  return 0;
+}

@@ -1,0 +1,116 @@
+#ifndef EOS_BENCH_BENCH_UTIL_H_
+#define EOS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "buddy/geometry.h"
+#include "buddy/segment_allocator.h"
+#include "common/random.h"
+#include "io/page_device.h"
+#include "io/pager.h"
+#include "lob/lob_manager.h"
+
+namespace eos {
+namespace bench {
+
+// In-memory storage stack used by every bench; the seek/transfer counters
+// and the 1992 disk model translate counts to modeled milliseconds.
+struct Stack {
+  std::unique_ptr<MemPageDevice> device;
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<SegmentAllocator> allocator;
+  std::unique_ptr<LobManager> lob;
+  DiskModel model;
+
+  static Stack Make(uint32_t page_size, const LobConfig& lob_config = {},
+                    uint32_t space_pages = 0, size_t pager_frames = 256) {
+    Stack s;
+    auto geo = BuddyGeometry::Make(page_size, space_pages);
+    if (!geo.ok()) {
+      std::fprintf(stderr, "geometry: %s\n", geo.status().ToString().c_str());
+      std::abort();
+    }
+    s.device = std::make_unique<MemPageDevice>(page_size,
+                                               1 + geo->space_pages + 1);
+    s.pager = std::make_unique<Pager>(s.device.get(), pager_frames);
+    SegmentAllocator::Options opt;
+    opt.initial_spaces = 1;
+    opt.auto_grow = true;
+    auto alloc = SegmentAllocator::Format(s.pager.get(), *geo, 1, opt);
+    if (!alloc.ok()) {
+      std::fprintf(stderr, "alloc: %s\n", alloc.status().ToString().c_str());
+      std::abort();
+    }
+    s.allocator = std::move(alloc).value();
+    s.lob = std::make_unique<LobManager>(s.pager.get(), s.allocator.get(),
+                                         lob_config);
+    return s;
+  }
+
+  // Makes the next operation cold: index cache dropped, head position lost.
+  void Cold() {
+    Status st = pager->FlushAll();
+    Check(st, "flush");
+    st = pager->EvictAll();
+    Check(st, "evict");
+    device->ForgetHeadPosition();
+    device->ResetStats();
+  }
+
+  IoStats Take() {
+    IoStats s2 = device->stats();
+    device->ResetStats();
+    return s2;
+  }
+
+  static void Check(const Status& s, const char* what) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+      std::abort();
+    }
+  }
+  template <typename T>
+  static T Unwrap(StatusOr<T> v, const char* what) {
+    if (!v.ok()) {
+      std::fprintf(stderr, "%s: %s\n", what, v.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(v).value();
+  }
+};
+
+inline Bytes RandomBytes(Random* rng, size_t n) {
+  Bytes b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = static_cast<uint8_t>(rng->Next());
+  return b;
+}
+
+// Applies `ops` small inserts/deletes uniformly over the object, keeping
+// its size roughly constant — the clustering-decay workload of Section 4.4.
+inline void EditWorkload(LobManager* lob, LobDescriptor* d, Random* rng,
+                         int ops, uint64_t max_edit_bytes) {
+  for (int i = 0; i < ops; ++i) {
+    uint64_t size = d->size();
+    if (size < max_edit_bytes * 2 || rng->OneIn(2)) {
+      Bytes data = RandomBytes(rng, rng->Range(1, max_edit_bytes));
+      uint64_t off = rng->Uniform(size + 1);
+      Stack::Check(lob->Insert(d, off, data), "insert");
+    } else {
+      uint64_t off = rng->Uniform(size);
+      uint64_t n = std::min<uint64_t>(rng->Range(1, max_edit_bytes),
+                                      size - off);
+      Stack::Check(lob->Delete(d, off, n), "delete");
+    }
+  }
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace eos
+
+#endif  // EOS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Quickstart: create an EOS volume, store a large object, and use every
+// piece-wise operation the paper defines — append, read, replace, insert,
+// delete — plus persistence across reopen.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "eos/database.h"
+
+using eos::Bytes;
+using eos::ByteView;
+using eos::Database;
+using eos::DatabaseOptions;
+using eos::Status;
+
+namespace {
+
+void Check(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(eos::StatusOr<T> v, const char* what) {
+  if (!v.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 v.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(v).value();
+}
+
+std::string AsString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace
+
+int main() {
+  const std::string path = "/tmp/eos_quickstart.vol";
+
+  DatabaseOptions options;
+  options.page_size = 4096;
+  options.lob.threshold_pages = 8;  // the segment size threshold T
+
+  auto db = Unwrap(Database::Create(path, options), "create volume");
+
+  // Create an object from a full buffer (size known in advance: EOS
+  // allocates one just-large-enough segment).
+  uint64_t id = Unwrap(
+      db->CreateObjectFrom(std::string("Large objects are byte strings "
+                                       "stored in variable-size segments.")),
+      "create object");
+
+  // Append at the end.
+  Check(db->Append(id, std::string(" They can grow.")), "append");
+
+  // Insert bytes at an arbitrary position.
+  Check(db->Insert(id, 13, std::string("(unstructured) ")), "insert");
+
+  // Replace a byte range in place.
+  Check(db->Replace(id, 0, std::string("LARGE")), "replace");
+
+  // Delete a byte range.
+  uint64_t size = Unwrap(db->Size(id), "size");
+  Check(db->Delete(id, size - 15, 15), "delete");
+
+  Bytes content = Unwrap(db->Read(id, 0, 1 << 20), "read");
+  std::printf("object %llu (%zu bytes): %s\n",
+              static_cast<unsigned long long>(id), content.size(),
+              AsString(content).c_str());
+
+  // Objects persist: flush, drop the handle, reopen.
+  Check(db->Flush(), "flush");
+  db.reset();
+  auto db2 = Unwrap(Database::Open(path, options), "reopen");
+  Bytes again = Unwrap(db2->Read(id, 0, 1 << 20), "read after reopen");
+  std::printf("after reopen          : %s\n", AsString(again).c_str());
+
+  // Structural statistics (segments, utilization).
+  eos::LobStats st = Unwrap(db2->ObjectStats(id), "stats");
+  std::printf("segments=%llu leaf_pages=%llu utilization=%.1f%%\n",
+              static_cast<unsigned long long>(st.num_segments),
+              static_cast<unsigned long long>(st.leaf_pages),
+              100.0 * st.leaf_utilization);
+
+  Check(db2->CheckIntegrity(), "integrity");
+  std::printf("quickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#ifndef EOS_BASELINES_STARBURST_STARBURST_MANAGER_H_
+#define EOS_BASELINES_STARBURST_STARBURST_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buddy/segment_allocator.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "lob/lob_manager.h"
+#include "lob/node.h"
+
+namespace eos {
+
+// Clean-room reimplementation of the Starburst long field manager
+// [Lehm89], the other design EOS is evaluated against (Section 2).
+//
+// The long field descriptor is a flat array of segment pointers. Segments
+// come from a binary buddy system; when the eventual size is unknown they
+// double until the maximum and the last one is trimmed. Reads and appends
+// are excellent; but Starburst "does not gracefully handle byte inserts
+// and deletes": any length-changing update at offset B copies every
+// segment from the one containing B to the end into new segments — the
+// cost bench E10 measures growing with the bytes right of the edit.
+struct StarburstDescriptor {
+  // Each entry: byte count and first page of one segment, in order.
+  // (The real descriptor stores only first/last sizes plus pointers, the
+  // intermediate sizes being implied by the doubling pattern; keeping
+  // explicit counts changes nothing measurable.)
+  std::vector<LobEntry> segments;
+
+  uint64_t size() const {
+    uint64_t t = 0;
+    for (const LobEntry& e : segments) t += e.count;
+    return t;
+  }
+  bool empty() const { return segments.empty(); }
+
+  // Wire format: [nsegments u32][count u64, page u64]...
+  Bytes Serialize() const {
+    Bytes out(4 + segments.size() * 16);
+    EncodeU32(out.data(), static_cast<uint32_t>(segments.size()));
+    uint8_t* p = out.data() + 4;
+    for (const LobEntry& e : segments) {
+      EncodeU64(p, e.count);
+      EncodeU64(p + 8, e.page);
+      p += 16;
+    }
+    return out;
+  }
+
+  static StatusOr<StarburstDescriptor> Deserialize(ByteView bytes) {
+    if (bytes.size() < 4) {
+      return Status::Corruption("long field descriptor too short");
+    }
+    uint32_t n = DecodeU32(bytes.data());
+    if (bytes.size() != 4 + uint64_t{n} * 16) {
+      return Status::Corruption("long field descriptor size mismatch");
+    }
+    StarburstDescriptor d;
+    d.segments.reserve(n);
+    const uint8_t* p = bytes.data() + 4;
+    for (uint32_t i = 0; i < n; ++i) {
+      d.segments.push_back(LobEntry{DecodeU64(p), DecodeU64(p + 8)});
+      p += 16;
+    }
+    return d;
+  }
+};
+
+class StarburstManager {
+ public:
+  StarburstManager(SegmentAllocator* allocator, PageDevice* device,
+                   uint32_t max_segment_pages = 0);
+
+  StarburstDescriptor CreateEmpty() const { return StarburstDescriptor{}; }
+  StatusOr<StarburstDescriptor> CreateFrom(ByteView data);
+
+  // Appends, continuing the doubling growth pattern; the last segment is
+  // trimmed afterwards (so repeated appends re-extend it by copying its
+  // partial page into the next segment — like EOS, appends never
+  // overwrite stored pages here, keeping the comparison apples-to-apples).
+  Status Append(StarburstDescriptor* d, ByteView data);
+
+  Status Read(const StarburstDescriptor& d, uint64_t offset, uint64_t n,
+              Bytes* out);
+  StatusOr<Bytes> ReadAll(const StarburstDescriptor& d);
+
+  Status Replace(StarburstDescriptor* d, uint64_t offset, ByteView data);
+
+  // Length-changing updates: rewrite everything from the affected segment
+  // to the end (the paper's stated Starburst behaviour).
+  Status Insert(StarburstDescriptor* d, uint64_t offset, ByteView data);
+  Status Delete(StarburstDescriptor* d, uint64_t offset, uint64_t n);
+
+  Status Destroy(StarburstDescriptor* d);
+
+  StatusOr<LobStats> Stats(const StarburstDescriptor& d);
+
+  uint32_t page_size() const { return allocator_->geometry().page_size; }
+
+ private:
+  uint32_t LeafPages(uint64_t bytes) const;
+
+  // Locates the segment containing `offset`; returns its index and the
+  // offset local to it.
+  size_t FindSegment(const StarburstDescriptor& d, uint64_t offset,
+                     uint64_t* local) const;
+
+  // Appends `data` as segments following the doubling pattern continued
+  // from `prev_pages`, trimming the last.
+  Status AppendSegments(StarburstDescriptor* d, ByteView data,
+                        uint32_t prev_pages, uint64_t size_hint);
+
+  SegmentAllocator* allocator_;
+  PageDevice* device_;
+  uint32_t max_segment_pages_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_BASELINES_STARBURST_STARBURST_MANAGER_H_

@@ -1,0 +1,189 @@
+#include "buddy/alloc_map.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace eos {
+
+bool AllocMap::PageAllocated(uint32_t p) const {
+  assert(p < npages_);
+  uint8_t b = bytes_[p / 4];
+  if (b == 0) {
+    // Interior of a larger segment: its start byte carries the status.
+    return FindSegmentContaining(p).allocated;
+  }
+  if (b & kStartBit) return (b & kAllocBit) != 0;
+  return PageBitAllocated(p);
+}
+
+AllocMap::Segment AllocMap::FindSegmentContaining(uint32_t p) const {
+  assert(p < npages_);
+  uint32_t bi = p / 4;
+  uint8_t b = bytes_[bi];
+  if (b != 0 && !(b & kStartBit)) {
+    // Per-page granularity: report the single page.
+    return Segment{p, 0, PageBitAllocated(p)};
+  }
+  // Walk left to the first non-zero byte; it must be an MSB start byte of a
+  // segment of size >= 4 whose range covers p.
+  while (bytes_[bi] == 0) {
+    assert(bi > 0);
+    --bi;
+  }
+  uint8_t sb = bytes_[bi];
+  assert(sb & kStartBit);
+  Segment seg;
+  seg.start = bi * 4;
+  seg.type = sb & kTypeMask;
+  seg.allocated = (sb & kAllocBit) != 0;
+  assert(p >= seg.start && p < seg.start + seg.size());
+  return seg;
+}
+
+uint32_t AllocMap::CanonicalFreeTypeAt(uint32_t p) const {
+  uint8_t b = bytes_[p / 4];
+  if (b & kStartBit) {
+    assert(p % 4 == 0 && (b & kAllocBit) == 0);
+    return b & kTypeMask;
+  }
+  assert(b != 0 && !PageBitAllocated(p));
+  // In a nibble byte a canonical free segment is a single page or an
+  // aligned free pair.
+  if (p % 2 == 0 && p + 1 < npages_ && (p + 1) / 4 == p / 4 &&
+      !PageBitAllocated(p + 1)) {
+    return 1;
+  }
+  assert(p % 2 == 1 ? PageBitAllocated(p - 1) || (p - 1) / 4 != p / 4 : true);
+  return 0;
+}
+
+bool AllocMap::IsCanonicalFree(uint32_t start, uint32_t type) const {
+  if (start >= npages_ || start + (uint32_t{1} << type) > npages_) return false;
+  uint8_t b = bytes_[start / 4];
+  if (type >= 2) {
+    return (b & kStartBit) && !(b & kAllocBit) && (b & kTypeMask) == type;
+  }
+  if (b == 0 || (b & kStartBit)) return false;  // interior or >= 4 segment
+  if (type == 1) {
+    return start % 2 == 0 && !PageBitAllocated(start) &&
+           !PageBitAllocated(start + 1);
+  }
+  // Type 0: the page is free and is not half of a canonical free pair.
+  if (PageBitAllocated(start)) return false;
+  uint32_t buddy = start ^ 1u;
+  if (buddy < npages_ && buddy / 4 == start / 4 && !PageBitAllocated(buddy)) {
+    return false;  // part of a free pair, canonical form is type 1
+  }
+  return true;
+}
+
+bool AllocMap::IsFreeForCoalesce(uint32_t start, uint32_t type) const {
+  if (start >= npages_ || start + (uint32_t{1} << type) > npages_) {
+    return false;
+  }
+  if (type >= 2) return IsCanonicalFree(start, type);
+  // type < 2: the buddy shares the quad of the chunk just freed, so its
+  // byte is in per-page mode — possibly transiently all-zero when every
+  // page of the quad is free (the merge being decided here repairs that
+  // state into the canonical whole-byte encoding).
+  uint8_t b = bytes_[start / 4];
+  if (b & kStartBit) return false;
+  if (PageBitAllocated(start)) return false;
+  return type == 0 || !PageBitAllocated(start + 1);
+}
+
+uint32_t AllocMap::StepSizeAt(uint32_t p) const {
+  uint8_t b = bytes_[p / 4];
+  if (b & kStartBit) {
+    assert(p % 4 == 0);
+    return uint32_t{1} << (b & kTypeMask);
+  }
+  assert(b != 0);  // the scan never lands inside a zero (interior) byte
+  if (PageBitAllocated(p)) return 1;
+  return uint32_t{1} << CanonicalFreeTypeAt(p);
+}
+
+void AllocMap::SetPageBits(uint32_t start, uint32_t count, bool allocated) {
+  for (uint32_t p = start; p < start + count; ++p) {
+    uint32_t bi = p / 4;
+    if (bytes_[bi] & kStartBit) {
+      // The byte is being converted from a whole-byte segment encoding to
+      // per-page bits; the caller rewrites every page it covers.
+      bytes_[bi] = 0;
+    }
+    uint8_t mask = static_cast<uint8_t>(1u << (3 - (p % 4)));
+    if (allocated) {
+      bytes_[bi] |= mask;
+    } else {
+      bytes_[bi] &= static_cast<uint8_t>(~mask);
+    }
+  }
+}
+
+void AllocMap::WriteAllocated(uint32_t start, uint32_t type) {
+  uint32_t size = uint32_t{1} << type;
+  assert(start % size == 0 && start + size <= npages_);
+  if (type < 2) {
+    SetPageBits(start, size, /*allocated=*/true);
+    return;
+  }
+  uint32_t bi = start / 4;
+  bytes_[bi] = static_cast<uint8_t>(kStartBit | kAllocBit | type);
+  std::memset(&bytes_[bi + 1], 0, size / 4 - 1);
+}
+
+void AllocMap::WriteFree(uint32_t start, uint32_t type) {
+  uint32_t size = uint32_t{1} << type;
+  assert(start % size == 0 && start + size <= npages_);
+  if (type < 2) {
+    SetPageBits(start, size, /*allocated=*/false);
+    return;
+  }
+  uint32_t bi = start / 4;
+  bytes_[bi] = static_cast<uint8_t>(kStartBit | type);
+  std::memset(&bytes_[bi + 1], 0, size / 4 - 1);
+}
+
+uint32_t AllocMap::FindFree(uint32_t type) const {
+  uint32_t want = uint32_t{1} << type;
+  uint32_t s = 0;
+  while (s < npages_) {
+    uint8_t b = bytes_[s / 4];
+    bool free;
+    if (b & kStartBit) {
+      free = !(b & kAllocBit);
+    } else {
+      assert(b != 0);
+      free = !PageBitAllocated(s);
+    }
+    uint32_t m = StepSizeAt(s);
+    if (free && m == want) return s;
+    s += (m > want) ? m : want;
+  }
+  return kNone;
+}
+
+std::vector<uint32_t> AllocMap::CountFreeSegments() const {
+  std::vector<uint32_t> counts(max_type_ + 1, 0);
+  uint32_t p = 0;
+  while (p < npages_) {
+    uint8_t b = bytes_[p / 4];
+    if (b & kStartBit) {
+      uint32_t type = b & kTypeMask;
+      if (!(b & kAllocBit)) ++counts[type];
+      p += uint32_t{1} << type;
+    } else if (b == 0) {
+      assert(false && "interior byte reached while walking segment starts");
+      ++p;
+    } else if (PageBitAllocated(p)) {
+      ++p;
+    } else {
+      uint32_t type = CanonicalFreeTypeAt(p);
+      ++counts[type];
+      p += uint32_t{1} << type;
+    }
+  }
+  return counts;
+}
+
+}  // namespace eos

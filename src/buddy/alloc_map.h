@@ -1,0 +1,115 @@
+#ifndef EOS_BUDDY_ALLOC_MAP_H_
+#define EOS_BUDDY_ALLOC_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace eos {
+
+// The buddy-space page allocation map of Section 3.1 (Figure 2).
+//
+// Each byte B of the map describes the four pages 4B .. 4B+3:
+//   * MSB set  -> a segment of size >= 4 pages starts at page 4B.
+//                 Bit 6 is the status (1 = allocated), bits 5..0 the type t
+//                 (segment size is 2^t pages).
+//   * MSB clear, byte non-zero -> the low four bits give the status of the
+//                 four pages individually (bit 3-j for page 4B+j,
+//                 1 = allocated).
+//   * byte == 0 -> all four pages are interior to a segment that starts at
+//                 the first non-zero byte to the left.
+//
+// Free segments are kept *canonical*: a free segment of type t never has a
+// free buddy of the same type (they would have been coalesced), so an
+// all-free aligned quad is always encoded as a type-2 MSB byte and the
+// all-zero byte is unambiguous. A non-zero nibble byte therefore always has
+// at least one allocated page.
+//
+// AllocMap is a view over the raw map bytes inside a buddy-space directory
+// page; it performs no I/O and maintains no counts (BuddySpace does both).
+class AllocMap {
+ public:
+  static constexpr uint8_t kStartBit = 0x80;
+  static constexpr uint8_t kAllocBit = 0x40;
+  static constexpr uint8_t kTypeMask = 0x3F;
+  static constexpr uint32_t kNone = ~uint32_t{0};
+
+  // `bytes` must cover ceil(npages/4) bytes; `max_type` is the largest legal
+  // segment type k. The view does not own the storage.
+  AllocMap(uint8_t* bytes, uint32_t npages, uint32_t max_type)
+      : bytes_(bytes), npages_(npages), max_type_(max_type) {}
+
+  uint32_t npages() const { return npages_; }
+  uint32_t max_type() const { return max_type_; }
+
+  // A decoded segment: [start, start + 2^type).
+  struct Segment {
+    uint32_t start = kNone;
+    uint32_t type = 0;
+    bool allocated = false;
+
+    uint32_t size() const { return uint32_t{1} << type; }
+  };
+
+  // True iff page p is allocated (p < npages). Follows zero bytes to the
+  // owning segment's start byte.
+  bool PageAllocated(uint32_t p) const;
+
+  // The allocated segment whose range contains p. For pages tracked at
+  // per-page granularity (nibble bytes) the result is a type-0 segment at p
+  // itself; callers that free ranges re-decompose explicitly.
+  Segment FindSegmentContaining(uint32_t p) const;
+
+  // Page p must be free. Returns the type of the canonical free segment
+  // that *starts* at p (asserts that p is its start).
+  uint32_t CanonicalFreeTypeAt(uint32_t p) const;
+
+  // True iff a canonical free segment of exactly `type` starts at `start`,
+  // judged from the at-rest (fully coalesced) map.
+  bool IsCanonicalFree(uint32_t start, uint32_t type) const;
+
+  // Buddy test used *during* coalescing, where the chunk just freed next to
+  // `start` makes the at-rest canonicality test lie for types 0 and 1: a
+  // free buddy of a just-freed chunk cannot belong to a larger canonical
+  // segment (that segment would have included the chunk), so for small
+  // types it suffices that its pages are free.
+  bool IsFreeForCoalesce(uint32_t start, uint32_t type) const;
+
+  // Size in pages of the segment starting at p, as used by the skip-scan of
+  // Section 3.1. For allocated pages in nibble bytes this is 1 (their exact
+  // grouping is not recorded, which only slows the scan, never breaks it).
+  uint32_t StepSizeAt(uint32_t p) const;
+
+  // Marks [start, start + 2^type) as a single allocated segment.
+  void WriteAllocated(uint32_t start, uint32_t type);
+
+  // Marks [start, start + 2^type) as a single canonical free segment.
+  // The caller is responsible for coalescing and count maintenance.
+  void WriteFree(uint32_t start, uint32_t type);
+
+  // The free-segment search of Section 3.1: starting at segment 0, skip by
+  // max(want, size-of-segment-here) until a free segment of exactly `type`
+  // is found. Returns its start page or kNone.
+  uint32_t FindFree(uint32_t type) const;
+
+  // Recomputes the number of canonical free segments of each type by
+  // walking the whole map (validation/repair path only; normal operation
+  // uses the maintained count array).
+  std::vector<uint32_t> CountFreeSegments() const;
+
+  // Raw byte accessor for tests reproducing Figure 3.
+  uint8_t byte(uint32_t b) const { return bytes_[b]; }
+
+ private:
+  bool PageBitAllocated(uint32_t p) const {
+    return (bytes_[p / 4] >> (3 - (p % 4))) & 1;
+  }
+  void SetPageBits(uint32_t start, uint32_t count, bool allocated);
+
+  uint8_t* bytes_;
+  uint32_t npages_;
+  uint32_t max_type_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_BUDDY_ALLOC_MAP_H_

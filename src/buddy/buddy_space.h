@@ -1,0 +1,82 @@
+#ifndef EOS_BUDDY_BUDDY_SPACE_H_
+#define EOS_BUDDY_BUDDY_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buddy/alloc_map.h"
+#include "buddy/geometry.h"
+#include "common/status.h"
+#include "io/pager.h"
+
+namespace eos {
+
+// One buddy segment space: algorithms of Sections 3.1 and 3.2 operating on
+// the space's single directory page (count array + allocation map). Every
+// allocate/free touches only that page — the property behind the paper's
+// "one disk access regardless of segment size" claim.
+//
+// Page addresses here are space-local data-page indices [0, space_pages);
+// SegmentAllocator translates them to volume pages.
+class BuddySpace {
+ public:
+  static constexpr uint16_t kMagic = 0xB0DD;
+
+  // Binds to the directory page `dir_page` of a space laid out per `geo`.
+  BuddySpace(Pager* pager, PageId dir_page, const BuddyGeometry& geo)
+      : pager_(pager), dir_page_(dir_page), geo_(geo) {}
+
+  // Initializes a fresh directory: all data pages free, decomposed into
+  // maximal aligned segments; phantom pages past space_pages are marked
+  // allocated forever.
+  Status Format();
+
+  // Allocates `npages` physically contiguous pages (1 <= npages <= 2^k).
+  // Internally finds a free segment of the next power of two and trims the
+  // remainder back to the free space with one-page precision (Section 3.2,
+  // Figure 4). Returns the first page, or NoSpace.
+  StatusOr<uint32_t> Allocate(uint32_t npages);
+
+  // Frees any previously allocated range, not necessarily a whole segment;
+  // remaining parts of partially-freed segments are re-encoded and freed
+  // pages are buddy-coalesced iteratively.
+  Status Free(uint32_t start, uint32_t npages);
+
+  // Largest t with count[t] > 0, or -1 if the space is completely full.
+  StatusOr<int> MaxFreeType();
+
+  StatusOr<uint64_t> FreePages();
+
+  StatusOr<std::vector<uint32_t>> Counts();
+
+  // True iff every page in [start, start + npages) is allocated.
+  StatusOr<bool> RangeAllocated(uint32_t start, uint32_t npages);
+
+  // Recomputes free-segment counts from the map and cross-checks the count
+  // array, canonical form, and page accounting. Test/validation hook.
+  Status CheckInvariants();
+
+  const BuddyGeometry& geometry() const { return geo_; }
+
+ private:
+  // Directory-page accessors over a pinned handle.
+  uint16_t GetCount(PageHandle& h, uint32_t type) const;
+  void SetCount(PageHandle& h, uint32_t type, uint16_t v) const;
+  AllocMap Map(PageHandle& h) const;
+  Status CheckMagic(PageHandle& h) const;
+
+  // Marks [chunk, chunk + 2^type) free and coalesces upward with free
+  // buddies (Section 3.2), maintaining counts.
+  void FreeChunkAndCoalesce(PageHandle& h, uint32_t chunk, uint32_t type);
+
+  // Writes [lo, hi) as a sequence of maximal aligned allocated chunks.
+  void WriteAllocatedRange(PageHandle& h, uint32_t lo, uint32_t hi);
+
+  Pager* pager_;
+  PageId dir_page_;
+  BuddyGeometry geo_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_BUDDY_BUDDY_SPACE_H_

@@ -1,0 +1,54 @@
+#ifndef EOS_BUDDY_GEOMETRY_H_
+#define EOS_BUDDY_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "common/math.h"
+#include "common/status.h"
+
+namespace eos {
+
+// Derived sizes of a buddy segment space (Section 3, Figure 1).
+//
+// The directory of a space is exactly one page:
+//   [magic u16][num_types u16][count u16 x (k+1)][allocation map ...]
+// With page size PS the paper sets the maximum segment type
+// k = log2(2 * PS), i.e. the largest segment is 2*PS pages. Each map byte
+// covers 4 pages, so a space holds at most 4 * amap_capacity data pages
+// (with PS = 4096: k = 13, 32 MB max segment, ~63.5 MB spaces).
+struct BuddyGeometry {
+  uint32_t page_size = 0;
+  uint32_t max_type = 0;       // k: largest segment is 2^k pages
+  uint32_t amap_capacity = 0;  // map bytes available in the directory page
+  uint32_t space_pages = 0;    // data pages actually managed per space
+
+  uint32_t dir_header_bytes() const { return 4 + 2 * (max_type + 1); }
+  uint32_t max_segment_pages() const { return uint32_t{1} << max_type; }
+
+  // Derives the geometry for `page_size`. `space_pages` = 0 means "as many
+  // pages as one directory page can map".
+  static StatusOr<BuddyGeometry> Make(uint32_t page_size,
+                                      uint32_t space_pages = 0) {
+    if (page_size < 64 || page_size > 32768) {
+      return Status::InvalidArgument("page size must be in [64, 32768]");
+    }
+    BuddyGeometry g;
+    g.page_size = page_size;
+    uint32_t k = FloorLog2(page_size) + 1;  // max segment = 2*PS pages
+    uint32_t header = 4 + 2 * (k + 1);
+    g.amap_capacity = page_size - header;
+    uint32_t max_pages = 4 * g.amap_capacity;
+    if (space_pages == 0) space_pages = max_pages;
+    if (space_pages < 8 || space_pages > max_pages) {
+      return Status::InvalidArgument("space_pages out of range");
+    }
+    g.space_pages = space_pages;
+    // A segment cannot be larger than its space.
+    g.max_type = k < FloorLog2(space_pages) ? k : FloorLog2(space_pages);
+    return g;
+  }
+};
+
+}  // namespace eos
+
+#endif  // EOS_BUDDY_GEOMETRY_H_

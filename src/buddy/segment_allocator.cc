@@ -1,0 +1,210 @@
+#include "buddy/segment_allocator.h"
+
+#include <cassert>
+
+namespace eos {
+
+SegmentAllocator::SegmentAllocator(Pager* pager, const BuddyGeometry& geo,
+                                   PageId first_space_page,
+                                   uint32_t num_spaces, const Options& options)
+    : pager_(pager),
+      geo_(geo),
+      first_space_page_(first_space_page),
+      num_spaces_(num_spaces),
+      options_(options),
+      // Optimistic initial hints: each space may hold a maximal segment.
+      hints_(num_spaces, static_cast<int8_t>(geo.max_type)) {}
+
+StatusOr<std::unique_ptr<SegmentAllocator>> SegmentAllocator::Format(
+    Pager* pager, const BuddyGeometry& geo, PageId first_space_page,
+    const Options& options) {
+  uint32_t n = options.initial_spaces == 0 ? 1 : options.initial_spaces;
+  std::unique_ptr<SegmentAllocator> alloc(
+      new SegmentAllocator(pager, geo, first_space_page, 0, options));
+  for (uint32_t i = 0; i < n; ++i) {
+    EOS_RETURN_IF_ERROR(alloc->AddSpace());
+  }
+  return alloc;
+}
+
+StatusOr<std::unique_ptr<SegmentAllocator>> SegmentAllocator::Attach(
+    Pager* pager, const BuddyGeometry& geo, PageId first_space_page,
+    uint32_t num_spaces, const Options& options) {
+  if (num_spaces == 0) {
+    return Status::InvalidArgument("volume has no buddy spaces");
+  }
+  std::unique_ptr<SegmentAllocator> alloc(
+      new SegmentAllocator(pager, geo, first_space_page, num_spaces, options));
+  // Verify every directory is present and well-formed.
+  for (uint32_t i = 0; i < num_spaces; ++i) {
+    EOS_RETURN_IF_ERROR(alloc->Space(i).Counts().status());
+  }
+  return alloc;
+}
+
+Status SegmentAllocator::AddSpace() {
+  PageId end = DirPage(num_spaces_) + pages_per_space();
+  if (end > pager_->device()->page_count()) {
+    EOS_RETURN_IF_ERROR(pager_->device()->Grow(end));
+  }
+  EOS_RETURN_IF_ERROR(
+      BuddySpace(pager_, DirPage(num_spaces_), geo_).Format());
+  ++num_spaces_;
+  {
+    LatchGuard g(superdir_latch_);
+    hints_.push_back(static_cast<int8_t>(geo_.max_type));
+  }
+  return Status::OK();
+}
+
+Status SegmentAllocator::RefreshHint(uint32_t space) {
+  EOS_ASSIGN_OR_RETURN(int t, Space(space).MaxFreeType());
+  LatchGuard g(superdir_latch_);
+  hints_[space] = static_cast<int8_t>(t);
+  return Status::OK();
+}
+
+StatusOr<Extent> SegmentAllocator::TryAllocate(uint32_t npages) {
+  uint32_t t_need = CeilLog2(npages);
+  for (uint32_t i = 0; i < num_spaces_; ++i) {
+    if (use_superdirectory_) {
+      int8_t hint;
+      {
+        LatchGuard g(superdir_latch_);
+        hint = hints_[i];
+      }
+      // Skip spaces that cannot possibly hold a segment this large. The
+      // hint is an upper bound, so a skip is always safe; a visit may
+      // discover the hint was optimistic and correct it.
+      if (hint < static_cast<int8_t>(t_need)) continue;
+    }
+    ++directory_visits_;
+    auto r = Space(i).Allocate(npages);
+    if (r.ok()) {
+      EOS_RETURN_IF_ERROR(RefreshHint(i));
+      return Extent{DirPage(i) + 1 + r.value(), npages};
+    }
+    if (!r.status().IsNoSpace()) return r.status();
+    EOS_RETURN_IF_ERROR(RefreshHint(i));  // first wrong guess corrects it
+  }
+  return Status::NoSpace("no space can satisfy " + std::to_string(npages) +
+                         " contiguous pages");
+}
+
+StatusOr<Extent> SegmentAllocator::Allocate(uint32_t npages) {
+  if (npages == 0 || npages > geo_.max_segment_pages()) {
+    return Status::InvalidArgument(
+        "segment size must be in [1, " +
+        std::to_string(geo_.max_segment_pages()) + "] pages");
+  }
+  LatchGuard g(op_latch_);
+  auto r = TryAllocate(npages);
+  if (r.ok() || !r.status().IsNoSpace() || !options_.auto_grow) return r;
+  EOS_RETURN_IF_ERROR(AddSpace());
+  return TryAllocate(npages);
+}
+
+StatusOr<Extent> SegmentAllocator::AllocateAtMost(uint32_t npages) {
+  if (npages == 0) return Status::InvalidArgument("zero-page allocation");
+  if (npages > geo_.max_segment_pages()) npages = geo_.max_segment_pages();
+  LatchGuard g(op_latch_);
+  auto exact = TryAllocate(npages);
+  if (exact.ok() || !exact.status().IsNoSpace()) return exact;
+  // Find the space with the largest free segment and take that.
+  int best_t = -1;
+  for (uint32_t i = 0; i < num_spaces_; ++i) {
+    EOS_RETURN_IF_ERROR(RefreshHint(i));
+    LatchGuard h(superdir_latch_);
+    if (hints_[i] > best_t) best_t = hints_[i];
+  }
+  if (best_t < 0) return Status::NoSpace("volume is full");
+  return TryAllocate(uint32_t{1} << best_t);
+}
+
+Status SegmentAllocator::Locate(PageId page, uint32_t* space,
+                                uint32_t* local) const {
+  if (page < first_space_page_) {
+    return Status::InvalidArgument("page below first buddy space");
+  }
+  uint64_t rel = page - first_space_page_;
+  uint64_t s = rel / pages_per_space();
+  uint64_t off = rel % pages_per_space();
+  if (s >= num_spaces_ || off == 0) {
+    return Status::InvalidArgument("page " + std::to_string(page) +
+                                   " is not a data page of any space");
+  }
+  *space = static_cast<uint32_t>(s);
+  *local = static_cast<uint32_t>(off - 1);
+  return Status::OK();
+}
+
+Status SegmentAllocator::Free(const Extent& extent) {
+  if (!extent.valid()) return Status::InvalidArgument("invalid extent");
+  if (free_interceptor_ != nullptr &&
+      free_interceptor_->InterceptFree(extent)) {
+    // Deferred: the segment stays allocated under a release lock until the
+    // owning transaction commits.
+    return Status::OK();
+  }
+  LatchGuard g(op_latch_);
+  uint32_t space, local;
+  EOS_RETURN_IF_ERROR(Locate(extent.first, &space, &local));
+  uint32_t space_end, local_end;
+  EOS_RETURN_IF_ERROR(Locate(extent.first + extent.pages - 1, &space_end,
+                             &local_end));
+  if (space_end != space) {
+    return Status::InvalidArgument("extent spans buddy spaces");
+  }
+  EOS_RETURN_IF_ERROR(Space(space).Free(local, extent.pages));
+  return RefreshHint(space);
+}
+
+StatusOr<uint64_t> SegmentAllocator::TotalFreePages() {
+  LatchGuard g(op_latch_);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < num_spaces_; ++i) {
+    EOS_ASSIGN_OR_RETURN(uint64_t f, Space(i).FreePages());
+    total += f;
+  }
+  return total;
+}
+
+StatusOr<std::vector<SpaceReport>> SegmentAllocator::Report() {
+  LatchGuard g(op_latch_);
+  std::vector<SpaceReport> out;
+  for (uint32_t i = 0; i < num_spaces_; ++i) {
+    SpaceReport r;
+    r.space = i;
+    EOS_ASSIGN_OR_RETURN(r.free_counts, Space(i).Counts());
+    for (uint32_t t = 0; t < r.free_counts.size(); ++t) {
+      r.free_pages += uint64_t{r.free_counts[t]} << t;
+      if (r.free_counts[t] > 0) r.max_free_type = static_cast<int>(t);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+StatusOr<bool> SegmentAllocator::IsAllocated(const Extent& extent) {
+  if (!extent.valid()) return false;
+  LatchGuard g(op_latch_);
+  uint32_t space, local;
+  EOS_RETURN_IF_ERROR(Locate(extent.first, &space, &local));
+  uint32_t space2, local_end;
+  EOS_RETURN_IF_ERROR(
+      Locate(extent.first + extent.pages - 1, &space2, &local_end));
+  if (space2 != space) return false;
+  EOS_ASSIGN_OR_RETURN(bool ok, Space(space).RangeAllocated(local,
+                                                            extent.pages));
+  return ok;
+}
+
+Status SegmentAllocator::CheckInvariants() {
+  LatchGuard g(op_latch_);
+  for (uint32_t i = 0; i < num_spaces_; ++i) {
+    EOS_RETURN_IF_ERROR(Space(i).CheckInvariants());
+  }
+  return Status::OK();
+}
+
+}  // namespace eos

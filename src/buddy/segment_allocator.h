@@ -1,0 +1,144 @@
+#ifndef EOS_BUDDY_SEGMENT_ALLOCATOR_H_
+#define EOS_BUDDY_SEGMENT_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "buddy/buddy_space.h"
+#include "buddy/geometry.h"
+#include "common/latch.h"
+#include "common/status.h"
+#include "io/pager.h"
+
+namespace eos {
+
+// Hook for transactional deferred frees ([Lehm89]'s release locks,
+// Section 4.5): when installed, Free() offers each extent to the
+// interceptor first; a true return means the extent stays allocated until
+// the owning transaction commits and frees it for real.
+class FreeInterceptor {
+ public:
+  virtual ~FreeInterceptor() = default;
+  virtual bool InterceptFree(const Extent& extent) = 0;
+};
+
+// Per-space free-list summary for fragmentation reporting.
+struct SpaceReport {
+  uint32_t space = 0;
+  std::vector<uint32_t> free_counts;  // free_counts[t] segments of 2^t pages
+  uint64_t free_pages = 0;
+  int max_free_type = -1;
+};
+
+// Volume-level segment allocation across many buddy spaces (Section 3.3).
+//
+// Spaces are laid out back to back starting at `first_space_page`; each is
+// one directory page followed by geometry.space_pages data pages. A
+// main-memory *superdirectory* remembers (a possibly optimistic upper bound
+// on) the largest free segment in each space, so allocation requests skip
+// spaces that cannot possibly satisfy them. The superdirectory starts
+// optimistic and self-corrects on first contact with each space, exactly as
+// described in the paper; it is protected by a short-duration latch, not a
+// transaction lock.
+class SegmentAllocator {
+ public:
+  struct Options {
+    uint32_t initial_spaces = 1;
+    // When true, Allocate() appends a new space to the volume instead of
+    // failing with NoSpace.
+    bool auto_grow = true;
+  };
+
+  // Formats `options.initial_spaces` fresh spaces (growing the device as
+  // needed) and returns an allocator over them.
+  static StatusOr<std::unique_ptr<SegmentAllocator>> Format(
+      Pager* pager, const BuddyGeometry& geo, PageId first_space_page,
+      const Options& options);
+
+  // Attaches to `num_spaces` previously formatted spaces.
+  static StatusOr<std::unique_ptr<SegmentAllocator>> Attach(
+      Pager* pager, const BuddyGeometry& geo, PageId first_space_page,
+      uint32_t num_spaces, const Options& options);
+
+  // Allocates exactly `npages` physically contiguous pages
+  // (1 <= npages <= 2^k).
+  StatusOr<Extent> Allocate(uint32_t npages);
+
+  // Allocates the largest available contiguous run of at most `npages`
+  // pages without growing the volume; NoSpace only if the volume is full.
+  StatusOr<Extent> AllocateAtMost(uint32_t npages);
+
+  // Frees an extent or any sub-range of one (used to trim segments with
+  // one-page precision, Section 4.1).
+  Status Free(const Extent& extent);
+
+  uint32_t num_spaces() const { return num_spaces_; }
+  const BuddyGeometry& geometry() const { return geo_; }
+  uint32_t pages_per_space() const { return geo_.space_pages + 1; }
+
+  // Volume page of space i's directory.
+  PageId DirPage(uint32_t space) const {
+    return first_space_page_ + uint64_t{space} * pages_per_space();
+  }
+
+  StatusOr<uint64_t> TotalFreePages();
+  Status CheckInvariants();
+
+  // Fragmentation snapshot of every space.
+  StatusOr<std::vector<SpaceReport>> Report();
+
+  // True iff every page of `extent` is currently allocated — the deep
+  // integrity check uses this to verify that index/leaf references point
+  // at storage the buddy system actually considers live.
+  StatusOr<bool> IsAllocated(const Extent& extent);
+
+  // Installs (or clears, with nullptr) the deferred-free hook.
+  void set_free_interceptor(FreeInterceptor* interceptor) {
+    free_interceptor_ = interceptor;
+  }
+
+  // Telemetry for the superdirectory experiment (E3): how many space
+  // directories have been examined by allocation requests.
+  uint64_t directory_visits() const { return directory_visits_; }
+  void ResetDirectoryVisits() { directory_visits_ = 0; }
+
+  // Disables the superdirectory (every allocation probes spaces in order),
+  // for the ablation bench.
+  void set_use_superdirectory(bool use) { use_superdirectory_ = use; }
+
+ private:
+  SegmentAllocator(Pager* pager, const BuddyGeometry& geo,
+                   PageId first_space_page, uint32_t num_spaces,
+                   const Options& options);
+
+  BuddySpace Space(uint32_t i) { return BuddySpace(pager_, DirPage(i), geo_); }
+
+  // Maps a volume page to (space index, local page); fails if the page is
+  // a directory page or outside any space.
+  Status Locate(PageId page, uint32_t* space, uint32_t* local) const;
+
+  Status AddSpace();
+  StatusOr<Extent> TryAllocate(uint32_t npages);
+  Status RefreshHint(uint32_t space);
+
+  Pager* pager_;
+  BuddyGeometry geo_;
+  PageId first_space_page_;
+  uint32_t num_spaces_;
+  Options options_;
+  bool use_superdirectory_ = true;
+
+  // hint_[i] = upper bound on the max free type in space i; kUnknown is the
+  // optimistic initial value ("maybe a maximal segment is free").
+  static constexpr int8_t kFull = -1;
+  std::vector<int8_t> hints_;
+  Latch superdir_latch_;
+  uint64_t directory_visits_ = 0;
+  Latch op_latch_;  // serializes allocator operations
+  FreeInterceptor* free_interceptor_ = nullptr;
+};
+
+}  // namespace eos
+
+#endif  // EOS_BUDDY_SEGMENT_ALLOCATOR_H_

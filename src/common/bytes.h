@@ -1,0 +1,82 @@
+#ifndef EOS_COMMON_BYTES_H_
+#define EOS_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace eos {
+
+// Non-owning view of a read-only byte range, analogous to a storage-engine
+// Slice. Used for all data passed into write paths.
+class ByteView {
+ public:
+  ByteView() = default;
+  ByteView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  ByteView(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  ByteView(const std::string& s)  // NOLINT
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  ByteView(const std::vector<uint8_t>& v)  // NOLINT
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  // Sub-view of [offset, offset+len); caller guarantees bounds.
+  ByteView Slice(size_t offset, size_t len) const {
+    return ByteView(data_ + offset, len);
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+inline bool operator==(ByteView a, ByteView b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+// Owning byte buffer used by read paths.
+using Bytes = std::vector<uint8_t>;
+
+inline Bytes ToBytes(ByteView v) { return Bytes(v.data(), v.data() + v.size()); }
+
+// Little-endian fixed-width encoding helpers for on-page structures.
+inline void EncodeU16(uint8_t* dst, uint16_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+}
+inline uint16_t DecodeU16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0]) |
+         (static_cast<uint16_t>(src[1]) << 8);
+}
+inline void EncodeU32(uint8_t* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline uint32_t DecodeU32(const uint8_t* src) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(src[i]) << (8 * i);
+  return v;
+}
+inline void EncodeU64(uint8_t* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline uint64_t DecodeU64(const uint8_t* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(src[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_BYTES_H_

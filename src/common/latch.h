@@ -1,0 +1,53 @@
+#ifndef EOS_COMMON_LATCH_H_
+#define EOS_COMMON_LATCH_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace eos {
+
+// Short-duration lock in the sense of [Moha90]: held only for the duration
+// of one read or update of a shared in-memory structure (such as the buddy
+// superdirectory), never to transaction end.
+class Latch {
+ public:
+  Latch() = default;
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void Acquire() { mu_.lock(); }
+  bool TryAcquire() { return mu_.try_lock(); }
+  void Release() { mu_.unlock(); }
+
+ private:
+  friend class LatchGuard;
+  std::mutex mu_;
+};
+
+class LatchGuard {
+ public:
+  explicit LatchGuard(Latch& latch) : guard_(latch.mu_) {}
+
+ private:
+  std::lock_guard<std::mutex> guard_;
+};
+
+// Reader/writer latch for structures that are read far more than written.
+class SharedLatch {
+ public:
+  SharedLatch() = default;
+  SharedLatch(const SharedLatch&) = delete;
+  SharedLatch& operator=(const SharedLatch&) = delete;
+
+  void AcquireShared() { mu_.lock_shared(); }
+  void ReleaseShared() { mu_.unlock_shared(); }
+  void AcquireExclusive() { mu_.lock(); }
+  void ReleaseExclusive() { mu_.unlock(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_LATCH_H_

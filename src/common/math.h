@@ -1,0 +1,44 @@
+#ifndef EOS_COMMON_MATH_H_
+#define EOS_COMMON_MATH_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace eos {
+
+// ceil(a / b) for positive integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// floor(log2(x)); x must be non-zero.
+inline uint32_t FloorLog2(uint64_t x) {
+  assert(x != 0);
+  uint32_t r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+// ceil(log2(x)); x must be non-zero. CeilLog2(1) == 0.
+inline uint32_t CeilLog2(uint64_t x) {
+  assert(x != 0);
+  uint32_t f = FloorLog2(x);
+  return IsPowerOfTwo(x) ? f : f + 1;
+}
+
+// Smallest power of two >= x; x must be non-zero.
+inline uint64_t NextPowerOfTwo(uint64_t x) { return uint64_t{1} << CeilLog2(x); }
+
+// Largest power of two that divides x; x must be non-zero.
+// This bounds the size of a buddy segment that may start at address x.
+inline uint64_t LargestAlignedSize(uint64_t x) {
+  assert(x != 0);
+  return x & (~x + 1);  // isolate lowest set bit
+}
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_MATH_H_

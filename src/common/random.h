@@ -1,0 +1,51 @@
+#ifndef EOS_COMMON_RANDOM_H_
+#define EOS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace eos {
+
+// Deterministic xorshift64* generator. Tests and benches seed it explicitly
+// so every run, and every reported experiment, is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  // Uniform in [0, n); n must be non-zero.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi]; lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Fills `out` with `n` pseudo-random bytes.
+  void Fill(Bytes* out, size_t n) {
+    out->resize(n);
+    for (size_t i = 0; i < n; ++i) (*out)[i] = static_cast<uint8_t>(Next());
+  }
+
+  Bytes NewBytes(size_t n) {
+    Bytes b;
+    Fill(&b, n);
+    return b;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_RANDOM_H_

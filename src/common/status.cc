@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace eos {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kNoSpace:
+      return "NoSpace";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kBusy:
+      return "Busy";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(code_);
+  if (!msg_.empty()) {
+    result += ": ";
+    result += msg_;
+  }
+  return result;
+}
+
+}  // namespace eos

@@ -1,0 +1,138 @@
+#ifndef EOS_COMMON_STATUS_H_
+#define EOS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace eos {
+
+// Operation result for everything in the library that can fail at run time.
+// Modeled after the Status idiom used by database storage engines: cheap to
+// return, carries a machine-checkable code plus a human-readable message.
+// The library never throws; every fallible public API returns Status or
+// StatusOr<T>.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kNoSpace = 5,
+    kOutOfRange = 6,
+    kNotSupported = 7,
+    kBusy = 8,
+  };
+
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status NoSpace(std::string_view msg) {
+    return Status(Code::kNoSpace, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Busy(std::string_view msg) { return Status(Code::kBusy, msg); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // "OK" or "<code>: <message>"; for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+// Holds either a value of T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace eos
+
+// Propagates a non-OK Status from an expression returning Status.
+#define EOS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::eos::Status _eos_status = (expr);          \
+    if (!_eos_status.ok()) return _eos_status;   \
+  } while (0)
+
+// Evaluates an expression returning StatusOr<T>; on error propagates the
+// Status, otherwise assigns the value to `lhs` (which must be declared by
+// the caller, e.g. `EOS_ASSIGN_OR_RETURN(auto x, Foo());`).
+#define EOS_ASSIGN_OR_RETURN(lhs, expr)                     \
+  EOS_ASSIGN_OR_RETURN_IMPL_(                               \
+      EOS_STATUS_CONCAT_(_eos_statusor, __LINE__), lhs, expr)
+
+#define EOS_STATUS_CONCAT_INNER_(a, b) a##b
+#define EOS_STATUS_CONCAT_(a, b) EOS_STATUS_CONCAT_INNER_(a, b)
+
+#define EOS_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr)   \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#endif  // EOS_COMMON_STATUS_H_

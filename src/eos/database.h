@@ -1,0 +1,136 @@
+#ifndef EOS_EOS_DATABASE_H_
+#define EOS_EOS_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buddy/segment_allocator.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "io/page_device.h"
+#include "io/pager.h"
+#include "lob/lob_manager.h"
+#include "txn/log_manager.h"
+
+namespace eos {
+
+// Top-level EOS storage facade: one volume (file-backed or in-memory)
+// containing a superblock, a sequence of buddy segment spaces, and a
+// persistent object directory mapping object ids to their large-object
+// roots. The paper leaves root placement to the client; Database is one
+// such client — it keeps all roots in a directory that is itself a large
+// object whose root lives in the superblock.
+struct DatabaseOptions {
+  uint32_t page_size = 4096;
+  uint32_t space_pages = 0;  // 0 = as many as one directory page can map
+  uint32_t initial_spaces = 1;
+  size_t pager_frames = 256;
+  LobConfig lob;
+};
+
+class Database {
+ public:
+  static constexpr uint32_t kMagic = 0x454F5356;  // "EOSV"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr PageId kSuperblockPage = 0;
+  static constexpr PageId kFirstSpacePage = 1;
+
+  // Creates a new volume file (truncating any existing one).
+  static StatusOr<std::unique_ptr<Database>> Create(
+      const std::string& path, const DatabaseOptions& options);
+
+  // Opens an existing volume; geometry comes from the superblock, runtime
+  // knobs (pager size, LOB config) from `options`.
+  static StatusOr<std::unique_ptr<Database>> Open(
+      const std::string& path, const DatabaseOptions& options);
+
+  // Volatile volume for tests, examples and benches.
+  static StatusOr<std::unique_ptr<Database>> CreateInMemory(
+      const DatabaseOptions& options);
+
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ----- object directory --------------------------------------------------
+
+  // Creates an empty large object and returns its id.
+  StatusOr<uint64_t> CreateObject();
+  StatusOr<uint64_t> CreateObjectFrom(ByteView data);
+
+  // Destroys the object's storage and removes it from the directory.
+  Status DropObject(uint64_t id);
+
+  StatusOr<LobDescriptor> GetRoot(uint64_t id);
+  Status PutRoot(uint64_t id, const LobDescriptor& d);
+  StatusOr<std::vector<uint64_t>> ListObjects();
+
+  // Per-object segment size threshold hint (Section 4.4); applies to all
+  // subsequent operations on `id` through this Database handle. 0 resets
+  // to the manager default.
+  void SetObjectThreshold(uint64_t id, uint32_t threshold_pages);
+
+  // Rewrites the object into its optimal layout (LobManager::Reorganize).
+  Status ReorganizeObject(uint64_t id);
+
+  // ----- convenience object operations --------------------------------------
+
+  StatusOr<uint64_t> Size(uint64_t id);
+  StatusOr<Bytes> Read(uint64_t id, uint64_t offset, uint64_t n);
+  Status Append(uint64_t id, ByteView data);
+  Status Insert(uint64_t id, uint64_t offset, ByteView data);
+  Status Delete(uint64_t id, uint64_t offset, uint64_t n);
+  Status Replace(uint64_t id, uint64_t offset, ByteView data);
+  StatusOr<LobStats> ObjectStats(uint64_t id);
+
+  // ----- plumbing ------------------------------------------------------------
+
+  // Flushes the pager, rewrites the superblock, syncs the device.
+  Status Flush();
+
+  // Buddy invariants of every space plus tree invariants of every object.
+  Status CheckIntegrity();
+
+  LobManager* lob() { return lob_.get(); }
+  SegmentAllocator* allocator() { return allocator_.get(); }
+  Pager* pager() { return pager_.get(); }
+  PageDevice* device() { return device_.get(); }
+
+  // Attaches a log manager; subsequent object operations are logged with
+  // the object id (Section 4.5).
+  void AttachLog(LogManager* log);
+
+ private:
+  Database() = default;
+
+  static StatusOr<std::unique_ptr<Database>> Init(
+      std::unique_ptr<PageDevice> device, const DatabaseOptions& options,
+      bool fresh);
+
+  Status WriteSuperblock();
+  Status ReadSuperblock(uint32_t* space_pages, uint32_t* num_spaces);
+
+  // The directory is serialized as [id u64][len u32][root bytes]...
+  Status LoadDirectory();
+  Status SaveDirectory();
+
+  DatabaseOptions options_;
+  std::unique_ptr<PageDevice> device_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<SegmentAllocator> allocator_;
+  std::unique_ptr<LobManager> lob_;
+  LogManager* log_ = nullptr;
+
+  uint64_t next_object_id_ = 1;
+  std::map<uint64_t, uint32_t> threshold_hints_;
+  LobDescriptor dir_object_;  // the directory's own root
+  std::vector<std::pair<uint64_t, Bytes>> directory_;  // id -> root image
+};
+
+}  // namespace eos
+
+#endif  // EOS_EOS_DATABASE_H_

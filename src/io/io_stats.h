@@ -1,0 +1,64 @@
+#ifndef EOS_IO_IO_STATS_H_
+#define EOS_IO_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eos {
+
+// Physical I/O accounting in the units the paper states its claims in:
+// disk seeks and page transfers. A seek is charged whenever an access does
+// not begin at the head position left behind by the previous access, so a
+// multi-page read of a physically contiguous segment costs 1 seek + n
+// transfers, while n scattered single-page reads cost n seeks + n transfers.
+struct IoStats {
+  uint64_t read_calls = 0;
+  uint64_t write_calls = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  uint64_t seeks = 0;
+
+  uint64_t transfers() const { return pages_read + pages_written; }
+
+  IoStats& operator+=(const IoStats& o) {
+    read_calls += o.read_calls;
+    write_calls += o.write_calls;
+    pages_read += o.pages_read;
+    pages_written += o.pages_written;
+    seeks += o.seeks;
+    return *this;
+  }
+  IoStats operator-(const IoStats& o) const {
+    IoStats r = *this;
+    r.read_calls -= o.read_calls;
+    r.write_calls -= o.write_calls;
+    r.pages_read -= o.pages_read;
+    r.pages_written -= o.pages_written;
+    r.seeks -= o.seeks;
+    return r;
+  }
+
+  std::string ToString() const {
+    return "seeks=" + std::to_string(seeks) +
+           " pages_read=" + std::to_string(pages_read) +
+           " pages_written=" + std::to_string(pages_written);
+  }
+};
+
+// Time model for a circa-1992 disk: ~12 ms average seek plus ~4 ms half
+// rotation folded into seek_ms, and ~2 MB/s media rate (about 2 ms per 4 KB
+// page). Benches report modeled milliseconds so the *shape* of the paper's
+// claims (seek-bound vs transfer-bound) is visible regardless of the host.
+struct DiskModel {
+  double seek_ms = 16.0;
+  double transfer_ms_per_page = 2.0;
+
+  double EstimateMs(const IoStats& s) const {
+    return static_cast<double>(s.seeks) * seek_ms +
+           static_cast<double>(s.transfers()) * transfer_ms_per_page;
+  }
+};
+
+}  // namespace eos
+
+#endif  // EOS_IO_IO_STATS_H_

@@ -1,0 +1,158 @@
+#include "io/page_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace eos {
+
+Status PageDevice::CheckRange(PageId first, uint32_t n) const {
+  if (n == 0) return Status::InvalidArgument("zero-page I/O");
+  if (first + n > page_count_ || first + n < first) {
+    return Status::OutOfRange("page range [" + std::to_string(first) + ", " +
+                              std::to_string(first + n) + ") beyond volume of " +
+                              std::to_string(page_count_) + " pages");
+  }
+  return Status::OK();
+}
+
+Status PageDevice::ReadPages(PageId first, uint32_t n, uint8_t* out) {
+  EOS_RETURN_IF_ERROR(CheckRange(first, n));
+  {
+    LatchGuard g(stats_latch_);
+    ++stats_.read_calls;
+    stats_.pages_read += n;
+    if (first != head_pos_) ++stats_.seeks;
+    head_pos_ = first + n;
+  }
+  return DoRead(first, n, out);
+}
+
+Status PageDevice::WritePages(PageId first, uint32_t n, const uint8_t* data) {
+  EOS_RETURN_IF_ERROR(CheckRange(first, n));
+  {
+    LatchGuard g(stats_latch_);
+    ++stats_.write_calls;
+    stats_.pages_written += n;
+    if (first != head_pos_) ++stats_.seeks;
+    head_pos_ = first + n;
+  }
+  return DoWrite(first, n, data);
+}
+
+MemPageDevice::MemPageDevice(uint32_t page_size, uint64_t page_count)
+    : PageDevice(page_size, page_count),
+      mem_(page_size * page_count, 0) {}
+
+Status MemPageDevice::Grow(uint64_t new_page_count) {
+  if (new_page_count < page_count_) {
+    return Status::InvalidArgument("Grow cannot shrink the volume");
+  }
+  // Exclusive: resizing may move the backing buffer under readers.
+  mem_latch_.AcquireExclusive();
+  mem_.resize(new_page_count * page_size_, 0);
+  page_count_ = new_page_count;
+  mem_latch_.ReleaseExclusive();
+  return Status::OK();
+}
+
+Status MemPageDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
+  mem_latch_.AcquireShared();
+  std::memcpy(out, &mem_[first * page_size_], size_t{n} * page_size_);
+  mem_latch_.ReleaseShared();
+  return Status::OK();
+}
+
+Status MemPageDevice::DoWrite(PageId first, uint32_t n, const uint8_t* data) {
+  mem_latch_.AcquireShared();
+  std::memcpy(&mem_[first * page_size_], data, size_t{n} * page_size_);
+  mem_latch_.ReleaseShared();
+  return Status::OK();
+}
+
+FilePageDevice::~FilePageDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<FilePageDevice>> FilePageDevice::Create(
+    const std::string& path, uint32_t page_size, uint64_t page_count) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(page_count * page_size)) != 0) {
+    Status s = Status::IOError("ftruncate(" + path + "): " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<FilePageDevice>(
+      new FilePageDevice(fd, page_size, page_count));
+}
+
+StatusOr<std::unique_ptr<FilePageDevice>> FilePageDevice::Open(
+    const std::string& path, uint32_t page_size) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  off_t len = ::lseek(fd, 0, SEEK_END);
+  if (len < 0 || len % page_size != 0) {
+    ::close(fd);
+    return Status::Corruption(path + ": size not a multiple of page size");
+  }
+  return std::unique_ptr<FilePageDevice>(new FilePageDevice(
+      fd, page_size, static_cast<uint64_t>(len) / page_size));
+}
+
+Status FilePageDevice::Grow(uint64_t new_page_count) {
+  if (new_page_count < page_count_) {
+    return Status::InvalidArgument("Grow cannot shrink the volume");
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(new_page_count * page_size_)) != 0) {
+    return Status::IOError(std::string("ftruncate: ") + std::strerror(errno));
+  }
+  page_count_ = new_page_count;
+  return Status::OK();
+}
+
+Status FilePageDevice::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FilePageDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
+  size_t want = size_t{n} * page_size_;
+  off_t off = static_cast<off_t>(first * page_size_);
+  size_t got = 0;
+  while (got < want) {
+    ssize_t r = ::pread(fd_, out + got, want - got, off + static_cast<off_t>(got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::IOError("pread: unexpected EOF");
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status FilePageDevice::DoWrite(PageId first, uint32_t n, const uint8_t* data) {
+  size_t want = size_t{n} * page_size_;
+  off_t off = static_cast<off_t>(first * page_size_);
+  size_t put = 0;
+  while (put < want) {
+    ssize_t r = ::pwrite(fd_, data + put, want - put, off + static_cast<off_t>(put));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    put += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace eos

@@ -1,0 +1,145 @@
+#ifndef EOS_IO_PAGE_DEVICE_H_
+#define EOS_IO_PAGE_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "io/io_stats.h"
+
+namespace eos {
+
+// Identifies a page within a volume. Page 0 is the superblock.
+using PageId = uint64_t;
+
+constexpr PageId kInvalidPage = ~uint64_t{0};
+
+// A physically contiguous run of pages, the unit the buddy system hands out.
+struct Extent {
+  PageId first = kInvalidPage;
+  uint32_t pages = 0;
+
+  bool valid() const { return first != kInvalidPage && pages > 0; }
+  PageId end() const { return first + pages; }
+};
+
+inline bool operator==(const Extent& a, const Extent& b) {
+  return a.first == b.first && a.pages == b.pages;
+}
+
+// Random-access array of fixed-size pages with physical-contiguity-aware
+// I/O accounting. Subclasses provide the backing store; seek/transfer
+// accounting lives here so every backend charges identically.
+//
+// Thread-safe: accounting is latched, and both backends perform the data
+// transfer itself safely under concurrency (pread/pwrite for files; the
+// in-memory backend serializes transfers against Grow).
+class PageDevice {
+ public:
+  PageDevice(uint32_t page_size, uint64_t page_count)
+      : page_size_(page_size), page_count_(page_count) {}
+  virtual ~PageDevice() = default;
+
+  PageDevice(const PageDevice&) = delete;
+  PageDevice& operator=(const PageDevice&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+  uint64_t page_count() const { return page_count_; }
+
+  // Reads `n` physically adjacent pages starting at `first` into `out`
+  // (n * page_size bytes). Charged as one access: at most one seek.
+  Status ReadPages(PageId first, uint32_t n, uint8_t* out);
+
+  // Writes `n` physically adjacent pages starting at `first`.
+  Status WritePages(PageId first, uint32_t n, const uint8_t* data);
+
+  // Extends the volume to `new_page_count` pages of zeroes.
+  virtual Status Grow(uint64_t new_page_count) = 0;
+
+  // Durably flushes buffered writes (no-op for the memory backend).
+  virtual Status Sync() { return Status::OK(); }
+
+  IoStats stats() const {
+    LatchGuard g(stats_latch_);
+    return stats_;
+  }
+  void ResetStats() {
+    LatchGuard g(stats_latch_);
+    stats_ = IoStats();
+  }
+
+  // Forgets the head position so the next access is charged a seek;
+  // benches call this to measure cold costs.
+  void ForgetHeadPosition() {
+    LatchGuard g(stats_latch_);
+    head_pos_ = kInvalidPage;
+  }
+
+ protected:
+  virtual Status DoRead(PageId first, uint32_t n, uint8_t* out) = 0;
+  virtual Status DoWrite(PageId first, uint32_t n, const uint8_t* data) = 0;
+
+  uint32_t page_size_;
+  uint64_t page_count_;
+
+ private:
+  Status CheckRange(PageId first, uint32_t n) const;
+
+  mutable Latch stats_latch_;
+  IoStats stats_;
+  PageId head_pos_ = kInvalidPage;  // page the head would read next
+};
+
+// Volatile vector-backed device for tests and simulation benches.
+class MemPageDevice final : public PageDevice {
+ public:
+  MemPageDevice(uint32_t page_size, uint64_t page_count);
+
+  Status Grow(uint64_t new_page_count) override;
+
+  // Testing hook: direct access to raw page bytes without I/O accounting.
+  uint8_t* raw(PageId id) { return &mem_[id * page_size_]; }
+
+ protected:
+  Status DoRead(PageId first, uint32_t n, uint8_t* out) override;
+  Status DoWrite(PageId first, uint32_t n, const uint8_t* data) override;
+
+ private:
+  mutable SharedLatch mem_latch_;  // Grow is exclusive; transfers shared
+  std::vector<uint8_t> mem_;
+};
+
+// POSIX file-backed device; the volume is a flat file of pages.
+class FilePageDevice final : public PageDevice {
+ public:
+  ~FilePageDevice() override;
+
+  // Creates a new volume file (truncating any existing one).
+  static StatusOr<std::unique_ptr<FilePageDevice>> Create(
+      const std::string& path, uint32_t page_size, uint64_t page_count);
+
+  // Opens an existing volume file; page_size must match how it was created
+  // (the superblock layer above verifies this).
+  static StatusOr<std::unique_ptr<FilePageDevice>> Open(
+      const std::string& path, uint32_t page_size);
+
+  Status Grow(uint64_t new_page_count) override;
+  Status Sync() override;
+
+ protected:
+  Status DoRead(PageId first, uint32_t n, uint8_t* out) override;
+  Status DoWrite(PageId first, uint32_t n, const uint8_t* data) override;
+
+ private:
+  FilePageDevice(int fd, uint32_t page_size, uint64_t page_count)
+      : PageDevice(page_size, page_count), fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace eos
+
+#endif  // EOS_IO_PAGE_DEVICE_H_

@@ -1,0 +1,174 @@
+#include "io/pager.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace eos {
+
+PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
+  if (this != &o) {
+    Reset();
+    pager_ = o.pager_;
+    frame_ = o.frame_;
+    o.pager_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Reset(); }
+
+void PageHandle::Reset() {
+  if (pager_ != nullptr) {
+    pager_->Unpin(frame_);
+    pager_ = nullptr;
+  }
+}
+
+PageId PageHandle::id() const { return pager_->frames_[frame_].id; }
+
+uint8_t* PageHandle::data() { return pager_->frames_[frame_].data.data(); }
+
+const uint8_t* PageHandle::data() const {
+  return pager_->frames_[frame_].data.data();
+}
+
+void PageHandle::MarkDirty() { pager_->MarkFrameDirty(frame_); }
+
+Pager::Pager(PageDevice* device, size_t capacity)
+    : device_(device), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.resize(capacity_);
+  for (auto& f : frames_) f.data.resize(device_->page_size());
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) free_frames_.push_back(capacity_ - 1 - i);
+}
+
+Pager::~Pager() {
+  // Callers are expected to FlushAll(); flush here as a safety net but
+  // ignore errors (destructors cannot report them).
+  (void)FlushAll();
+}
+
+StatusOr<size_t> Pager::GetFrame(PageId id, bool read, bool* was_hit) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    *was_hit = true;
+    return it->second;
+  }
+  *was_hit = false;
+  size_t idx;
+  if (!free_frames_.empty()) {
+    idx = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    EOS_ASSIGN_OR_RETURN(idx, FindVictim());
+    EOS_RETURN_IF_ERROR(FlushFrame(frames_[idx]));
+    map_.erase(frames_[idx].id);
+  }
+  Frame& f = frames_[idx];
+  f.id = id;
+  f.pins = 0;
+  f.dirty = false;
+  if (read) {
+    EOS_RETURN_IF_ERROR(device_->ReadPages(id, 1, f.data.data()));
+  } else {
+    std::memset(f.data.data(), 0, f.data.size());
+  }
+  map_[id] = idx;
+  return idx;
+}
+
+StatusOr<size_t> Pager::FindVictim() {
+  size_t best = capacity_;
+  uint64_t best_tick = ~uint64_t{0};
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.id != kInvalidPage && f.pins == 0 && f.tick < best_tick) {
+      best = i;
+      best_tick = f.tick;
+    }
+  }
+  if (best == capacity_) {
+    return Status::Busy("pager: all frames pinned");
+  }
+  return best;
+}
+
+Status Pager::FlushFrame(Frame& f) {
+  if (f.dirty) {
+    EOS_RETURN_IF_ERROR(device_->WritePages(f.id, 1, f.data.data()));
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+void Pager::MarkFrameDirty(size_t frame) {
+  LatchGuard g(latch_);
+  frames_[frame].dirty = true;
+}
+
+StatusOr<PageHandle> Pager::Fetch(PageId id) {
+  LatchGuard g(latch_);
+  bool hit = false;
+  EOS_ASSIGN_OR_RETURN(size_t idx, GetFrame(id, /*read=*/true, &hit));
+  hit ? ++hits_ : ++misses_;
+  Frame& f = frames_[idx];
+  ++f.pins;
+  f.tick = ++tick_;
+  return PageHandle(this, idx);
+}
+
+StatusOr<PageHandle> Pager::Zeroed(PageId id) {
+  LatchGuard g(latch_);
+  bool hit = false;
+  EOS_ASSIGN_OR_RETURN(size_t idx, GetFrame(id, /*read=*/false, &hit));
+  Frame& f = frames_[idx];
+  if (hit) std::memset(f.data.data(), 0, f.data.size());
+  f.dirty = true;
+  ++f.pins;
+  f.tick = ++tick_;
+  return PageHandle(this, idx);
+}
+
+void Pager::Unpin(size_t frame) {
+  LatchGuard g(latch_);
+  Frame& f = frames_[frame];
+  assert(f.pins > 0);
+  --f.pins;
+}
+
+Status Pager::FlushAll() {
+  LatchGuard g(latch_);
+  for (auto& f : frames_) {
+    if (f.id != kInvalidPage) EOS_RETURN_IF_ERROR(FlushFrame(f));
+  }
+  return Status::OK();
+}
+
+Status Pager::EvictAll() {
+  LatchGuard g(latch_);
+  for (auto& f : frames_) {
+    if (f.id != kInvalidPage && f.pins == 0) {
+      EOS_RETURN_IF_ERROR(FlushFrame(f));
+      map_.erase(f.id);
+      // Reuse the slot via the free list.
+      size_t idx = static_cast<size_t>(&f - frames_.data());
+      f.id = kInvalidPage;
+      free_frames_.push_back(idx);
+    }
+  }
+  return Status::OK();
+}
+
+void Pager::Invalidate(PageId id) {
+  LatchGuard g(latch_);
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  Frame& f = frames_[it->second];
+  assert(f.pins == 0);
+  f.id = kInvalidPage;
+  f.dirty = false;
+  free_frames_.push_back(it->second);
+  map_.erase(it);
+}
+
+}  // namespace eos

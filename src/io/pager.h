@@ -1,0 +1,120 @@
+#ifndef EOS_IO_PAGER_H_
+#define EOS_IO_PAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/latch.h"
+#include "common/status.h"
+#include "io/page_device.h"
+
+namespace eos {
+
+class Pager;
+
+// RAII pin on a cached page. While a handle is alive the frame cannot be
+// evicted; destruction unpins. Move-only.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept;
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pager_ != nullptr; }
+  PageId id() const;
+  uint8_t* data();
+  const uint8_t* data() const;
+
+  // Marks the page dirty; it is written back on eviction or FlushAll().
+  void MarkDirty();
+
+  // Explicitly unpins early.
+  void Reset();
+
+ private:
+  friend class Pager;
+  PageHandle(Pager* pager, size_t frame) : pager_(pager), frame_(frame) {}
+
+  Pager* pager_ = nullptr;
+  size_t frame_ = 0;
+};
+
+// Small LRU buffer cache, used for pages that are touched repeatedly and
+// randomly: buddy space directories and large-object index nodes. Leaf
+// segment data deliberately bypasses the pager — the paper's design streams
+// multi-page segments directly, and caching them would hide the seek
+// behaviour the benches measure.
+//
+// Thread-safe: frame bookkeeping is latched; a pinned frame's buffer is
+// stable (the frame table never reallocates), so handle data access needs
+// no latch. Concurrent use of the same page's buffer is the caller's
+// concern (pin the page through one owner at a time).
+class Pager {
+ public:
+  // `capacity` frames; device must outlive the pager.
+  Pager(PageDevice* device, size_t capacity);
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  // Pins the page, reading it from the device on a miss.
+  StatusOr<PageHandle> Fetch(PageId id);
+
+  // Pins a zero-filled frame for `id` without reading the device (for pages
+  // being initialized); the frame starts dirty.
+  StatusOr<PageHandle> Zeroed(PageId id);
+
+  // Writes back every dirty frame (pinned or not).
+  Status FlushAll();
+
+  // Flushes and evicts every unpinned frame; benches call this to make the
+  // next operation run cold.
+  Status EvictAll();
+
+  // Discards any cached copy of `id` without writing it back (the page was
+  // freed). Must not be pinned.
+  void Invalidate(PageId id);
+
+  PageDevice* device() { return device_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t cached_pages() const { return map_.size(); }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPage;
+    Bytes data;
+    uint32_t pins = 0;
+    bool dirty = false;
+    uint64_t tick = 0;
+  };
+
+  StatusOr<size_t> GetFrame(PageId id, bool read, bool* was_hit);
+  StatusOr<size_t> FindVictim();
+  Status FlushFrame(Frame& f);
+  void Unpin(size_t frame);
+  void MarkFrameDirty(size_t frame);
+
+  mutable Latch latch_;
+  PageDevice* device_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> map_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace eos
+
+#endif  // EOS_IO_PAGER_H_

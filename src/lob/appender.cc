@@ -1,0 +1,182 @@
+// Multi-append sessions (Section 4.1): doubling growth for objects of
+// unknown eventual size, exact allocation under a size hint, and a final
+// trim of the last segment with one-page precision.
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/math.h"
+#include "lob/lob_manager.h"
+#include "txn/log_manager.h"
+
+namespace eos {
+
+LobAppender::LobAppender(LobManager* mgr, LobDescriptor* d,
+                         uint64_t size_hint)
+    : mgr_(mgr), d_(d), size_hint_(size_hint) {
+  page_buf_.reserve(mgr->page_size());
+}
+
+LobAppender::~LobAppender() {
+  if (!finished_) (void)Finish();
+}
+
+Status LobAppender::OpenSegment(uint64_t want_bytes) {
+  assert(!cur_.valid());
+  const uint32_t ps = mgr_->page_size();
+  const uint32_t max_pages = mgr_->max_segment_pages();
+  uint32_t pages;
+  uint64_t total_now = d_->size() + page_buf_.size();
+  if (size_hint_ > total_now) {
+    // Size known in advance: allocate just enough for the whole remainder
+    // (a sequence of maximal segments if it exceeds the maximum size).
+    uint64_t remaining = size_hint_ - total_now;
+    pages = static_cast<uint32_t>(
+        std::min<uint64_t>(CeilDiv(remaining, ps), max_pages));
+  } else {
+    // Unknown size: successive segments double until the maximum.
+    pages = next_pages_;
+    next_pages_ = std::min(next_pages_ * 2, max_pages);
+  }
+  uint64_t min_pages = CeilDiv(want_bytes, ps);
+  if (pages < min_pages && min_pages <= max_pages) {
+    pages = static_cast<uint32_t>(min_pages);
+  }
+  EOS_ASSIGN_OR_RETURN(cur_, mgr_->allocator()->Allocate(pages));
+  cur_bytes_ = 0;
+  cur_pages_used_ = 0;
+  return Status::OK();
+}
+
+Status LobAppender::FlushPageBuffer() {
+  const uint32_t ps = mgr_->page_size();
+  if (page_buf_.empty()) return Status::OK();
+  Bytes padded(ps, 0);
+  std::memcpy(padded.data(), page_buf_.data(), page_buf_.size());
+  EOS_RETURN_IF_ERROR(mgr_->device()->WritePages(
+      cur_.first + cur_pages_used_, 1, padded.data()));
+  if (page_buf_.size() == ps) {
+    ++cur_pages_used_;
+    page_buf_.clear();
+  }
+  return Status::OK();
+}
+
+Status LobAppender::CloseSegment() {
+  if (!cur_.valid()) return Status::OK();
+  EOS_RETURN_IF_ERROR(FlushPageBuffer());
+  uint64_t bytes = uint64_t{cur_pages_used_} * mgr_->page_size() +
+                   page_buf_.size();
+  page_buf_.clear();
+  uint32_t used_pages = mgr_->LeafPages(bytes);
+  // Trim: give unused pages at the right end back to the free space.
+  if (used_pages < cur_.pages) {
+    EOS_RETURN_IF_ERROR(mgr_->allocator()->Free(
+        Extent{cur_.first + used_pages, cur_.pages - used_pages}));
+  }
+  Extent seg = cur_;
+  cur_ = Extent{};
+  if (bytes == 0) {
+    return Status::OK();
+  }
+  // Attach the finished segment as the new rightmost leaf.
+  LobEntry entry{bytes, seg.first};
+  if (d_->empty()) {
+    d_->root.level = 0;
+    d_->root.entries.push_back(entry);
+    return mgr_->FitRoot(d_);
+  }
+  std::vector<LobManager::PathLevel> path;
+  LobManager::LeafRef leaf;
+  uint64_t local = 0;
+  EOS_RETURN_IF_ERROR(
+      mgr_->DescendToLeaf(*d_, d_->size() - 1, &path, &leaf, &local));
+  std::vector<LobEntry> repl = {LobEntry{leaf.bytes, leaf.extent.first},
+                                entry};
+  return mgr_->ReplaceInPath(d_, &path, std::move(repl));
+}
+
+Status LobAppender::Append(ByteView data) {
+  if (finished_) {
+    return Status::InvalidArgument("appender already finished");
+  }
+  if (data.empty()) return Status::OK();
+  const uint32_t ps = mgr_->page_size();
+  if (appended_ == 0 && !d_->empty() && !cur_.valid() && page_buf_.empty()) {
+    // First append to an existing object: absorb the partial tail page so
+    // the new segment continues it without overwriting any leaf page, and
+    // continue the doubling pattern from the last leaf's size.
+    std::vector<LobManager::PathLevel> path;
+    LobManager::LeafRef leaf;
+    uint64_t local = 0;
+    EOS_RETURN_IF_ERROR(
+        mgr_->DescendToLeaf(*d_, d_->size() - 1, &path, &leaf, &local));
+    next_pages_ = static_cast<uint32_t>(std::min<uint64_t>(
+        uint64_t{leaf.extent.pages} * 2, mgr_->max_segment_pages()));
+    if (next_pages_ == 0) next_pages_ = 1;
+    uint64_t lm = leaf.bytes % ps;
+    if (lm != 0) {
+      page_buf_.resize(lm);
+      EOS_RETURN_IF_ERROR(mgr_->ReadLeafBytes(leaf, leaf.bytes - lm,
+                                              leaf.bytes, page_buf_.data()));
+      EOS_RETURN_IF_ERROR(mgr_->allocator()->Free(
+          Extent{leaf.extent.first + leaf.extent.pages - 1, 1}));
+      std::vector<LobEntry> repl;
+      if (leaf.bytes > lm) {
+        repl.push_back(LobEntry{leaf.bytes - lm, leaf.extent.first});
+      }
+      EOS_RETURN_IF_ERROR(mgr_->ReplaceInPath(d_, &path, std::move(repl)));
+      if (!d_->empty()) {
+        EOS_RETURN_IF_ERROR(mgr_->RepairUnderflow(d_, d_->size() - 1));
+      }
+    }
+  }
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (!cur_.valid()) {
+      EOS_RETURN_IF_ERROR(
+          OpenSegment(page_buf_.size() + (data.size() - pos)));
+    }
+    uint64_t seg_space = uint64_t{cur_.pages} * ps -
+                         (uint64_t{cur_pages_used_} * ps + page_buf_.size());
+    if (seg_space == 0) {
+      EOS_RETURN_IF_ERROR(CloseSegment());
+      continue;
+    }
+    if (page_buf_.empty() && data.size() - pos >= ps && seg_space >= ps) {
+      // Bulk path: write whole pages straight through.
+      uint32_t whole = static_cast<uint32_t>(
+          std::min<uint64_t>((data.size() - pos) / ps, seg_space / ps));
+      EOS_RETURN_IF_ERROR(mgr_->device()->WritePages(
+          cur_.first + cur_pages_used_, whole, data.data() + pos));
+      cur_pages_used_ += whole;
+      pos += uint64_t{whole} * ps;
+      continue;
+    }
+    size_t take = static_cast<size_t>(std::min<uint64_t>(
+        std::min<uint64_t>(ps - page_buf_.size(), data.size() - pos),
+        seg_space));
+    page_buf_.insert(page_buf_.end(), data.data() + pos,
+                     data.data() + pos + take);
+    pos += take;
+    if (page_buf_.size() == ps) {
+      EOS_RETURN_IF_ERROR(FlushPageBuffer());
+    }
+  }
+  appended_ += data.size();
+  return Status::OK();
+}
+
+Status LobAppender::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (!cur_.valid() && !page_buf_.empty()) {
+    // Only an absorbed tail remains; give it its own (1-page) segment.
+    EOS_RETURN_IF_ERROR(OpenSegment(page_buf_.size()));
+  }
+  EOS_RETURN_IF_ERROR(CloseSegment());
+  return mgr_->FitRoot(d_);
+}
+
+}  // namespace eos

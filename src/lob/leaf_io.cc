@@ -1,0 +1,54 @@
+#include "lob/leaf_io.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace eos {
+namespace lob_internal {
+
+Status ReadLeafRuns(PageDevice* device, uint32_t page_size, PageId leaf_first,
+                    const std::vector<std::pair<uint64_t, uint64_t>>& ranges,
+                    std::vector<Bytes>* out) {
+  out->assign(ranges.size(), Bytes());
+
+  struct Run {
+    uint64_t p0;
+    uint64_t p1;  // inclusive
+    Bytes data;
+  };
+  std::vector<Run> runs;
+  for (const auto& [lo, hi] : ranges) {
+    if (lo == hi) continue;
+    assert(lo < hi);
+    uint64_t p0 = lo / page_size;
+    uint64_t p1 = (hi - 1) / page_size;
+    if (!runs.empty() && p0 <= runs.back().p1 + 1) {
+      runs.back().p1 = std::max(runs.back().p1, p1);
+    } else {
+      runs.push_back(Run{p0, p1, {}});
+    }
+  }
+  for (Run& r : runs) {
+    uint32_t n = static_cast<uint32_t>(r.p1 - r.p0 + 1);
+    r.data.resize(size_t{n} * page_size);
+    EOS_RETURN_IF_ERROR(
+        device->ReadPages(leaf_first + r.p0, n, r.data.data()));
+  }
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    auto [lo, hi] = ranges[i];
+    if (lo == hi) continue;
+    uint64_t p0 = lo / page_size;
+    for (const Run& r : runs) {
+      if (p0 >= r.p0 && p0 <= r.p1) {
+        (*out)[i].assign(r.data.begin() + (lo - r.p0 * page_size),
+                         r.data.begin() + (hi - r.p0 * page_size));
+        break;
+      }
+    }
+    assert((*out)[i].size() == hi - lo);
+  }
+  return Status::OK();
+}
+
+}  // namespace lob_internal
+}  // namespace eos

@@ -1,0 +1,27 @@
+#ifndef EOS_LOB_LEAF_IO_H_
+#define EOS_LOB_LEAF_IO_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "io/page_device.h"
+
+namespace eos {
+namespace lob_internal {
+
+// Reads several byte ranges from one leaf segment, merging ranges whose
+// page runs touch or overlap into a single multi-page access so the I/O
+// cost matches the paper's "read one or two (physically adjacent) pages"
+// accounting. `ranges` must be sorted by offset and non-overlapping; empty
+// ranges are allowed and yield empty buffers.
+Status ReadLeafRuns(PageDevice* device, uint32_t page_size, PageId leaf_first,
+                    const std::vector<std::pair<uint64_t, uint64_t>>& ranges,
+                    std::vector<Bytes>* out);
+
+}  // namespace lob_internal
+}  // namespace eos
+
+#endif  // EOS_LOB_LEAF_IO_H_

@@ -1,0 +1,33 @@
+#ifndef EOS_LOB_LOB_CONFIG_H_
+#define EOS_LOB_LOB_CONFIG_H_
+
+#include <cstdint>
+
+namespace eos {
+
+// Per-object (or per-file) tuning knobs of the large object manager.
+struct LobConfig {
+  // Segment size threshold T (Section 4.4): it must never be the case that
+  // bytes are kept in two logically adjacent segments, one of which has
+  // fewer than T pages, if they could be stored in one. T = 1 disables
+  // page reshuffling (the basic algorithms of Section 4.3).
+  uint32_t threshold_pages = 8;
+
+  // [Bili91a] extension: scale the effective threshold with the fan-out of
+  // the parent index node of the leaf being updated, and compact runs of
+  // adjacent unsafe segments when the parent is about to split.
+  bool adaptive_threshold = false;
+
+  // Maximum size of a leaf segment in pages; 0 means the buddy system's
+  // maximum (2*page_size pages). Appends use doubling growth up to this.
+  uint32_t max_segment_pages = 0;
+
+  // Maximum serialized size of the object root in bytes; the root placement
+  // is left to the client (e.g. inside a small record), so it is usually
+  // much smaller than a page. 0 means one page.
+  uint32_t max_root_bytes = 0;
+};
+
+}  // namespace eos
+
+#endif  // EOS_LOB_LOB_CONFIG_H_

@@ -1,0 +1,277 @@
+#ifndef EOS_LOB_LOB_MANAGER_H_
+#define EOS_LOB_LOB_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buddy/segment_allocator.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "io/pager.h"
+#include "lob/descriptor.h"
+#include "lob/lob_config.h"
+#include "lob/node.h"
+
+namespace eos {
+
+class LogManager;
+
+// Aggregate shape/utilization statistics of one large object.
+struct LobStats {
+  uint64_t size_bytes = 0;
+  uint64_t num_segments = 0;
+  uint64_t leaf_pages = 0;
+  uint64_t index_pages = 0;  // internal nodes, excluding the root
+  uint32_t depth = 0;        // 0: root entries point directly at segments
+  uint64_t min_segment_pages = 0;
+  uint64_t max_segment_pages = 0;
+  double avg_segment_pages = 0.0;
+  // Segments smaller than the threshold T (the clustering-decay metric of
+  // Section 4.4).
+  uint64_t unsafe_segments = 0;
+  // Nodes (excluding root) below half-full; normal splits never produce
+  // them, but boundary cases of range deletion may (see DESIGN.md).
+  uint64_t underfull_nodes = 0;
+
+  // size / (leaf_pages * page_size): the paper's storage utilization.
+  double leaf_utilization = 0.0;
+  // size / ((leaf_pages + index_pages) * page_size): utilization including
+  // index overhead.
+  double total_utilization = 0.0;
+};
+
+// The EOS large object manager (Section 4).
+//
+// A large object is an uninterpreted byte string stored in a sequence of
+// variable-size segments of physically contiguous pages, indexed by a
+// positional B-tree whose root (the LobDescriptor) is placed by the client.
+// Operations: append, read, replace, insert, delete — each touching I/O
+// proportional to the bytes involved, not the object size.
+//
+// Leaf data deliberately bypasses the page cache and is transferred with
+// one multi-page access per physically contiguous run, so the device's
+// IoStats reflect the paper's seek/transfer cost model.
+//
+// Not thread-safe per object: callers serialize operations on one
+// descriptor (lock the root, Section 4.5).
+class LobManager {
+ public:
+  LobManager(Pager* pager, SegmentAllocator* allocator,
+             const LobConfig& config);
+
+  // ----- lifecycle ---------------------------------------------------------
+
+  // A fresh zero-length object. No storage is allocated until data arrives.
+  LobDescriptor CreateEmpty() const { return LobDescriptor{}; }
+
+  // Convenience: creates an object holding `data`, sized exactly (the
+  // "size known in advance" path of Section 4.1).
+  StatusOr<LobDescriptor> CreateFrom(ByteView data);
+
+  // Frees every segment and index page of the object; descriptor becomes
+  // a valid empty object.
+  Status Destroy(LobDescriptor* d);
+
+  // ----- reads -------------------------------------------------------------
+
+  // Reads min(n, size - offset) bytes starting at `offset` into *out
+  // (replacing its contents). offset > size is OutOfRange.
+  Status Read(const LobDescriptor& d, uint64_t offset, uint64_t n,
+              Bytes* out);
+
+  StatusOr<Bytes> ReadAll(const LobDescriptor& d);
+
+  // ----- updates -----------------------------------------------------------
+
+  // Overwrites data.size() bytes in place starting at `offset`; the range
+  // must lie within the object (replace never grows it, Section 4.2).
+  Status Replace(LobDescriptor* d, uint64_t offset, ByteView data);
+
+  // Inserts `data` so that its first byte lands at byte `offset`
+  // (0 <= offset <= size; offset == size appends). Section 4.3.1 / 4.4.
+  Status Insert(LobDescriptor* d, uint64_t offset, ByteView data);
+
+  // Deletes n bytes starting at `offset` (clamped to the object end).
+  // Section 4.3.2 / 4.4.
+  Status Delete(LobDescriptor* d, uint64_t offset, uint64_t n);
+
+  // Appends at the end (one-shot; for multi-append building use
+  // LobAppender, which applies the doubling growth scheme + final trim).
+  Status Append(LobDescriptor* d, ByteView data);
+
+  // pwrite-style convenience: overwrites in place within the current size
+  // and appends whatever extends past the end (offset <= size). Composed
+  // from Replace and Append, so the same logging/shadowing rules apply to
+  // each part.
+  Status Write(LobDescriptor* d, uint64_t offset, ByteView data);
+
+  // Deletes every byte from new_size to the end. Touches no leaf pages
+  // (Section 4.3.2's special case).
+  Status Truncate(LobDescriptor* d, uint64_t new_size);
+
+  // Rewrites the object into its optimal layout — a minimal sequence of
+  // maximal segments, utilization back to ~100% — as if it had been
+  // created with its size known in advance. Useful once an often-edited
+  // object becomes read-mostly ("for more static objects the larger the
+  // segment size the better", Section 4.4). Content is unchanged; the
+  // operation is not logged.
+  Status Reorganize(LobDescriptor* d);
+
+  // ----- introspection -----------------------------------------------------
+
+  StatusOr<LobStats> Stats(const LobDescriptor& d);
+
+  // Structural validation: counts consistent, levels monotone, entries in
+  // [1, capacity] ([2, cap] for internal nodes), segment page counts equal
+  // ceil(bytes/page_size) by construction of the traversal.
+  Status CheckInvariants(const LobDescriptor& d);
+
+  // -------------------------------------------------------------------------
+
+  uint32_t page_size() const { return store_.page_size(); }
+  uint32_t max_segment_pages() const { return max_segment_pages_; }
+  uint32_t root_capacity() const { return root_capacity_; }
+  const LobConfig& config() const { return config_; }
+  NodeStore* node_store() { return &store_; }
+  SegmentAllocator* allocator() { return store_.allocator(); }
+  PageDevice* device() { return store_.pager()->device(); }
+
+  // Section 4.5 hooks: logical logging and index-page shadowing.
+  void set_log_manager(LogManager* log) { log_ = log; }
+  LogManager* log_manager() const { return log_; }
+  void set_shadowing(bool on) { store_.set_shadowing(on); }
+
+ private:
+  friend class LobAppender;
+  friend class LeafWalker;
+
+  struct PathLevel {
+    PageId page = kInvalidPage;  // kInvalidPage for the root level
+    LobNode node;
+    int child_idx = -1;
+  };
+
+  // A leaf segment as seen from its parent entry.
+  struct LeafRef {
+    Extent extent;
+    uint64_t bytes = 0;
+  };
+
+  uint32_t LeafPages(uint64_t bytes) const;
+
+  // Descends to the leaf containing byte `offset` (offset < size), filling
+  // the path (root first) and the leaf-local offset.
+  Status DescendToLeaf(const LobDescriptor& d, uint64_t offset,
+                       std::vector<PathLevel>* path, LeafRef* leaf,
+                       uint64_t* local) const;
+
+  // Replaces the child entry recorded in path.back() with `repl`, then
+  // writes the spine back bottom-up, splitting nodes as needed and growing
+  // the root level on root overflow.
+  Status ReplaceInPath(LobDescriptor* d, std::vector<PathLevel>* path,
+                       std::vector<LobEntry> repl);
+
+  // Splits an oversized entry list into chunks and writes each as a node,
+  // reusing `orig_page` for the first chunk when valid. Returns the parent
+  // entries describing the written nodes.
+  StatusOr<std::vector<LobEntry>> WriteNodeMaybeSplit(PageId orig_page,
+                                                      LobNode&& node);
+
+  // Pushes root entries down into fresh nodes until they fit root_capacity.
+  Status FitRoot(LobDescriptor* d);
+
+  // Collapses single-child roots (Section 4.3.2 step 6).
+  Status CollapseRoot(LobDescriptor* d);
+
+  // Allocates segments for `data` (sequence of maximal segments, last one
+  // exactly sized) and writes it; returns the leaf entries.
+  StatusOr<std::vector<LobEntry>> WriteSegments(ByteView data);
+
+  // Direct leaf I/O, bypassing the pager.
+  Status ReadLeafBytes(const LeafRef& leaf, uint64_t lo, uint64_t hi,
+                       uint8_t* out);
+  Status WriteLeafPages(PageId first, ByteView data);
+
+  // Frees the whole subtree under `entry` at `level` (level 0 = leaf).
+  Status FreeSubtree(const LobEntry& entry, uint16_t level);
+
+  // Dissolves underfull (single-entry) nodes left on the path to `offset`
+  // when a splice could not find siblings at its own level; iterating
+  // top-down gives lower levels new siblings, so chains unravel within
+  // depth rounds. See delete.cc.
+  Status RepairUnderflow(LobDescriptor* d, uint64_t offset);
+
+  // Delete recursion over an in-memory node; see delete.cc.
+  struct LeafSubst;
+  Status FreeSubtreeForDelete(const LobEntry& entry, uint16_t level,
+                              const LeafSubst& subst);
+  StatusOr<LobNode> DeleteInNode(LobNode node, uint64_t lo, uint64_t hi,
+                                 const LeafSubst& subst);
+  Status FixUnderfullChild(LobNode* parent, size_t idx);
+
+  // After two sibling nodes' entry lists are joined inside `node` at
+  // position `junction`, the adjacent child nodes may be single-entry
+  // chains inherited from a side that had no siblings of its own; now that
+  // they do, merge/rotate them (recursively down the chain).
+  Status RepairJunction(LobNode* node, size_t junction);
+
+  // Effective threshold for an update on `d` whose leaf-parent currently
+  // holds `parent_entries` entries: the object's hint (or the manager
+  // default), scaled by the [Bili91a] adaptive policy when enabled.
+  uint32_t EffectiveThreshold(const LobDescriptor& d,
+                              size_t parent_entries) const;
+
+  // [Bili91a]: when the leaf-parent is about to split, coalesce runs of
+  // adjacent unsafe segments into single larger segments.
+  Status CompactUnsafeRuns(LobNode* leaf_parent);
+
+  Status WalkStats(const LobEntry& entry, uint16_t level, LobStats* stats);
+  Status WalkCheck(const LobEntry& entry, uint16_t level, bool is_root_child);
+
+  LobConfig config_;
+  NodeStore store_;
+  uint32_t max_segment_pages_;
+  uint32_t root_capacity_;
+  LogManager* log_ = nullptr;
+};
+
+// Multi-append session (Section 4.1): when the eventual size is unknown,
+// successively allocated segments double in size until the maximum; a final
+// Finish() trims the last segment's unused pages back to the buddy system
+// with one-page precision. With a size hint, segments are allocated exactly.
+//
+//   LobAppender app(&mgr, &desc);          // or (&mgr, &desc, total_hint)
+//   app.Append(chunk1); app.Append(chunk2);
+//   app.Finish();
+class LobAppender {
+ public:
+  LobAppender(LobManager* mgr, LobDescriptor* d, uint64_t size_hint = 0);
+  ~LobAppender();  // Finish() if the caller forgot (errors are dropped)
+
+  LobAppender(const LobAppender&) = delete;
+  LobAppender& operator=(const LobAppender&) = delete;
+
+  Status Append(ByteView data);
+  Status Finish();
+
+ private:
+  Status OpenSegment(uint64_t want_bytes);
+  Status CloseSegment();  // trim + attach entry to the tree
+  Status FlushPageBuffer();
+
+  LobManager* mgr_;
+  LobDescriptor* d_;
+  uint64_t size_hint_;
+  uint64_t appended_ = 0;
+  bool finished_ = false;
+
+  Extent cur_;                 // open segment (invalid if none)
+  uint64_t cur_bytes_ = 0;     // bytes logically in the open segment
+  uint32_t cur_pages_used_ = 0;  // full pages already written
+  uint32_t next_pages_ = 1;    // doubling growth state
+  Bytes page_buf_;             // partial trailing page
+};
+
+}  // namespace eos
+
+#endif  // EOS_LOB_LOB_MANAGER_H_

@@ -1,0 +1,116 @@
+#ifndef EOS_LOB_NODE_H_
+#define EOS_LOB_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buddy/segment_allocator.h"
+#include "common/status.h"
+#include "io/pager.h"
+
+namespace eos {
+
+// One (count, page) pair of a positional-tree node. On disk, counts are
+// cumulative within the node (the paper's c[i]); in memory we keep each
+// child's *total* byte count, which makes splicing entries trivial.
+struct LobEntry {
+  uint64_t count = 0;  // bytes stored in the child subtree / leaf segment
+  PageId page = kInvalidPage;
+};
+
+inline bool operator==(const LobEntry& a, const LobEntry& b) {
+  return a.count == b.count && a.page == b.page;
+}
+
+// An in-memory positional-tree node.
+//
+// level == 0: entries point to leaf segments. A leaf segment holding C
+// bytes occupies exactly ceil(C / page_size) physically contiguous pages
+// (segments have no holes; only the last page may be partial), so no
+// separate size field is needed — precisely the paper's representation.
+//
+// level >= 1: entries point to index nodes of level - 1.
+struct LobNode {
+  uint16_t level = 0;
+  std::vector<LobEntry> entries;
+
+  uint64_t Total() const {
+    uint64_t t = 0;
+    for (const LobEntry& e : entries) t += e.count;
+    return t;
+  }
+
+  // Smallest index i with cumulative_count(i) > offset, i.e. the child
+  // holding byte `offset`; also rebases *offset to be child-relative.
+  // offset must be < Total().
+  int FindChild(uint64_t* offset) const;
+};
+
+// On-page node image:
+//   [magic u16][nentries u16][level u16][reserved u16]
+//   [cumulative_count u64][page u64] x nentries
+class NodeFormat {
+ public:
+  static constexpr uint16_t kMagic = 0x10B1;
+  static constexpr uint32_t kHeaderBytes = 8;
+  static constexpr uint32_t kEntryBytes = 16;
+
+  // Entries that fit in one page of `page_size` bytes.
+  static uint32_t Capacity(uint32_t page_size) {
+    return (page_size - kHeaderBytes) / kEntryBytes;
+  }
+  // Minimum entries of a non-root node ("half full to completely full").
+  static uint32_t MinEntries(uint32_t page_size) {
+    return Capacity(page_size) / 2;
+  }
+
+  static void Serialize(const LobNode& node, uint8_t* page,
+                        uint32_t page_size);
+  static Status Deserialize(const uint8_t* page, uint32_t page_size,
+                            LobNode* node);
+};
+
+// Loads, writes, allocates and frees index-node pages. Node pages are
+// 1-page segments from the buddy system and go through the pager (they are
+// hot and revisited); leaf segment data never does.
+//
+// When `shadow` is on, WriteExisting allocates a fresh page and returns its
+// id instead of overwriting — the shadow-paging mode of Section 4.5 for
+// index pages (leaf pages are never overwritten by insert/delete/append by
+// construction).
+class NodeStore {
+ public:
+  NodeStore(Pager* pager, SegmentAllocator* allocator, uint32_t page_size)
+      : pager_(pager), allocator_(allocator), page_size_(page_size) {}
+
+  uint32_t capacity() const { return NodeFormat::Capacity(page_size_); }
+  uint32_t min_entries() const { return NodeFormat::MinEntries(page_size_); }
+  uint32_t page_size() const { return page_size_; }
+
+  StatusOr<LobNode> Load(PageId page);
+
+  // Writes `node` to `page`; if shadowing is enabled, writes to a newly
+  // allocated page, frees the old one, and stores the new id in *page.
+  Status Write(PageId* page, const LobNode& node);
+
+  // Writes `node` to a freshly allocated page.
+  StatusOr<PageId> WriteNew(const LobNode& node);
+
+  Status FreePage(PageId page);
+
+  void set_shadowing(bool on) { shadowing_ = on; }
+  bool shadowing() const { return shadowing_; }
+
+  Pager* pager() { return pager_; }
+  SegmentAllocator* allocator() { return allocator_; }
+
+ private:
+  Pager* pager_;
+  SegmentAllocator* allocator_;
+  uint32_t page_size_;
+  bool shadowing_ = false;
+};
+
+}  // namespace eos
+
+#endif  // EOS_LOB_NODE_H_

@@ -1,0 +1,47 @@
+#ifndef EOS_LOB_RESHUFFLE_H_
+#define EOS_LOB_RESHUFFLE_H_
+
+#include <cstdint>
+
+namespace eos {
+
+// Inputs to the reshuffle step shared by insert (Section 4.3.1 step 3) and
+// delete (Section 4.3.2 step 3), extended with page reshuffling under the
+// segment size threshold T (Section 4.4).
+//
+// L, N, R are byte counts: L is the surviving prefix segment, N the new
+// segment being materialized, R the surviving suffix segment. The planner
+// decides how many bytes migrate from the *tail* of L to the head of N and
+// from the *head* of R to the tail of N; it never moves bytes out of N.
+struct ReshuffleInput {
+  uint64_t lc = 0;
+  uint64_t nc = 0;
+  uint64_t rc = 0;
+  uint32_t page_size = 0;
+  // Effective threshold T in pages; 1 disables page reshuffling.
+  uint32_t threshold = 1;
+  // Maximum leaf segment size in pages (2^k from the buddy geometry or the
+  // per-object cap, whichever is smaller).
+  uint32_t max_segment_pages = 0;
+};
+
+struct ReshufflePlan {
+  uint64_t from_l = 0;  // bytes moved from the tail of L to the head of N
+  uint64_t from_r = 0;  // bytes moved from the head of R to the tail of N
+  uint64_t lc = 0;      // resulting byte counts
+  uint64_t nc = 0;
+  uint64_t rc = 0;
+};
+
+// Computes the reshuffle plan. Purely arithmetic — no I/O — so the exact
+// case analysis of the paper is unit-testable in isolation. Guarantees:
+//  * from_l + lc == input.lc, from_r + rc == input.rc,
+//    nc == input.nc + from_l + from_r (bytes are conserved);
+//  * nc <= max_segment_pages * page_size;
+//  * surviving L ends on a page boundary whenever whole pages were taken
+//    from it, and surviving R always loses whole pages from its head.
+ReshufflePlan PlanReshuffle(const ReshuffleInput& in);
+
+}  // namespace eos
+
+#endif  // EOS_LOB_RESHUFFLE_H_

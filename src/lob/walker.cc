@@ -1,0 +1,80 @@
+#include "lob/walker.h"
+
+namespace eos {
+
+Status LeafWalker::Seek(uint64_t offset) {
+  stack_.clear();
+  uint64_t local = 0;
+  EOS_RETURN_IF_ERROR(mgr_->DescendToLeaf(d_, offset, &stack_, &leaf_,
+                                          &local));
+  local_ = local;
+  return Status::OK();
+}
+
+StatusOr<bool> LeafWalker::Next() {
+  local_ = 0;
+  // Pop exhausted levels, then advance and descend leftmost.
+  while (!stack_.empty() &&
+         stack_.back().child_idx + 1 >=
+             static_cast<int>(stack_.back().node.entries.size())) {
+    stack_.pop_back();
+  }
+  if (stack_.empty()) return false;
+  ++stack_.back().child_idx;
+  for (;;) {
+    LobManager::PathLevel& top = stack_.back();
+    const LobEntry& e = top.node.entries[top.child_idx];
+    if (top.node.level == 0) {
+      leaf_.extent = Extent{e.page, mgr_->LeafPages(e.count)};
+      leaf_.bytes = e.count;
+      return true;
+    }
+    LobManager::PathLevel next;
+    next.page = e.page;
+    EOS_ASSIGN_OR_RETURN(next.node, mgr_->store_.Load(e.page));
+    next.child_idx = 0;
+    stack_.push_back(std::move(next));
+  }
+}
+
+Status LobReader::Seek(uint64_t offset) {
+  if (offset > d_.size()) {
+    return Status::OutOfRange("seek beyond object size");
+  }
+  pos_ = offset;
+  positioned_ = false;  // lazily re-positioned on the next Read
+  return Status::OK();
+}
+
+StatusOr<uint64_t> LobReader::Read(uint64_t n, uint8_t* out) {
+  if (AtEnd() || n == 0) return uint64_t{0};
+  if (!positioned_) {
+    EOS_RETURN_IF_ERROR(walker_.Seek(pos_));
+    positioned_ = true;
+  }
+  uint64_t want = std::min(n, d_.size() - pos_);
+  uint64_t done = 0;
+  while (done < want) {
+    uint64_t in_leaf = walker_.leaf_bytes() - walker_.local();
+    if (in_leaf == 0) {
+      EOS_ASSIGN_OR_RETURN(bool more, walker_.Next());
+      if (!more) break;
+      continue;
+    }
+    uint64_t chunk = std::min(want - done, in_leaf);
+    EOS_RETURN_IF_ERROR(walker_.ReadLeafBytes(
+        walker_.local(), walker_.local() + chunk, out + done));
+    done += chunk;
+    pos_ += chunk;
+    if (chunk == in_leaf) {
+      EOS_ASSIGN_OR_RETURN(bool more, walker_.Next());
+      if (!more && done < want) break;
+    } else {
+      // Partially consumed leaf: remember the intra-leaf position.
+      walker_.ConsumeLocal(chunk);
+    }
+  }
+  return done;
+}
+
+}  // namespace eos

@@ -1,0 +1,76 @@
+#include "txn/byte_range_locks.h"
+
+#include <algorithm>
+
+namespace eos {
+
+namespace {
+
+bool Overlaps(uint64_t alo, uint64_t ahi, uint64_t blo, uint64_t bhi) {
+  return alo < bhi && blo < ahi;
+}
+
+}  // namespace
+
+Status ByteRangeLockManager::Lock(uint64_t txn, uint64_t object_id,
+                                  uint64_t lo, uint64_t hi, Mode mode) {
+  if (lo >= hi) return Status::InvalidArgument("empty lock range");
+  LatchGuard g(latch_);
+  auto& ranges = by_object_[object_id];
+  for (const Range& r : ranges) {
+    if (r.txn == txn || !Overlaps(r.lo, r.hi, lo, hi)) continue;
+    if (mode == Mode::kExclusive || r.mode == Mode::kExclusive) {
+      return Status::Busy(
+          "byte range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+          ") of object " + std::to_string(object_id) +
+          " is locked by transaction " + std::to_string(r.txn));
+    }
+  }
+  ranges.push_back(Range{txn, lo, hi, mode});
+  return Status::OK();
+}
+
+void ByteRangeLockManager::ReleaseAll(uint64_t txn) {
+  LatchGuard g(latch_);
+  for (auto it = by_object_.begin(); it != by_object_.end();) {
+    auto& ranges = it->second;
+    ranges.erase(std::remove_if(ranges.begin(), ranges.end(),
+                                [txn](const Range& r) {
+                                  return r.txn == txn;
+                                }),
+                 ranges.end());
+    it = ranges.empty() ? by_object_.erase(it) : std::next(it);
+  }
+}
+
+bool ByteRangeLockManager::Holds(uint64_t txn, uint64_t object_id,
+                                 uint64_t lo, uint64_t hi, Mode mode) const {
+  LatchGuard g(latch_);
+  auto it = by_object_.find(object_id);
+  if (it == by_object_.end()) return false;
+  // The query range must be fully covered by this transaction's locks of
+  // sufficient strength; check coverage greedily from lo.
+  uint64_t need = lo;
+  bool progress = true;
+  while (need < hi && progress) {
+    progress = false;
+    for (const Range& r : it->second) {
+      if (r.txn != txn) continue;
+      if (mode == Mode::kExclusive && r.mode != Mode::kExclusive) continue;
+      if (r.lo <= need && r.hi > need) {
+        need = r.hi;
+        progress = true;
+      }
+    }
+  }
+  return need >= hi;
+}
+
+size_t ByteRangeLockManager::lock_count() const {
+  LatchGuard g(latch_);
+  size_t n = 0;
+  for (const auto& [id, ranges] : by_object_) n += ranges.size();
+  return n;
+}
+
+}  // namespace eos

@@ -1,0 +1,76 @@
+#ifndef EOS_TXN_BYTE_RANGE_LOCKS_H_
+#define EOS_TXN_BYTE_RANGE_LOCKS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+
+namespace eos {
+
+// Byte-range locking for large objects (Section 4.5: "concurrency can be
+// handled either by locking the root of the large object or, for finer
+// granularity, the byte range affected by each operation" [Care86]).
+//
+// Ranges are half-open [lo, hi) in the object's byte space. Shared locks
+// coexist on overlapping ranges; exclusive locks conflict with everything
+// overlapping held by another transaction. Locking the whole object is the
+// range [0, kWholeObject).
+//
+// This is a conflict table, not a scheduler: a conflicting request returns
+// Busy and the caller decides whether to retry, queue, or abort — the same
+// contract the paper's short-duration latches assume.
+class ByteRangeLockManager {
+ public:
+  enum class Mode : uint8_t { kShared, kExclusive };
+  static constexpr uint64_t kWholeObject = ~uint64_t{0};
+
+  // Acquires a lock on object `object_id`, range [lo, hi) for `txn`.
+  // Returns Busy on conflict with another transaction. Re-acquiring an
+  // overlapping range in the same or weaker mode is granted (no upgrade
+  // deadlock detection; an upgrade that conflicts returns Busy).
+  Status Lock(uint64_t txn, uint64_t object_id, uint64_t lo, uint64_t hi,
+              Mode mode);
+
+  // Convenience: lock the byte range an operation touches. Length-changing
+  // operations at offset B conceptually affect [B, end-of-object), which is
+  // how inserts/deletes must be locked for serializability of positions.
+  Status LockForRead(uint64_t txn, uint64_t object_id, uint64_t lo,
+                     uint64_t hi) {
+    return Lock(txn, object_id, lo, hi, Mode::kShared);
+  }
+  Status LockForUpdate(uint64_t txn, uint64_t object_id, uint64_t offset) {
+    return Lock(txn, object_id, offset, kWholeObject, Mode::kExclusive);
+  }
+  Status LockForReplace(uint64_t txn, uint64_t object_id, uint64_t lo,
+                        uint64_t hi) {
+    return Lock(txn, object_id, lo, hi, Mode::kExclusive);
+  }
+
+  // Releases every lock held by `txn` (commit or abort).
+  void ReleaseAll(uint64_t txn);
+
+  // True iff `txn` already holds a lock covering [lo, hi) in `mode` (or
+  // stronger).
+  bool Holds(uint64_t txn, uint64_t object_id, uint64_t lo, uint64_t hi,
+             Mode mode) const;
+
+  size_t lock_count() const;
+
+ private:
+  struct Range {
+    uint64_t txn;
+    uint64_t lo;
+    uint64_t hi;
+    Mode mode;
+  };
+
+  mutable Latch latch_;
+  std::map<uint64_t, std::vector<Range>> by_object_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_TXN_BYTE_RANGE_LOCKS_H_

@@ -1,0 +1,124 @@
+#include "txn/log_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace eos {
+
+StatusOr<std::unique_ptr<LogManager>> LogManager::CreateFileBacked(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                  0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  return std::unique_ptr<LogManager>(new LogManager(fd));
+}
+
+LogManager::~LogManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::vector<LogRecord>> LogManager::ReadLogFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  Bytes all;
+  uint8_t buf[4096];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof(buf))) > 0) {
+    all.insert(all.end(), buf, buf + r);
+  }
+  ::close(fd);
+  if (r < 0) {
+    return Status::IOError(std::string("read: ") + std::strerror(errno));
+  }
+  std::vector<LogRecord> records;
+  size_t pos = 0;
+  while (pos < all.size()) {
+    size_t consumed = 0;
+    EOS_ASSIGN_OR_RETURN(
+        LogRecord rec,
+        LogRecord::Parse(ByteView(all.data() + pos, all.size() - pos),
+                         &consumed));
+    records.push_back(std::move(rec));
+    pos += consumed;
+  }
+  return records;
+}
+
+Status LogManager::Emit(LobDescriptor* d, LogRecord&& r) {
+  LatchGuard g(latch_);
+  r.lsn = next_lsn_++;
+  r.object_id = current_object_;
+  // Write-ahead: the record is durable (appended) before the update is
+  // applied; the LSN is placed in the root for idempotence (Section 4.5).
+  if (fd_ >= 0) {
+    Bytes buf(r.SerializedBytes());
+    r.SerializeTo(buf.data());
+    size_t put = 0;
+    while (put < buf.size()) {
+      ssize_t w = ::write(fd_, buf.data() + put, buf.size() - put);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("log write: ") +
+                               std::strerror(errno));
+      }
+      put += static_cast<size_t>(w);
+    }
+  }
+  d->lsn = r.lsn;
+  records_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Status LogManager::LogInsert(LobDescriptor* d, uint64_t offset,
+                             ByteView data) {
+  LogRecord r;
+  r.op = LogOp::kInsert;
+  r.offset = offset;
+  r.data = ToBytes(data);
+  return Emit(d, std::move(r));
+}
+
+Status LogManager::LogDelete(LobDescriptor* d, uint64_t offset,
+                             ByteView old_data) {
+  LogRecord r;
+  r.op = LogOp::kDelete;
+  r.offset = offset;
+  r.old_data = ToBytes(old_data);
+  return Emit(d, std::move(r));
+}
+
+Status LogManager::LogAppend(LobDescriptor* d, ByteView data) {
+  LogRecord r;
+  r.op = LogOp::kAppend;
+  r.offset = d->size();
+  r.data = ToBytes(data);
+  return Emit(d, std::move(r));
+}
+
+Status LogManager::LogReplace(LobDescriptor* d, uint64_t offset,
+                              ByteView old_data, ByteView new_data) {
+  LogRecord r;
+  r.op = LogOp::kReplace;
+  r.offset = offset;
+  r.data = ToBytes(new_data);
+  r.old_data = ToBytes(old_data);
+  return Emit(d, std::move(r));
+}
+
+Status LogManager::LogDestroy(LobDescriptor* d, ByteView old_data) {
+  LogRecord r;
+  r.op = LogOp::kDestroy;
+  r.offset = 0;
+  r.old_data = ToBytes(old_data);
+  return Emit(d, std::move(r));
+}
+
+}  // namespace eos

@@ -1,0 +1,68 @@
+#ifndef EOS_TXN_LOG_MANAGER_H_
+#define EOS_TXN_LOG_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/latch.h"
+#include "common/status.h"
+#include "lob/descriptor.h"
+#include "txn/log_record.h"
+
+namespace eos {
+
+// Write-ahead log of logical large-object operations (Section 4.5).
+//
+// Each logged update receives a monotone LSN which is stamped into the
+// object's root; recovery compares the root LSN against the log to decide
+// idempotently which records to redo or undo. The log lives in memory and
+// is optionally mirrored to an append-only file for crash simulation.
+class LogManager {
+ public:
+  LogManager() = default;
+
+  // Mirrors records to `path` (created/truncated).
+  static StatusOr<std::unique_ptr<LogManager>> CreateFileBacked(
+      const std::string& path);
+
+  // Reads back every record of a file written by a file-backed manager.
+  static StatusOr<std::vector<LogRecord>> ReadLogFile(
+      const std::string& path);
+
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  Status LogInsert(LobDescriptor* d, uint64_t offset, ByteView data);
+  Status LogDelete(LobDescriptor* d, uint64_t offset, ByteView old_data);
+  Status LogAppend(LobDescriptor* d, ByteView data);
+  Status LogReplace(LobDescriptor* d, uint64_t offset, ByteView old_data,
+                    ByteView new_data);
+  Status LogDestroy(LobDescriptor* d, ByteView old_data);
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+
+  // Object identity used for subsequent records (set by the Database layer
+  // before operating on an object; 0 for standalone use).
+  void set_current_object(uint64_t id) { current_object_ = id; }
+
+ private:
+  explicit LogManager(int fd) : fd_(fd) {}
+
+  Status Emit(LobDescriptor* d, LogRecord&& r);
+
+  Latch latch_;
+  std::vector<LogRecord> records_;
+  uint64_t next_lsn_ = 1;
+  uint64_t current_object_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace eos
+
+#endif  // EOS_TXN_LOG_MANAGER_H_

@@ -1,0 +1,79 @@
+#ifndef EOS_TXN_LOG_RECORD_H_
+#define EOS_TXN_LOG_RECORD_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace eos {
+
+// Logical (operation) log records, Section 4.5: because leaf segments carry
+// no control information, the log records the *operation that caused the
+// update and its parameters*, and the LSN of the update is placed in the
+// object's root so the update can be undone or redone idempotently.
+enum class LogOp : uint8_t {
+  kInsert = 1,   // data inserted at offset
+  kDelete = 2,   // old_data deleted from offset
+  kAppend = 3,   // data appended at the end
+  kReplace = 4,  // old_data overwritten by data at offset
+  kDestroy = 5,  // whole object (old_data) destroyed
+};
+
+struct LogRecord {
+  uint64_t lsn = 0;
+  uint64_t object_id = 0;
+  LogOp op = LogOp::kInsert;
+  uint64_t offset = 0;
+  Bytes data;      // after-image (insert/append/replace)
+  Bytes old_data;  // before-image (delete/replace/destroy)
+
+  // Wire format: [lsn u64][object u64][op u8][offset u64]
+  //              [data_len u32][old_len u32][data][old_data]
+  static constexpr size_t kHeaderBytes = 8 + 8 + 1 + 8 + 4 + 4;
+
+  size_t SerializedBytes() const {
+    return kHeaderBytes + data.size() + old_data.size();
+  }
+
+  void SerializeTo(uint8_t* out) const {
+    EncodeU64(out, lsn);
+    EncodeU64(out + 8, object_id);
+    out[16] = static_cast<uint8_t>(op);
+    EncodeU64(out + 17, offset);
+    EncodeU32(out + 25, static_cast<uint32_t>(data.size()));
+    EncodeU32(out + 29, static_cast<uint32_t>(old_data.size()));
+    std::memcpy(out + kHeaderBytes, data.data(), data.size());
+    std::memcpy(out + kHeaderBytes + data.size(), old_data.data(),
+                old_data.size());
+  }
+
+  // Parses one record from `in`; advances *consumed by its total size.
+  static StatusOr<LogRecord> Parse(ByteView in, size_t* consumed) {
+    if (in.size() < kHeaderBytes) {
+      return Status::Corruption("truncated log record header");
+    }
+    LogRecord r;
+    r.lsn = DecodeU64(in.data());
+    r.object_id = DecodeU64(in.data() + 8);
+    uint8_t op = in[16];
+    if (op < 1 || op > 5) return Status::Corruption("bad log op code");
+    r.op = static_cast<LogOp>(op);
+    r.offset = DecodeU64(in.data() + 17);
+    uint32_t dlen = DecodeU32(in.data() + 25);
+    uint32_t olen = DecodeU32(in.data() + 29);
+    if (in.size() < kHeaderBytes + uint64_t{dlen} + olen) {
+      return Status::Corruption("truncated log record payload");
+    }
+    r.data.assign(in.data() + kHeaderBytes, in.data() + kHeaderBytes + dlen);
+    r.old_data.assign(in.data() + kHeaderBytes + dlen,
+                      in.data() + kHeaderBytes + dlen + olen);
+    *consumed = kHeaderBytes + dlen + olen;
+    return r;
+  }
+};
+
+}  // namespace eos
+
+#endif  // EOS_TXN_LOG_RECORD_H_

@@ -1,0 +1,88 @@
+#include "txn/recovery.h"
+
+#include "txn/log_manager.h"
+
+namespace eos {
+
+namespace {
+
+// Recovery replays operations through the normal update paths; logging must
+// be suspended while it does, or replay would append to the log again.
+class ScopedLogSuspend {
+ public:
+  explicit ScopedLogSuspend(LobManager* mgr)
+      : mgr_(mgr), saved_(mgr->log_manager()) {
+    mgr_->set_log_manager(nullptr);
+  }
+  ~ScopedLogSuspend() { mgr_->set_log_manager(saved_); }
+
+ private:
+  LobManager* mgr_;
+  LogManager* saved_;
+};
+
+}  // namespace
+
+Status Recovery::ApplyForward(LobDescriptor* d, const LogRecord& r) {
+  switch (r.op) {
+    case LogOp::kInsert:
+      return mgr_->Insert(d, r.offset, r.data);
+    case LogOp::kAppend:
+      return mgr_->Append(d, r.data);
+    case LogOp::kDelete:
+      return mgr_->Delete(d, r.offset, r.old_data.size());
+    case LogOp::kReplace:
+      return mgr_->Replace(d, r.offset, r.data);
+    case LogOp::kDestroy:
+      return mgr_->Destroy(d);
+  }
+  return Status::Corruption("unknown log op");
+}
+
+Status Recovery::ApplyBackward(LobDescriptor* d, const LogRecord& r) {
+  switch (r.op) {
+    case LogOp::kInsert:
+      return mgr_->Delete(d, r.offset, r.data.size());
+    case LogOp::kAppend:
+      return mgr_->Truncate(d, d->size() - r.data.size());
+    case LogOp::kDelete:
+      return mgr_->Insert(d, r.offset, r.old_data);
+    case LogOp::kReplace:
+      return mgr_->Replace(d, r.offset, r.old_data);
+    case LogOp::kDestroy: {
+      // Rebuild the object from its before-image.
+      LobAppender app(mgr_, d, r.old_data.size());
+      EOS_RETURN_IF_ERROR(app.Append(r.old_data));
+      return app.Finish();
+    }
+  }
+  return Status::Corruption("unknown log op");
+}
+
+Status Recovery::Redo(LobDescriptor* d, uint64_t object_id,
+                      const std::vector<LogRecord>& log) {
+  ScopedLogSuspend suspend(mgr_);
+  for (const LogRecord& r : log) {
+    if (r.object_id != object_id) continue;
+    if (r.lsn <= d->lsn) continue;  // already reflected: idempotence
+    EOS_RETURN_IF_ERROR(ApplyForward(d, r));
+    d->lsn = r.lsn;
+  }
+  return Status::OK();
+}
+
+Status Recovery::Undo(LobDescriptor* d, uint64_t object_id,
+                      const std::vector<LogRecord>& log, uint64_t stop_lsn) {
+  ScopedLogSuspend suspend(mgr_);
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    const LogRecord& r = *it;
+    if (r.object_id != object_id) continue;
+    if (r.lsn > d->lsn) continue;  // never applied: idempotence
+    if (r.lsn <= stop_lsn) break;
+    EOS_RETURN_IF_ERROR(ApplyBackward(d, r));
+    d->lsn = r.lsn - 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace eos

@@ -1,0 +1,43 @@
+#ifndef EOS_TXN_RECOVERY_H_
+#define EOS_TXN_RECOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "lob/descriptor.h"
+#include "lob/lob_manager.h"
+#include "txn/log_record.h"
+
+namespace eos {
+
+// Idempotent redo/undo of logical large-object log records (Section 4.5).
+//
+// The LSN of the most recent applied update lives in the object's root, so
+// redo skips records the object already reflects and undo skips records it
+// never saw — applying recovery twice is a no-op.
+class Recovery {
+ public:
+  explicit Recovery(LobManager* mgr) : mgr_(mgr) {}
+
+  // Reapplies, in log order, every record for `object_id` with
+  // lsn > d->lsn. The object's root LSN advances to the last record.
+  Status Redo(LobDescriptor* d, uint64_t object_id,
+              const std::vector<LogRecord>& log);
+
+  // Rolls back, in reverse log order, every record for `object_id` with
+  // lsn <= d->lsn and lsn > stop_lsn (pass 0 to undo everything). The
+  // root LSN retreats below each undone record.
+  Status Undo(LobDescriptor* d, uint64_t object_id,
+              const std::vector<LogRecord>& log, uint64_t stop_lsn);
+
+ private:
+  Status ApplyForward(LobDescriptor* d, const LogRecord& r);
+  Status ApplyBackward(LobDescriptor* d, const LogRecord& r);
+
+  LobManager* mgr_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_TXN_RECOVERY_H_

@@ -1,0 +1,101 @@
+#include "txn/release_locks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "common/math.h"
+
+namespace eos {
+
+namespace {
+
+// Ancestors of the aligned chunk (start, type) within its space: the
+// enclosing aligned extents of types type+1 .. max_type.
+void ForEachAncestor(PageId start, uint32_t type, uint32_t max_type,
+                     const std::function<void(PageId, uint32_t)>& fn) {
+  for (uint32_t t = type + 1; t <= max_type; ++t) {
+    fn(start & ~((PageId{1} << t) - 1), t);
+  }
+}
+
+}  // namespace
+
+void ReleaseLockTable::LockForRelease(uint64_t txn, const Extent& extent) {
+  LatchGuard g(latch_);
+  by_txn_[txn].extents[extent.first] = extent;
+  // Intention locks on the ancestors of every aligned chunk of the extent.
+  uint64_t lo = extent.first;
+  uint64_t hi = extent.end();
+  while (lo < hi) {
+    uint32_t align_t =
+        lo == 0 ? max_type_ : static_cast<uint32_t>(
+                                  FloorLog2(LargestAlignedSize(lo)));
+    uint32_t fit_t = FloorLog2(hi - lo);
+    uint32_t t = std::min(std::min(align_t, fit_t), max_type_);
+    ForEachAncestor(lo, t, max_type_, [&](PageId a, uint32_t at) {
+      ++intents_[{a, at}];
+    });
+    lo += uint64_t{1} << t;
+  }
+}
+
+bool ReleaseLockTable::IsReleaseLocked(PageId page) const {
+  LatchGuard g(latch_);
+  for (const auto& [txn, locks] : by_txn_) {
+    auto it = locks.extents.upper_bound(page);
+    if (it != locks.extents.begin()) {
+      --it;
+      if (page >= it->second.first && page < it->second.end()) return true;
+    }
+  }
+  return false;
+}
+
+bool ReleaseLockTable::HasIntentionLock(PageId start, uint32_t type) const {
+  LatchGuard g(latch_);
+  auto it = intents_.find({start, type});
+  return it != intents_.end() && it->second > 0;
+}
+
+std::vector<Extent> ReleaseLockTable::Commit(uint64_t txn) {
+  LatchGuard g(latch_);
+  std::vector<Extent> out;
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return out;
+  for (const auto& [first, e] : it->second.extents) {
+    out.push_back(e);
+    uint64_t lo = e.first;
+    uint64_t hi = e.end();
+    while (lo < hi) {
+      uint32_t align_t =
+          lo == 0 ? max_type_ : static_cast<uint32_t>(
+                                    FloorLog2(LargestAlignedSize(lo)));
+      uint32_t fit_t = FloorLog2(hi - lo);
+      uint32_t t = std::min(std::min(align_t, fit_t), max_type_);
+      ForEachAncestor(lo, t, max_type_, [&](PageId a, uint32_t at) {
+        auto ii = intents_.find({a, at});
+        assert(ii != intents_.end() && ii->second > 0);
+        if (--ii->second == 0) intents_.erase(ii);
+      });
+      lo += uint64_t{1} << t;
+    }
+  }
+  by_txn_.erase(it);
+  return out;
+}
+
+std::vector<Extent> ReleaseLockTable::Abort(uint64_t txn) {
+  // Same bookkeeping as Commit; the caller just refrains from deallocating
+  // (the free is undone, so the extents stay allocated to the object).
+  return Commit(txn);
+}
+
+size_t ReleaseLockTable::lock_count() const {
+  LatchGuard g(latch_);
+  size_t n = 0;
+  for (const auto& [txn, locks] : by_txn_) n += locks.extents.size();
+  return n;
+}
+
+}  // namespace eos

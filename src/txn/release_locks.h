@@ -1,0 +1,70 @@
+#ifndef EOS_TXN_RELEASE_LOCKS_H_
+#define EOS_TXN_RELEASE_LOCKS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/latch.h"
+#include "io/page_device.h"
+
+namespace eos {
+
+// Hierarchical release locks on freed segments, after [Lehm89] as adopted
+// in Section 4.5: when a transaction frees a segment, a release lock is
+// placed on it and intention-release locks on all of its buddy-system
+// ancestors (the enclosing power-of-two aligned extents). As in
+// hierarchical locking, descendants of a release-locked segment count as
+// locked too, so the space cannot be coalesced away and reallocated until
+// the holding transaction commits.
+//
+// The table also acts as a deferred-free list: a transaction routes its
+// segment frees through the table, and only on Commit() are the extents
+// actually returned to the buddy system (Abort() simply forgets them,
+// leaving the segments allocated — the free is undone).
+class ReleaseLockTable {
+ public:
+  // Ancestors are computed within buddy spaces of `space_pages` data pages
+  // whose first data page is aligned per the segment allocator layout.
+  ReleaseLockTable(uint32_t space_pages, uint32_t max_type)
+      : space_pages_(space_pages), max_type_(max_type) {}
+
+  // Records the free of `extent` by transaction `txn`: release locks on the
+  // extent's aligned chunks, intention locks on every ancestor.
+  void LockForRelease(uint64_t txn, const Extent& extent);
+
+  // True iff `page` is covered by a release lock (directly or as a
+  // descendant of a locked segment).
+  bool IsReleaseLocked(PageId page) const;
+
+  // True iff the aligned segment [start, start + 2^type) carries an
+  // intention-release lock, i.e. some descendant is release-locked. The
+  // buddy system must not coalesce across such a segment.
+  bool HasIntentionLock(PageId start, uint32_t type) const;
+
+  // Returns (and forgets) the extents freed by `txn`, for actual
+  // deallocation at commit.
+  std::vector<Extent> Commit(uint64_t txn);
+
+  // Forgets the extents freed by `txn`; the segments remain allocated.
+  std::vector<Extent> Abort(uint64_t txn);
+
+  size_t lock_count() const;
+
+ private:
+  struct Locks {
+    // Release-locked extents keyed by first page.
+    std::map<PageId, Extent> extents;
+  };
+
+  uint32_t space_pages_;
+  uint32_t max_type_;
+  mutable Latch latch_;
+  std::map<uint64_t, Locks> by_txn_;
+  // Intention-lock reference counts keyed by (start, type).
+  std::map<std::pair<PageId, uint32_t>, uint32_t> intents_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_TXN_RELEASE_LOCKS_H_

@@ -1,0 +1,100 @@
+#include "txn/transaction.h"
+
+#include "txn/recovery.h"
+
+namespace eos {
+
+Transaction::Transaction(LobManager* mgr, LogManager* log,
+                         ReleaseLockTable* locks, uint64_t txn_id,
+                         uint64_t object_id, LobDescriptor* d)
+    : mgr_(mgr),
+      log_(log),
+      locks_(locks),
+      txn_id_(txn_id),
+      object_id_(object_id),
+      d_(d) {
+  (void)Begin();
+}
+
+Status Transaction::Begin() {
+  begin_lsn_ = d_->lsn;
+  mgr_->set_log_manager(log_);
+  log_->set_current_object(object_id_);
+  mgr_->allocator()->set_free_interceptor(this);
+  intercepting_ = true;
+  active_ = true;
+  return Status::OK();
+}
+
+Transaction::~Transaction() {
+  if (active_) (void)Rollback();
+}
+
+void Transaction::Detach() {
+  if (intercepting_) {
+    mgr_->allocator()->set_free_interceptor(nullptr);
+    intercepting_ = false;
+  }
+  active_ = false;
+}
+
+bool Transaction::InterceptFree(const Extent& extent) {
+  locks_->LockForRelease(txn_id_, extent);
+  return true;
+}
+
+Status Transaction::Append(ByteView data) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  return mgr_->Append(d_, data);
+}
+
+Status Transaction::Insert(uint64_t offset, ByteView data) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  return mgr_->Insert(d_, offset, data);
+}
+
+Status Transaction::Delete(uint64_t offset, uint64_t n) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  return mgr_->Delete(d_, offset, n);
+}
+
+Status Transaction::Replace(uint64_t offset, ByteView data) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  return mgr_->Replace(d_, offset, data);
+}
+
+Status Transaction::Read(uint64_t offset, uint64_t n, Bytes* out) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  return mgr_->Read(*d_, offset, n, out);
+}
+
+Status Transaction::DrainParked() {
+  for (const Extent& e : locks_->Commit(txn_id_)) {
+    EOS_RETURN_IF_ERROR(mgr_->allocator()->Free(e));
+  }
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  Detach();
+  // The parked segments are no longer referenced by the object; release
+  // the locks and return them to the buddy system.
+  return DrainParked();
+}
+
+Status Transaction::Rollback() {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  Detach();
+  // Undo re-creates deleted/overwritten content in fresh segments and
+  // deallocates segments this transaction allocated; the interceptor is
+  // already removed, so those frees hit the buddy system directly.
+  Recovery recovery(mgr_);
+  EOS_RETURN_IF_ERROR(
+      recovery.Undo(d_, object_id_, log_->records(), begin_lsn_));
+  // The parked originals are garbage now (their content was either undone
+  // into fresh segments or belongs to committed history).
+  return DrainParked();
+}
+
+}  // namespace eos

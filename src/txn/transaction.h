@@ -1,0 +1,72 @@
+#ifndef EOS_TXN_TRANSACTION_H_
+#define EOS_TXN_TRANSACTION_H_
+
+#include <cstdint>
+
+#include "buddy/segment_allocator.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "lob/lob_manager.h"
+#include "txn/log_manager.h"
+#include "txn/release_locks.h"
+
+namespace eos {
+
+// A single-object transaction combining the Section 4.5 machinery:
+//  * every update is logged (write-ahead, root LSN stamped);
+//  * segments freed by updates are not returned to the buddy system but
+//    parked under release locks, so their space cannot be reallocated
+//    until the outcome is known ([Lehm89]);
+//  * Commit() frees the parked segments for real;
+//  * Rollback() logically undoes the updates via the log (idempotently,
+//    thanks to the root LSN) and then frees the parked segments — the
+//    undone content lives in freshly allocated segments, so the originals
+//    are garbage either way.
+//
+// Scope: one descriptor, one thread. The object must not be touched
+// through other channels while the transaction is open.
+class Transaction : public FreeInterceptor {
+ public:
+  Transaction(LobManager* mgr, LogManager* log, ReleaseLockTable* locks,
+              uint64_t txn_id, uint64_t object_id, LobDescriptor* d);
+
+  // Rolls back if neither Commit() nor Rollback() was called.
+  ~Transaction() override;
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  Status Append(ByteView data);
+  Status Insert(uint64_t offset, ByteView data);
+  Status Delete(uint64_t offset, uint64_t n);
+  Status Replace(uint64_t offset, ByteView data);
+  Status Read(uint64_t offset, uint64_t n, Bytes* out);
+
+  Status Commit();
+  Status Rollback();
+
+  bool active() const { return active_; }
+  uint64_t id() const { return txn_id_; }
+
+  // FreeInterceptor: park freed extents under release locks.
+  bool InterceptFree(const Extent& extent) override;
+
+ private:
+  Status Begin();
+  void Detach();
+  Status DrainParked();
+
+  LobManager* mgr_;
+  LogManager* log_;
+  ReleaseLockTable* locks_;
+  uint64_t txn_id_;
+  uint64_t object_id_;
+  LobDescriptor* d_;
+  uint64_t begin_lsn_ = 0;
+  bool active_ = false;
+  bool intercepting_ = false;
+};
+
+}  // namespace eos
+
+#endif  // EOS_TXN_TRANSACTION_H_

@@ -1,0 +1,177 @@
+// LobAppender edge cases: hints, doubling, trims, tail absorption,
+// lifecycle misuse.
+
+#include <gtest/gtest.h>
+
+#include "lob/lob_manager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+TEST(AppenderTest, EmptySessionIsNoOp) {
+  Stack s = Stack::Make(100);
+  LobDescriptor d = s.lob->CreateEmpty();
+  {
+    LobAppender app(s.lob.get(), &d);
+    EOS_ASSERT_OK(app.Finish());
+  }
+  EXPECT_EQ(d.size(), 0u);
+  auto free_pages = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, s.allocator->geometry().space_pages);
+}
+
+TEST(AppenderTest, SizeHintAllocatesExactly) {
+  Stack s = Stack::Make(100);
+  LobDescriptor d = s.lob->CreateEmpty();
+  Bytes data = PatternBytes(1, 1820);
+  {
+    LobAppender app(s.lob.get(), &d, /*size_hint=*/1820);
+    // Chunked delivery must not fragment: the hint sizes the segment.
+    for (int i = 0; i < 20; ++i) {
+      EOS_ASSERT_OK(app.Append(ByteView(data.data() + i * 91, 91)));
+    }
+    EOS_ASSERT_OK(app.Finish());
+  }
+  ASSERT_EQ(d.root.entries.size(), 1u) << "hint should yield one segment";
+  EXPECT_EQ(d.root.entries[0].count, 1820u);
+  auto all = s.lob->ReadAll(d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+}
+
+TEST(AppenderTest, UnderestimatedHintStillCorrect) {
+  Stack s = Stack::Make(100);
+  LobDescriptor d = s.lob->CreateEmpty();
+  Bytes data = PatternBytes(2, 3000);
+  {
+    LobAppender app(s.lob.get(), &d, /*size_hint=*/1000);  // too small
+    EOS_ASSERT_OK(app.Append(data));
+    EOS_ASSERT_OK(app.Finish());
+  }
+  EXPECT_EQ(d.size(), 3000u);
+  auto all = s.lob->ReadAll(d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(d));
+}
+
+TEST(AppenderTest, AppendAfterFinishRejected) {
+  Stack s = Stack::Make(100);
+  LobDescriptor d = s.lob->CreateEmpty();
+  LobAppender app(s.lob.get(), &d);
+  EOS_ASSERT_OK(app.Append(PatternBytes(3, 10)));
+  EOS_ASSERT_OK(app.Finish());
+  EXPECT_TRUE(app.Append(PatternBytes(3, 10)).IsInvalidArgument());
+  EOS_ASSERT_OK(app.Finish());  // idempotent
+}
+
+TEST(AppenderTest, DestructorFinishes) {
+  Stack s = Stack::Make(100);
+  LobDescriptor d = s.lob->CreateEmpty();
+  Bytes data = PatternBytes(4, 555);
+  {
+    LobAppender app(s.lob.get(), &d);
+    EOS_ASSERT_OK(app.Append(data));
+    // No Finish(): the destructor must close and trim the open segment.
+  }
+  EXPECT_EQ(d.size(), 555u);
+  auto all = s.lob->ReadAll(d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+}
+
+TEST(AppenderTest, ContinuesExistingObjectAbsorbingTail) {
+  Stack s = Stack::Make(100);
+  Bytes data = PatternBytes(5, 1234);  // last page partial (34 bytes)
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  Bytes more = PatternBytes(6, 2000);
+  {
+    LobAppender app(s.lob.get(), &*d);
+    for (int i = 0; i < 20; ++i) {
+      EOS_ASSERT_OK(app.Append(ByteView(more.data() + i * 100, 100)));
+    }
+    EOS_ASSERT_OK(app.Finish());
+  }
+  data.insert(data.end(), more.begin(), more.end());
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(*d));
+}
+
+TEST(AppenderTest, SingleGiantAppendCrossesMaxSegment) {
+  LobConfig cfg;
+  cfg.max_segment_pages = 16;
+  Stack s = Stack::Make(100, 0, cfg);
+  LobDescriptor d = s.lob->CreateEmpty();
+  Bytes data = PatternBytes(7, 100 * 100);  // 100 pages >> 16-page cap
+  {
+    LobAppender app(s.lob.get(), &d, data.size());
+    EOS_ASSERT_OK(app.Append(data));
+    EOS_ASSERT_OK(app.Finish());
+  }
+  auto st = s.lob->Stats(d);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->max_segment_pages, 16u);
+  EXPECT_GE(st->num_segments, 100u / 16);
+  auto all = s.lob->ReadAll(d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+}
+
+TEST(AppenderTest, DoublingSequenceFromScratch) {
+  LobConfig cfg;
+  cfg.max_segment_pages = 32;
+  Stack s = Stack::Make(100, 0, cfg);
+  LobDescriptor d = s.lob->CreateEmpty();
+  {
+    LobAppender app(s.lob.get(), &d);
+    // 200 one-byte appends: tiny chunks, no hint.
+    for (int i = 0; i < 200; ++i) {
+      uint8_t b = static_cast<uint8_t>(i);
+      EOS_ASSERT_OK(app.Append(ByteView(&b, 1)));
+    }
+    EOS_ASSERT_OK(app.Finish());
+  }
+  EXPECT_EQ(d.size(), 200u);
+  // 200 bytes = 2 pages: doubling gives segments of 1 and 1 (trimmed 2).
+  auto st = s.lob->Stats(d);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->leaf_pages, 2u);
+  auto all = s.lob->ReadAll(d);
+  ASSERT_TRUE(all.ok());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ((*all)[i], static_cast<uint8_t>(i));
+  }
+}
+
+TEST(AppenderTest, InterleavedFinishAndRandomChunks) {
+  Stack s = Stack::Make(128);
+  LobDescriptor d = s.lob->CreateEmpty();
+  Bytes model;
+  Random rng(8);
+  for (int session = 0; session < 8; ++session) {
+    LobAppender app(s.lob.get(), &d);
+    int chunks = static_cast<int>(rng.Range(1, 12));
+    for (int i = 0; i < chunks; ++i) {
+      Bytes c = PatternBytes(session * 50 + i, rng.Range(1, 700));
+      EOS_ASSERT_OK(app.Append(c));
+      model.insert(model.end(), c.begin(), c.end());
+    }
+    EOS_ASSERT_OK(app.Finish());
+    ASSERT_EQ(d.size(), model.size()) << "session " << session;
+  }
+  auto all = s.lob->ReadAll(d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, model);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(d));
+}
+
+}  // namespace
+}  // namespace eos

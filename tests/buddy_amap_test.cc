@@ -1,0 +1,154 @@
+// Allocation-map encoding tests, including the exact byte values of the
+// paper's Figure 3 example (experiment E1).
+
+#include "buddy/alloc_map.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eos {
+namespace {
+
+class AllocMapTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kPages = 128;
+  AllocMapTest() : bytes_(kPages / 4, 0), map_(bytes_.data(), kPages, 6) {}
+
+  std::vector<uint8_t> bytes_;
+  AllocMap map_;
+};
+
+TEST_F(AllocMapTest, Figure3ExactBytes) {
+  // "Byte 0 indicates that there is an allocated segment of size 2^6 = 64
+  // that starts at page 0."
+  map_.WriteAllocated(0, 6);
+  // "Byte 16 encodes individually the status of pages 64 through 67; pages
+  // 64 and 67 are free while pages 65 and 66 are not."
+  map_.WriteFree(64, 0);
+  map_.WriteAllocated(65, 0);
+  map_.WriteAllocated(66, 0);
+  map_.WriteFree(67, 0);
+  // "Byte 17 indicates a free segment of size 2^2 = 4 that starts at page
+  // 68. Byte 18 encodes a free segment of size 2^3 = 8 at page 72."
+  map_.WriteFree(68, 2);
+  map_.WriteFree(72, 3);
+
+  EXPECT_EQ(map_.byte(0), 0xC6);  // start | allocated | type 6
+  for (uint32_t b = 1; b <= 15; ++b) {
+    EXPECT_EQ(map_.byte(b), 0x00) << "interior byte " << b;
+  }
+  EXPECT_EQ(map_.byte(16), 0x06);  // 0b0110: pages 65, 66 allocated
+  EXPECT_EQ(map_.byte(17), 0x82);  // start | free | type 2
+  EXPECT_EQ(map_.byte(18), 0x83);  // start | free | type 3
+}
+
+TEST_F(AllocMapTest, Figure3SkipScan) {
+  map_.WriteAllocated(0, 6);
+  map_.WriteFree(64, 0);
+  map_.WriteAllocated(65, 0);
+  map_.WriteAllocated(66, 0);
+  map_.WriteFree(67, 0);
+  map_.WriteFree(68, 2);
+  map_.WriteFree(72, 3);
+  // Rest of the space: keep it allocated so the scan stops where expected.
+  map_.WriteAllocated(80, 4);
+  map_.WriteAllocated(96, 5);
+
+  // "Assume that we want to locate a free segment of size 8. We start at
+  // segment 0 (64 pages) -> 64 (1 page) -> ... -> 72 (free, size 8)."
+  EXPECT_EQ(map_.FindFree(3), 72u);
+  EXPECT_EQ(map_.FindFree(2), 68u);
+  EXPECT_EQ(map_.FindFree(0), 64u);
+  // No free segment of size 2 exists.
+  EXPECT_EQ(map_.FindFree(1), AllocMap::kNone);
+}
+
+TEST_F(AllocMapTest, PageAllocatedFollowsInteriorBytes) {
+  map_.WriteAllocated(0, 5);  // pages 0..31
+  map_.WriteFree(32, 5);
+  map_.WriteAllocated(64, 6);
+  EXPECT_TRUE(map_.PageAllocated(0));
+  EXPECT_TRUE(map_.PageAllocated(17));  // interior of the first segment
+  EXPECT_TRUE(map_.PageAllocated(31));
+  EXPECT_FALSE(map_.PageAllocated(32));
+  EXPECT_FALSE(map_.PageAllocated(63));
+  EXPECT_TRUE(map_.PageAllocated(100));
+}
+
+TEST_F(AllocMapTest, FindSegmentContaining) {
+  map_.WriteAllocated(0, 4);   // 0..15
+  map_.WriteAllocated(16, 2);  // 16..19
+  map_.WriteAllocated(20, 0);
+  map_.WriteAllocated(21, 0);
+  map_.WriteFree(22, 1);
+  map_.WriteFree(24, 3);
+  map_.WriteAllocated(32, 5);
+
+  AllocMap::Segment s = map_.FindSegmentContaining(9);
+  EXPECT_EQ(s.start, 0u);
+  EXPECT_EQ(s.type, 4u);
+  EXPECT_TRUE(s.allocated);
+
+  s = map_.FindSegmentContaining(18);
+  EXPECT_EQ(s.start, 16u);
+  EXPECT_EQ(s.type, 2u);
+
+  // Per-page granularity pages report themselves.
+  s = map_.FindSegmentContaining(21);
+  EXPECT_EQ(s.start, 21u);
+  EXPECT_EQ(s.type, 0u);
+  EXPECT_TRUE(s.allocated);
+
+  s = map_.FindSegmentContaining(50);
+  EXPECT_EQ(s.start, 32u);
+  EXPECT_EQ(s.type, 5u);
+}
+
+TEST_F(AllocMapTest, CanonicalFreePairs) {
+  map_.WriteAllocated(0, 5);
+  map_.WriteAllocated(32, 0);
+  map_.WriteAllocated(33, 0);
+  map_.WriteFree(34, 1);  // aligned free pair -> canonical type 1
+  map_.WriteFree(36, 2);
+  map_.WriteAllocated(40, 3);
+  map_.WriteAllocated(48, 4);
+  map_.WriteAllocated(64, 6);
+
+  EXPECT_TRUE(map_.IsCanonicalFree(34, 1));
+  EXPECT_FALSE(map_.IsCanonicalFree(34, 0));  // half of a pair
+  EXPECT_FALSE(map_.IsCanonicalFree(35, 0));
+  EXPECT_TRUE(map_.IsCanonicalFree(36, 2));
+  EXPECT_FALSE(map_.IsCanonicalFree(36, 1));
+  EXPECT_EQ(map_.CanonicalFreeTypeAt(34), 1u);
+}
+
+TEST_F(AllocMapTest, CountFreeSegments) {
+  map_.WriteAllocated(0, 4);
+  map_.WriteFree(16, 4);
+  map_.WriteAllocated(32, 0);
+  map_.WriteFree(33, 0);
+  map_.WriteFree(34, 1);
+  map_.WriteFree(36, 2);
+  map_.WriteAllocated(40, 3);
+  map_.WriteFree(48, 4);
+  map_.WriteAllocated(64, 6);
+
+  std::vector<uint32_t> counts = map_.CountFreeSegments();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 0u);
+  EXPECT_EQ(counts[4], 2u);
+  EXPECT_EQ(counts[5], 0u);
+  EXPECT_EQ(counts[6], 0u);
+}
+
+TEST(AllocMapEncodingTest, MaxTypeFitsSixBits) {
+  // The MSB encoding reserves 6 bits for the type: "segment sizes of up to
+  // 2^63 pages, more than what is really needed".
+  EXPECT_EQ(AllocMap::kTypeMask, 0x3F);
+}
+
+}  // namespace
+}  // namespace eos

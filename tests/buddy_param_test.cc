@@ -1,0 +1,136 @@
+// Parameterized buddy-system property sweep across geometries: randomized
+// allocate/free against a reference bitmap, canonical-form invariants,
+// count-array consistency and directory persistence, for several page
+// sizes and space shapes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "buddy/buddy_space.h"
+#include "common/random.h"
+#include "io/pager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+struct GeoParams {
+  uint32_t page_size;
+  uint32_t space_pages;  // 0 = max for the page size
+  uint64_t seed;
+};
+
+class BuddyParamTest : public ::testing::TestWithParam<GeoParams> {
+ protected:
+  void SetUp() override {
+    auto geo = BuddyGeometry::Make(GetParam().page_size,
+                                   GetParam().space_pages);
+    ASSERT_TRUE(geo.ok()) << geo.status().ToString();
+    geo_ = *geo;
+    device_ = std::make_unique<MemPageDevice>(geo_.page_size,
+                                              1 + geo_.space_pages);
+    pager_ = std::make_unique<Pager>(device_.get(), 8);
+    space_ = std::make_unique<BuddySpace>(pager_.get(), 0, geo_);
+    EOS_ASSERT_OK(space_->Format());
+  }
+
+  BuddyGeometry geo_;
+  std::unique_ptr<MemPageDevice> device_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BuddySpace> space_;
+};
+
+TEST_P(BuddyParamTest, RandomAllocFreeAgainstBitmap) {
+  Random rng(GetParam().seed);
+  const uint32_t n = geo_.space_pages;
+  std::vector<bool> used(n, false);
+  std::map<uint32_t, uint32_t> live;
+  const uint32_t max_req =
+      std::min<uint32_t>(geo_.max_segment_pages(), n / 2);
+  for (int step = 0; step < 1200; ++step) {
+    if (live.empty() || rng.OneIn(2)) {
+      uint32_t want = static_cast<uint32_t>(rng.Range(1, max_req));
+      auto s = space_->Allocate(want);
+      if (s.ok()) {
+        ASSERT_EQ(*s % NextPowerOfTwo(want), 0u)
+            << "an n-page run starts at a 2^ceil(log2 n)-aligned address";
+        for (uint32_t p = *s; p < *s + want; ++p) {
+          ASSERT_FALSE(used[p]) << "overlap at page " << p;
+          used[p] = true;
+        }
+        live[*s] = want;
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      uint32_t off = static_cast<uint32_t>(rng.Uniform(it->second));
+      uint32_t len = static_cast<uint32_t>(rng.Range(1, it->second - off));
+      EOS_ASSERT_OK(space_->Free(it->first + off, len));
+      for (uint32_t p = it->first + off; p < it->first + off + len; ++p) {
+        used[p] = false;
+      }
+      uint32_t start = it->first, total = it->second;
+      live.erase(it);
+      if (off > 0) live[start] = off;
+      if (off + len < total) live[start + off + len] = total - off - len;
+    }
+    if (step % 120 == 119) {
+      EOS_ASSERT_OK(space_->CheckInvariants());
+      uint64_t in_use = 0;
+      for (bool u : used) in_use += u;
+      auto free_pages = space_->FreePages();
+      ASSERT_TRUE(free_pages.ok());
+      ASSERT_EQ(*free_pages, n - in_use) << "step " << step;
+    }
+  }
+  // Drain and verify the space returns to a fully free state.
+  for (const auto& [start, len] : live) {
+    EOS_ASSERT_OK(space_->Free(start, len));
+  }
+  auto free_pages = space_->FreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, n);
+  EOS_ASSERT_OK(space_->CheckInvariants());
+}
+
+TEST_P(BuddyParamTest, DirectoryPersistsAcrossReattach) {
+  Random rng(GetParam().seed + 1);
+  std::vector<std::pair<uint32_t, uint32_t>> live;
+  for (int i = 0; i < 40; ++i) {
+    auto s = space_->Allocate(static_cast<uint32_t>(
+        rng.Range(1, std::min<uint32_t>(geo_.max_segment_pages(), 16))));
+    if (s.ok()) live.push_back({*s, 0});
+  }
+  auto counts_before = space_->Counts();
+  ASSERT_TRUE(counts_before.ok());
+  EOS_ASSERT_OK(pager_->FlushAll());
+  // Re-attach a fresh BuddySpace over the same directory page (as a
+  // restart would) and verify identical state.
+  Pager pager2(device_.get(), 8);
+  BuddySpace space2(&pager2, 0, geo_);
+  auto counts_after = space2.Counts();
+  ASSERT_TRUE(counts_after.ok());
+  EXPECT_EQ(*counts_before, *counts_after);
+  EOS_ASSERT_OK(space2.CheckInvariants());
+}
+
+std::string GeoName(const ::testing::TestParamInfo<GeoParams>& info) {
+  return "ps" + std::to_string(info.param.page_size) + "_sp" +
+         std::to_string(info.param.space_pages) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BuddyParamTest,
+    ::testing::Values(GeoParams{64, 0, 1}, GeoParams{64, 100, 2},
+                      GeoParams{100, 0, 3}, GeoParams{128, 77, 4},
+                      GeoParams{256, 0, 5}, GeoParams{512, 999, 6},
+                      GeoParams{4096, 2048, 7}, GeoParams{4096, 0, 8},
+                      GeoParams{100, 320, 9}, GeoParams{64, 23, 10}),
+    GeoName);
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,217 @@
+// Buddy space tests, including the exact alloc/free scenario of the
+// paper's Figure 4 (experiment E2).
+
+#include "buddy/buddy_space.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "io/pager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::Stack;
+
+class BuddySpaceTest : public ::testing::Test {
+ protected:
+  // 64-byte pages give k=7 and small spaces; use an explicit 16-page space
+  // for the Figure 4 scenario.
+  void Init(uint32_t space_pages) {
+    auto geo = BuddyGeometry::Make(64, space_pages);
+    ASSERT_TRUE(geo.ok());
+    geo_ = *geo;
+    device_ = std::make_unique<MemPageDevice>(64, 1 + geo_.space_pages);
+    pager_ = std::make_unique<Pager>(device_.get(), 8);
+    space_ = std::make_unique<BuddySpace>(pager_.get(), 0, geo_);
+    EOS_ASSERT_OK(space_->Format());
+  }
+
+  uint8_t MapByte(uint32_t i) {
+    auto h = pager_->Fetch(0);
+    EXPECT_TRUE(h.ok());
+    return h->data()[geo_.dir_header_bytes() + i];
+  }
+
+  uint32_t Count(uint32_t t) {
+    auto counts = space_->Counts();
+    EXPECT_TRUE(counts.ok());
+    return (*counts)[t];
+  }
+
+  BuddyGeometry geo_;
+  std::unique_ptr<MemPageDevice> device_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BuddySpace> space_;
+};
+
+TEST_F(BuddySpaceTest, FormatFreshSpace) {
+  Init(16);
+  EXPECT_EQ(Count(4), 1u);  // one free segment of 16 pages
+  auto free_pages = space_->FreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, 16u);
+  EOS_EXPECT_OK(space_->CheckInvariants());
+}
+
+TEST_F(BuddySpaceTest, Figure4AllocateElevenPages) {
+  Init(16);
+  // "Assume a client requests the allocation of a segment of size 11
+  // (1011b): three contiguous segments of size 2^3, 2^1 and 2^0; the
+  // remaining 5 (101b) pages become free segments of size 2^0 and 2^2."
+  auto s = space_->Allocate(11);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(*s, 0u);
+  EXPECT_EQ(MapByte(0), 0xC3);  // allocated segment of 8 at page 0
+  EXPECT_EQ(MapByte(1), 0x00);
+  EXPECT_EQ(MapByte(2), 0x0E);  // pages 8,9 (seg of 2), 10 (seg of 1); 11 free
+  EXPECT_EQ(MapByte(3), 0x82);  // free segment of 4 at page 12
+  EXPECT_EQ(Count(0), 1u);
+  EXPECT_EQ(Count(1), 0u);
+  EXPECT_EQ(Count(2), 1u);
+  EXPECT_EQ(Count(3), 0u);
+  EXPECT_EQ(Count(4), 0u);
+  EOS_EXPECT_OK(space_->CheckInvariants());
+}
+
+TEST_F(BuddySpaceTest, Figure4PartialFreeAndCoalesce) {
+  Init(16);
+  ASSERT_TRUE(space_->Allocate(11).ok());
+
+  // Figure 4.c: "the client frees 7 pages starting from page 3."
+  EOS_ASSERT_OK(space_->Free(3, 7));
+  // Remaining allocated: 2@0, 1@2 (re-encoded from the size-8 segment),
+  // and 1@10. Free: 1@3, 4@4, 2@8, 1@11, 4@12.
+  EXPECT_EQ(Count(0), 2u);  // pages 3 and 11
+  EXPECT_EQ(Count(1), 1u);  // pages 8-9
+  EXPECT_EQ(Count(2), 2u);  // pages 4-7 and 12-15
+  EXPECT_EQ(Count(3), 0u);
+  auto free_pages = space_->FreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, 12u);
+  EOS_ASSERT_OK(space_->CheckInvariants());
+
+  // Figure 4.d: "suppose the client frees page 10": 10+11 -> 2@10,
+  // +8-9 -> 4@8, +12-15 -> 8@8; cannot merge with 0 (not free).
+  EOS_ASSERT_OK(space_->Free(10, 1));
+  EXPECT_EQ(Count(0), 1u);  // page 3
+  EXPECT_EQ(Count(1), 0u);
+  EXPECT_EQ(Count(2), 1u);  // pages 4-7
+  EXPECT_EQ(Count(3), 1u);  // pages 8-15
+  EXPECT_EQ(MapByte(2), 0x83);  // free segment of 8 at page 8
+  EOS_ASSERT_OK(space_->CheckInvariants());
+
+  // Freeing the rest restores one maximal free segment.
+  EOS_ASSERT_OK(space_->Free(0, 3));
+  EXPECT_EQ(Count(4), 1u);
+  auto all_free = space_->FreePages();
+  ASSERT_TRUE(all_free.ok());
+  EXPECT_EQ(*all_free, 16u);
+  EOS_ASSERT_OK(space_->CheckInvariants());
+}
+
+TEST_F(BuddySpaceTest, AllocateSplitsLargerSegment) {
+  Init(64);
+  // Fresh 64-page space: one free segment of 64. Allocating 4 splits it.
+  auto s = space_->Allocate(4);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, 0u);
+  EXPECT_EQ(Count(2), 1u);  // 4..7
+  EXPECT_EQ(Count(3), 1u);  // 8..15
+  EXPECT_EQ(Count(4), 1u);  // 16..31
+  EXPECT_EQ(Count(5), 1u);  // 32..63
+  EOS_EXPECT_OK(space_->CheckInvariants());
+}
+
+TEST_F(BuddySpaceTest, AllocationRespectsAlignment) {
+  Init(64);
+  std::set<uint32_t> starts;
+  for (int i = 0; i < 8; ++i) {
+    auto s = space_->Allocate(8);
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s % 8, 0u) << "segments start only at multiples of their size";
+    EXPECT_TRUE(starts.insert(*s).second) << "duplicate allocation";
+  }
+  EXPECT_FALSE(space_->Allocate(1).ok());  // space exhausted
+}
+
+TEST_F(BuddySpaceTest, DoubleFreeDetected) {
+  Init(16);
+  auto s = space_->Allocate(4);
+  ASSERT_TRUE(s.ok());
+  EOS_ASSERT_OK(space_->Free(*s, 4));
+  Status st = space_->Free(*s, 4);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST_F(BuddySpaceTest, NonPowerOfTwoSpace) {
+  Init(23);  // decomposes into 16 + 4 + 2 + 1
+  EXPECT_EQ(Count(4), 1u);
+  EXPECT_EQ(Count(2), 1u);
+  EXPECT_EQ(Count(1), 1u);
+  EXPECT_EQ(Count(0), 1u);
+  EOS_ASSERT_OK(space_->CheckInvariants());
+  auto s = space_->Allocate(3);
+  ASSERT_TRUE(s.ok());
+  EOS_ASSERT_OK(space_->CheckInvariants());
+  EOS_ASSERT_OK(space_->Free(*s, 3));
+  auto free_pages = space_->FreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, 23u);
+}
+
+// Property test: random allocate/free against a reference bitmap. After
+// every operation the counts match the map and nothing overlaps.
+TEST_F(BuddySpaceTest, RandomizedAgainstReferenceBitmap) {
+  Init(128);
+  Random rng(20260704);
+  std::map<uint32_t, uint32_t> live;  // start -> npages
+  std::vector<bool> used(128, false);
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.OneIn(2)) {
+      uint32_t n = static_cast<uint32_t>(rng.Range(1, 24));
+      auto s = space_->Allocate(n);
+      if (s.ok()) {
+        for (uint32_t p = *s; p < *s + n; ++p) {
+          ASSERT_FALSE(used[p]) << "overlapping allocation at page " << p;
+          used[p] = true;
+        }
+        live[*s] = n;
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      // Sometimes free only part of the segment (Section 3.2 allows it).
+      uint32_t off = static_cast<uint32_t>(rng.Uniform(it->second));
+      uint32_t len =
+          static_cast<uint32_t>(rng.Range(1, it->second - off));
+      EOS_ASSERT_OK(space_->Free(it->first + off, len));
+      for (uint32_t p = it->first + off; p < it->first + off + len; ++p) {
+        used[p] = false;
+      }
+      // Update the reference segmentation.
+      uint32_t start = it->first;
+      uint32_t total = it->second;
+      live.erase(it);
+      if (off > 0) live[start] = off;
+      if (off + len < total) {
+        live[start + off + len] = total - off - len;
+      }
+    }
+    if (step % 50 == 0) {
+      EOS_ASSERT_OK(space_->CheckInvariants());
+      uint64_t used_count = 0;
+      for (bool u : used) used_count += u;
+      auto free_pages = space_->FreePages();
+      ASSERT_TRUE(free_pages.ok());
+      EXPECT_EQ(*free_pages, 128 - used_count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,81 @@
+// Byte-range lock table (Section 4.5 / [Care86] fine-granularity option).
+
+#include "txn/byte_range_locks.h"
+
+#include <gtest/gtest.h>
+
+namespace eos {
+namespace {
+
+using Mode = ByteRangeLockManager::Mode;
+
+TEST(ByteRangeLockTest, SharedLocksCoexist) {
+  ByteRangeLockManager mgr;
+  EXPECT_TRUE(mgr.LockForRead(1, 7, 0, 1000).ok());
+  EXPECT_TRUE(mgr.LockForRead(2, 7, 500, 1500).ok());
+  EXPECT_TRUE(mgr.Holds(1, 7, 0, 1000, Mode::kShared));
+  EXPECT_TRUE(mgr.Holds(2, 7, 500, 1500, Mode::kShared));
+  EXPECT_FALSE(mgr.Holds(1, 7, 0, 1000, Mode::kExclusive));
+}
+
+TEST(ByteRangeLockTest, ExclusiveConflictsWithOverlap) {
+  ByteRangeLockManager mgr;
+  EXPECT_TRUE(mgr.LockForReplace(1, 7, 100, 200).ok());
+  EXPECT_TRUE(mgr.LockForRead(2, 7, 0, 100).ok());   // adjacent: no overlap
+  EXPECT_TRUE(mgr.LockForRead(2, 7, 200, 300).ok());
+  Status s = mgr.LockForRead(2, 7, 150, 160);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  s = mgr.LockForReplace(2, 7, 199, 205);
+  EXPECT_TRUE(s.IsBusy());
+  // Different object: no conflict.
+  EXPECT_TRUE(mgr.LockForReplace(2, 8, 100, 200).ok());
+}
+
+TEST(ByteRangeLockTest, UpdateLocksToEndOfObject) {
+  // A length-changing update at offset B shifts every byte after it, so it
+  // locks [B, infinity).
+  ByteRangeLockManager mgr;
+  EXPECT_TRUE(mgr.LockForUpdate(1, 7, 5000).ok());
+  EXPECT_TRUE(mgr.LockForRead(2, 7, 0, 5000).ok());  // prefix still readable
+  EXPECT_TRUE(mgr.LockForRead(2, 7, 4000, 5000).ok());
+  EXPECT_TRUE(mgr.LockForRead(2, 7, 4999, 5001).IsBusy());
+  EXPECT_TRUE(mgr.LockForUpdate(2, 7, 900000).IsBusy());
+}
+
+TEST(ByteRangeLockTest, SameTransactionNeverSelfConflicts) {
+  ByteRangeLockManager mgr;
+  EXPECT_TRUE(mgr.LockForReplace(1, 7, 0, 100).ok());
+  EXPECT_TRUE(mgr.LockForReplace(1, 7, 50, 150).ok());
+  EXPECT_TRUE(mgr.LockForRead(1, 7, 0, 150).ok());
+  EXPECT_TRUE(mgr.LockForUpdate(1, 7, 10).ok());
+}
+
+TEST(ByteRangeLockTest, ReleaseAllFreesRanges) {
+  ByteRangeLockManager mgr;
+  EXPECT_TRUE(mgr.LockForReplace(1, 7, 0, 100).ok());
+  EXPECT_TRUE(mgr.LockForReplace(1, 8, 0, 100).ok());
+  EXPECT_EQ(mgr.lock_count(), 2u);
+  EXPECT_TRUE(mgr.LockForRead(2, 7, 50, 60).IsBusy());
+  mgr.ReleaseAll(1);
+  EXPECT_EQ(mgr.lock_count(), 0u);
+  EXPECT_TRUE(mgr.LockForRead(2, 7, 50, 60).ok());
+  EXPECT_FALSE(mgr.Holds(1, 7, 0, 100, Mode::kShared));
+}
+
+TEST(ByteRangeLockTest, HoldsRequiresFullCoverage) {
+  ByteRangeLockManager mgr;
+  EXPECT_TRUE(mgr.LockForRead(1, 7, 0, 100).ok());
+  EXPECT_TRUE(mgr.LockForRead(1, 7, 100, 200).ok());
+  EXPECT_TRUE(mgr.Holds(1, 7, 0, 200, Mode::kShared));  // two pieces cover
+  EXPECT_TRUE(mgr.LockForRead(1, 7, 300, 400).ok());
+  EXPECT_FALSE(mgr.Holds(1, 7, 0, 400, Mode::kShared));  // gap at [200,300)
+}
+
+TEST(ByteRangeLockTest, EmptyRangeRejected) {
+  ByteRangeLockManager mgr;
+  EXPECT_TRUE(mgr.Lock(1, 7, 10, 10, Mode::kShared).IsInvalidArgument());
+  EXPECT_TRUE(mgr.Lock(1, 7, 20, 10, Mode::kShared).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,145 @@
+// Concurrency: the shared substrate (device, pager, buddy allocator) is
+// safe under parallel use; objects are independent, so threads editing
+// their own objects over one volume must not interfere (the paper locks
+// per object root, Section 4.5 — cross-object work needs no such lock).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lob/lob_manager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+TEST(ConcurrencyTest, ParallelAllocateFree) {
+  Stack s = Stack::Make(1024, 2000);
+  constexpr int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(1000 + t);
+      std::vector<Extent> live;
+      for (int i = 0; i < 500; ++i) {
+        if (live.empty() || rng.OneIn(2)) {
+          auto e = s.allocator->Allocate(
+              static_cast<uint32_t>(rng.Range(1, 32)));
+          if (!e.ok()) {
+            ++failures;
+            return;
+          }
+          live.push_back(*e);
+        } else {
+          size_t idx = rng.Uniform(live.size());
+          if (!s.allocator->Free(live[idx]).ok()) {
+            ++failures;
+            return;
+          }
+          live.erase(live.begin() + idx);
+        }
+      }
+      for (const Extent& e : live) {
+        if (!s.allocator->Free(e).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EOS_ASSERT_OK(s.allocator->CheckInvariants());
+  auto free_pages = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, uint64_t{s.allocator->num_spaces()} * 2000u);
+}
+
+TEST(ConcurrencyTest, ParallelObjectsOverOneVolume) {
+  LobConfig cfg;
+  cfg.threshold_pages = 4;
+  Stack s = Stack::Make(1024, 3900, cfg, 1, 256);
+  constexpr int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(7000 + t);
+      Bytes model = PatternBytes(t, 20000);
+      auto d = s.lob->CreateFrom(model);
+      if (!d.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 150; ++i) {
+        uint64_t off = rng.Uniform(model.size());
+        if (rng.OneIn(2)) {
+          Bytes ins = PatternBytes(t * 1000 + i, rng.Range(1, 600));
+          if (!s.lob->Insert(&*d, off, ins).ok()) {
+            ++failures;
+            return;
+          }
+          model.insert(model.begin() + off, ins.begin(), ins.end());
+        } else {
+          uint64_t n = std::min<uint64_t>(rng.Range(1, 600),
+                                          model.size() - off);
+          if (!s.lob->Delete(&*d, off, n).ok()) {
+            ++failures;
+            return;
+          }
+          model.erase(model.begin() + off, model.begin() + off + n);
+        }
+      }
+      auto all = s.lob->ReadAll(*d);
+      if (!all.ok() || *all != model) {
+        ++failures;
+        return;
+      }
+      if (!s.lob->Destroy(&*d).ok()) ++failures;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EOS_ASSERT_OK(s.allocator->CheckInvariants());
+  auto free_pages = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, uint64_t{s.allocator->num_spaces()} * 3900u)
+      << "parallel objects leaked pages";
+}
+
+TEST(ConcurrencyTest, ParallelReadersOnSharedObject) {
+  Stack s = Stack::Make(1024, 3900, LobConfig{}, 1, 256);
+  Bytes data = PatternBytes(5, 300000);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(42 + t);
+      Bytes out;
+      for (int i = 0; i < 200; ++i) {
+        uint64_t off = rng.Uniform(data.size() - 1);
+        uint64_t n = rng.Range(1, 5000);
+        if (!s.lob->Read(*d, off, n, &out).ok()) {
+          ++failures;
+          return;
+        }
+        size_t want = std::min<size_t>(n, data.size() - off);
+        if (out.size() != want ||
+            !std::equal(out.begin(), out.end(), data.begin() + off)) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0) << "concurrent readers must not interfere";
+}
+
+}  // namespace
+}  // namespace eos

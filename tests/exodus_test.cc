@@ -1,0 +1,145 @@
+// Correctness tests for the Exodus baseline [Care86], including its
+// defining behaviours: fixed-size leaves with slack, in-place updates.
+
+#include "baselines/exodus/exodus_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+struct ExodusStack {
+  Stack base;
+  std::unique_ptr<ExodusManager> mgr;
+
+  static ExodusStack Make(uint32_t page_size, uint32_t leaf_pages) {
+    ExodusStack s;
+    s.base = Stack::Make(page_size);
+    ExodusConfig cfg;
+    cfg.leaf_pages = leaf_pages;
+    s.mgr = std::make_unique<ExodusManager>(s.base.pager.get(),
+                                            s.base.allocator.get(), cfg);
+    return s;
+  }
+};
+
+TEST(ExodusTest, CreateReadRoundTrip) {
+  ExodusStack s = ExodusStack::Make(100, 2);
+  Bytes data = PatternBytes(1, 5000);
+  auto d = s.mgr->CreateFrom(data);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 5000u);
+  auto all = s.mgr->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  EOS_EXPECT_OK(s.mgr->CheckInvariants(*d));
+}
+
+TEST(ExodusTest, LeavesAreFixedSize) {
+  ExodusStack s = ExodusStack::Make(100, 4);
+  Bytes data = PatternBytes(2, 10000);
+  auto d = s.mgr->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  auto stats = s.mgr->Stats(*d);
+  ASSERT_TRUE(stats.ok());
+  // Every leaf occupies exactly leaf_pages pages regardless of fill.
+  EXPECT_EQ(stats->min_segment_pages, 4u);
+  EXPECT_EQ(stats->max_segment_pages, 4u);
+}
+
+TEST(ExodusTest, InsertSplitsLeaveHalfFullLeaves) {
+  ExodusStack s = ExodusStack::Make(100, 4);
+  Bytes data = PatternBytes(3, 4000);
+  auto d = s.mgr->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  Bytes model = data;
+  Random rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Bytes ins = PatternBytes(100 + i, rng.Range(1, 300));
+    uint64_t off = rng.Uniform(model.size() + 1);
+    EOS_ASSERT_OK(s.mgr->Insert(&*d, off, ins));
+    model.insert(model.begin() + off, ins.begin(), ins.end());
+  }
+  auto all = s.mgr->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, model);
+  EOS_EXPECT_OK(s.mgr->CheckInvariants(*d));
+  // The Exodus dilemma: after splits, utilization drops well below 100%.
+  auto stats = s.mgr->Stats(*d);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->leaf_utilization, 0.95);
+}
+
+TEST(ExodusTest, RandomOpsMatchModel) {
+  for (uint32_t leaf_pages : {1u, 2u, 8u}) {
+    ExodusStack s = ExodusStack::Make(128, leaf_pages);
+    Bytes model;
+    auto d = s.mgr->CreateEmpty();
+    Random rng(1000 + leaf_pages);
+    for (int step = 0; step < 250; ++step) {
+      int op = static_cast<int>(rng.Uniform(10));
+      if (model.empty()) op = 0;
+      if (op <= 2) {
+        Bytes data = PatternBytes(step, rng.Range(1, 400));
+        EOS_ASSERT_OK(s.mgr->Append(&d, data));
+        model.insert(model.end(), data.begin(), data.end());
+      } else if (op <= 5) {
+        Bytes data = PatternBytes(step + 7777, rng.Range(1, 300));
+        uint64_t off = rng.Uniform(model.size() + 1);
+        EOS_ASSERT_OK(s.mgr->Insert(&d, off, data));
+        model.insert(model.begin() + off, data.begin(), data.end());
+      } else if (op <= 8) {
+        uint64_t off = rng.Uniform(model.size());
+        uint64_t n = rng.Range(1, std::max<uint64_t>(1, model.size() / 3));
+        n = std::min<uint64_t>(n, model.size() - off);
+        EOS_ASSERT_OK(s.mgr->Delete(&d, off, n));
+        model.erase(model.begin() + off, model.begin() + off + n);
+      } else {
+        uint64_t off = rng.Uniform(model.size());
+        uint64_t n = rng.Range(1, std::max<uint64_t>(1, model.size() - off));
+        Bytes data = PatternBytes(step + 9999, n);
+        EOS_ASSERT_OK(s.mgr->Replace(&d, off, data));
+        std::copy(data.begin(), data.end(), model.begin() + off);
+      }
+      ASSERT_EQ(d.size(), model.size()) << "step " << step;
+      if (step % 25 == 24) {
+        auto all = s.mgr->ReadAll(d);
+        ASSERT_TRUE(all.ok()) << all.status().ToString();
+        ASSERT_EQ(*all, model) << "leaf_pages=" << leaf_pages << " step "
+                               << step;
+        EOS_ASSERT_OK(s.mgr->CheckInvariants(d));
+        EOS_ASSERT_OK(s.base.allocator->CheckInvariants());
+      }
+    }
+    EOS_ASSERT_OK(s.mgr->Destroy(&d));
+    auto free_pages = s.base.allocator->TotalFreePages();
+    ASSERT_TRUE(free_pages.ok());
+    EXPECT_EQ(*free_pages, uint64_t{s.base.allocator->num_spaces()} *
+                               s.base.allocator->geometry().space_pages)
+        << "exodus leaked pages";
+  }
+}
+
+TEST(ExodusTest, ScatteredLeavesCostSeeksOnScan) {
+  // Build EOS-like and Exodus objects of the same size; sequentially scan
+  // both; the Exodus scan pays roughly one seek per leaf.
+  ExodusStack s = ExodusStack::Make(100, 1);
+  Bytes data = PatternBytes(4, 10000);  // 100 one-page leaves
+  auto d = s.mgr->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  EOS_ASSERT_OK(s.base.pager->EvictAll());
+  s.base.device->ForgetHeadPosition();
+  s.base.device->ResetStats();
+  auto all = s.mgr->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_GE(s.base.device->stats().seeks, 40u)
+      << "single-page Exodus leaves should scatter";
+}
+
+}  // namespace
+}  // namespace eos

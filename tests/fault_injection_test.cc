@@ -1,0 +1,151 @@
+// Failure injection: device errors must surface as IOError statuses, never
+// crash, and the storage stack must stay usable for reads that don't touch
+// the failing region once the fault clears.
+
+#include <gtest/gtest.h>
+
+#include "lob/lob_manager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+
+// Wraps MemPageDevice and fails every I/O once `armed` — after an optional
+// countdown of successful operations.
+class FaultyDevice final : public PageDevice {
+ public:
+  FaultyDevice(uint32_t page_size, uint64_t page_count)
+      : PageDevice(page_size, page_count), inner_(page_size, page_count) {}
+
+  void FailAfter(int ops) { countdown_ = ops; }
+  void Heal() { countdown_ = -1; }
+
+  Status Grow(uint64_t new_page_count) override {
+    EOS_RETURN_IF_ERROR(inner_.Grow(new_page_count));
+    page_count_ = new_page_count;
+    return Status::OK();
+  }
+
+ protected:
+  Status DoRead(PageId first, uint32_t n, uint8_t* out) override {
+    EOS_RETURN_IF_ERROR(MaybeFail());
+    return inner_.ReadPages(first, n, out);
+  }
+  Status DoWrite(PageId first, uint32_t n, const uint8_t* data) override {
+    EOS_RETURN_IF_ERROR(MaybeFail());
+    return inner_.WritePages(first, n, data);
+  }
+
+ private:
+  Status MaybeFail() {
+    if (countdown_ < 0) return Status::OK();
+    if (countdown_ == 0) return Status::IOError("injected fault");
+    --countdown_;
+    return Status::OK();
+  }
+
+  MemPageDevice inner_;
+  int countdown_ = -1;
+};
+
+struct FaultyStack {
+  std::unique_ptr<FaultyDevice> device;
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<SegmentAllocator> allocator;
+  std::unique_ptr<LobManager> lob;
+
+  explicit FaultyStack(uint32_t page_size) {
+    auto geo = BuddyGeometry::Make(page_size);
+    EXPECT_TRUE(geo.ok());
+    device = std::make_unique<FaultyDevice>(page_size,
+                                            1 + geo->space_pages + 1);
+    pager = std::make_unique<Pager>(device.get(), 32);
+    SegmentAllocator::Options opt;
+    auto a = SegmentAllocator::Format(pager.get(), *geo, 1, opt);
+    EXPECT_TRUE(a.ok());
+    allocator = std::move(a).value();
+    lob = std::make_unique<LobManager>(pager.get(), allocator.get(),
+                                       LobConfig{});
+  }
+};
+
+TEST(FaultInjectionTest, ReadFaultSurfacesAsIOError) {
+  FaultyStack s(256);
+  auto d = s.lob->CreateFrom(PatternBytes(1, 10000));
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(s.pager->EvictAll().ok());
+  s.device->FailAfter(0);
+  Bytes out;
+  Status st = s.lob->Read(*d, 0, 10000, &out);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  // After healing, everything reads back fine.
+  s.device->Heal();
+  EOS_ASSERT_OK(s.lob->Read(*d, 0, 10000, &out));
+  EXPECT_EQ(out, PatternBytes(1, 10000));
+}
+
+TEST(FaultInjectionTest, WriteFaultDuringCreatePropagates) {
+  FaultyStack s(256);
+  // The directory page is cached by the pager, so the first device
+  // operation of the create is the segment write itself.
+  s.device->FailAfter(0);
+  auto d = s.lob->CreateFrom(PatternBytes(2, 100000));
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.status().IsIOError()) << d.status().ToString();
+  s.device->Heal();
+  // The stack remains usable for new work.
+  auto d2 = s.lob->CreateFrom(PatternBytes(3, 5000));
+  ASSERT_TRUE(d2.ok()) << d2.status().ToString();
+  auto all = s.lob->ReadAll(*d2);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, PatternBytes(3, 5000));
+}
+
+TEST(FaultInjectionTest, FaultMidUpdateLeavesOldContentReadable) {
+  FaultyStack s(256);
+  Bytes data = PatternBytes(4, 20000);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(s.pager->FlushAll().ok());
+  LobDescriptor snapshot = *d;  // root as of the last consistent state
+
+  s.device->FailAfter(1);
+  Status st = s.lob->Insert(&*d, 5000, PatternBytes(5, 300));
+  EXPECT_FALSE(st.ok());
+  s.device->Heal();
+  // Insert/delete never overwrite leaf pages, so the OLD root still
+  // describes intact data even though the failed update may have leaked
+  // fresh pages (garbage collection of those needs the transaction layer).
+  Bytes out;
+  EOS_ASSERT_OK(s.lob->Read(snapshot, 0, data.size(), &out));
+  EXPECT_EQ(out, data);
+}
+
+TEST(FaultInjectionTest, EveryNthOpFaultSweep) {
+  // Sweep the failure point across an update's I/O sequence; whatever
+  // happens must be a clean Status, and the pre-update snapshot must stay
+  // readable (the no-leaf-overwrite guarantee).
+  for (int fail_at = 0; fail_at < 12; ++fail_at) {
+    FaultyStack s(256);
+    Bytes data = PatternBytes(6, 15000);
+    auto d = s.lob->CreateFrom(data);
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(s.pager->FlushAll().ok());
+    EXPECT_TRUE(s.pager->EvictAll().ok());
+    LobDescriptor snapshot = *d;
+    s.device->FailAfter(fail_at);
+    Status st = s.lob->Delete(&*d, 3000, 4000);
+    s.device->Heal();
+    if (!st.ok()) {
+      EXPECT_TRUE(st.IsIOError()) << st.ToString();
+      Bytes out;
+      EOS_ASSERT_OK(s.lob->Read(snapshot, 0, data.size(), &out));
+      EXPECT_EQ(out, data) << "fail_at=" << fail_at;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,146 @@
+// End-to-end workloads across the whole stack at realistic page sizes:
+// multi-megabyte objects, volume growth over multiple buddy spaces, mixed
+// editing sessions with periodic full validation.
+
+#include <gtest/gtest.h>
+
+#include "eos/database.h"
+#include "lob/lob_manager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+TEST(IntegrationTest, MultiMegabyteObject4KPages) {
+  Stack s = Stack::Make(4096, 2048);  // 8 MB spaces
+  Bytes data = PatternBytes(1, 10 * 1024 * 1024 + 12345);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), data.size());
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(*d));
+  // The object spans multiple buddy spaces.
+  EXPECT_GE(s.allocator->num_spaces(), 2u);
+
+  // Edit the middle: cut a megabyte, splice in new content.
+  Bytes ins = PatternBytes(2, 512 * 1024);
+  EOS_ASSERT_OK(s.lob->Delete(&*d, 1 << 20, 1 << 20));  // cut 1 MB
+  EOS_ASSERT_OK(s.lob->Insert(&*d, 1 << 20, ins));
+  Bytes model = data;
+  model.erase(model.begin() + (1 << 20), model.begin() + (2 << 20));
+  model.insert(model.begin() + (1 << 20), ins.begin(), ins.end());
+  auto all2 = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all2.ok());
+  EXPECT_EQ(*all2, model);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(*d));
+  EOS_ASSERT_OK(s.lob->Destroy(&*d));
+  auto free_pages = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, uint64_t{s.allocator->num_spaces()} * 2048u);
+}
+
+TEST(IntegrationTest, AppendSessionsInterleavedWithEdits) {
+  Stack s = Stack::Make(1024);
+  Bytes model;
+  LobDescriptor d = s.lob->CreateEmpty();
+  Random rng(404);
+  for (int session = 0; session < 5; ++session) {
+    {
+      LobAppender app(s.lob.get(), &d);
+      for (int i = 0; i < 30; ++i) {
+        Bytes chunk = PatternBytes(session * 100 + i, rng.Range(1, 3000));
+        EOS_ASSERT_OK(app.Append(chunk));
+        model.insert(model.end(), chunk.begin(), chunk.end());
+      }
+      EOS_ASSERT_OK(app.Finish());
+    }
+    for (int i = 0; i < 10 && !model.empty(); ++i) {
+      uint64_t off = rng.Uniform(model.size());
+      uint64_t n = std::min<uint64_t>(rng.Range(1, 2000),
+                                      model.size() - off);
+      EOS_ASSERT_OK(s.lob->Delete(&d, off, n));
+      model.erase(model.begin() + off, model.begin() + off + n);
+    }
+    ASSERT_EQ(d.size(), model.size());
+    auto all = s.lob->ReadAll(d);
+    ASSERT_TRUE(all.ok());
+    ASSERT_EQ(*all, model) << "session " << session;
+    EOS_ASSERT_OK(s.lob->CheckInvariants(d));
+    EOS_ASSERT_OK(s.allocator->CheckInvariants());
+  }
+}
+
+TEST(IntegrationTest, DatabaseHoldsManyEditedObjects) {
+  DatabaseOptions opt;
+  opt.page_size = 512;
+  opt.space_pages = 1000;
+  auto db = Database::CreateInMemory(opt);
+  ASSERT_TRUE(db.ok());
+  Random rng(808);
+  std::vector<uint64_t> ids;
+  std::vector<Bytes> models;
+  for (int i = 0; i < 6; ++i) {
+    models.push_back(PatternBytes(i, 20000 + 1000 * i));
+    auto id = (*db)->CreateObjectFrom(models.back());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (int step = 0; step < 100; ++step) {
+    size_t k = rng.Uniform(ids.size());
+    Bytes& m = models[k];
+    if (m.empty() || rng.OneIn(2)) {
+      Bytes ins = PatternBytes(1000 + step, rng.Range(1, 1500));
+      uint64_t off = rng.Uniform(m.size() + 1);
+      EOS_ASSERT_OK((*db)->Insert(ids[k], off, ins));
+      m.insert(m.begin() + off, ins.begin(), ins.end());
+    } else {
+      uint64_t off = rng.Uniform(m.size());
+      uint64_t n = std::min<uint64_t>(rng.Range(1, 1500), m.size() - off);
+      EOS_ASSERT_OK((*db)->Delete(ids[k], off, n));
+      m.erase(m.begin() + off, m.begin() + off + n);
+    }
+  }
+  for (size_t k = 0; k < ids.size(); ++k) {
+    auto r = (*db)->Read(ids[k], 0, models[k].size() + 10);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, models[k]) << "object " << k;
+  }
+  EOS_EXPECT_OK((*db)->CheckIntegrity());
+}
+
+TEST(IntegrationTest, SequentialScanIsSeekEfficient) {
+  // The headline property: a freshly created object reads at near transfer
+  // rate. 4 MB at 4 KB pages = 1024 transfers and only a handful of seeks.
+  Stack s = Stack::Make(4096, 2048);
+  Bytes data = PatternBytes(3, 4 * 1024 * 1024);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  EOS_ASSERT_OK(s.pager->EvictAll());
+  s.device->ForgetHeadPosition();
+  s.device->ResetStats();
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  const IoStats& io = s.device->stats();
+  EXPECT_GE(io.pages_read, 1024u);
+  EXPECT_LE(io.pages_read, 1026u) << io.ToString();
+  EXPECT_LE(io.seeks, 8u) << "sequential scan must be near transfer rate";
+}
+
+TEST(IntegrationTest, ThresholdZeroAndHugeClamped) {
+  LobConfig cfg;
+  cfg.threshold_pages = 0;  // clamped to 1
+  Stack s = Stack::Make(100, 0, cfg);
+  EXPECT_EQ(s.lob->config().threshold_pages, 1u);
+  LobConfig cfg2;
+  cfg2.threshold_pages = 1 << 30;  // clamped to the max segment size
+  Stack s2 = Stack::Make(100, 0, cfg2);
+  EXPECT_EQ(s2.lob->config().threshold_pages, s2.lob->max_segment_pages());
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,173 @@
+// Page device and pager tests, including the seek-accounting model the
+// paper's cost claims rest on.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/page_device.h"
+#include "io/pager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+TEST(MemDeviceTest, ReadWriteRoundTrip) {
+  MemPageDevice dev(128, 16);
+  Bytes w = testing_util::PatternBytes(1, 3 * 128);
+  EOS_ASSERT_OK(dev.WritePages(4, 3, w.data()));
+  Bytes r(3 * 128);
+  EOS_ASSERT_OK(dev.ReadPages(4, 3, r.data()));
+  EXPECT_EQ(w, r);
+}
+
+TEST(MemDeviceTest, OutOfRangeRejected) {
+  MemPageDevice dev(128, 16);
+  Bytes b(128);
+  EXPECT_TRUE(dev.ReadPages(16, 1, b.data()).IsOutOfRange());
+  EXPECT_TRUE(dev.WritePages(15, 2, b.data()).IsOutOfRange());
+  EXPECT_TRUE(dev.ReadPages(0, 0, b.data()).IsInvalidArgument());
+}
+
+TEST(MemDeviceTest, SeekAccounting) {
+  MemPageDevice dev(128, 64);
+  Bytes b(128 * 8);
+  dev.ResetStats();
+  // A multi-page access costs one seek plus n transfers.
+  EOS_ASSERT_OK(dev.ReadPages(0, 8, b.data()));
+  EXPECT_EQ(dev.stats().seeks, 1u);
+  EXPECT_EQ(dev.stats().pages_read, 8u);
+  // Sequential continuation costs no extra seek.
+  EOS_ASSERT_OK(dev.ReadPages(8, 4, b.data()));
+  EXPECT_EQ(dev.stats().seeks, 1u);
+  // Jumping back costs a seek.
+  EOS_ASSERT_OK(dev.ReadPages(0, 1, b.data()));
+  EXPECT_EQ(dev.stats().seeks, 2u);
+  // Scattered single-page reads: one seek each.
+  EOS_ASSERT_OK(dev.ReadPages(20, 1, b.data()));
+  EOS_ASSERT_OK(dev.ReadPages(40, 1, b.data()));
+  EXPECT_EQ(dev.stats().seeks, 4u);
+  EXPECT_EQ(dev.stats().pages_read, 15u);
+}
+
+TEST(MemDeviceTest, DiskModelEstimates) {
+  IoStats s;
+  s.seeks = 3;
+  s.pages_read = 6;
+  DiskModel model;  // 16 ms seek, 2 ms per page
+  EXPECT_DOUBLE_EQ(model.EstimateMs(s), 3 * 16.0 + 6 * 2.0);
+}
+
+TEST(MemDeviceTest, Grow) {
+  MemPageDevice dev(128, 4);
+  EXPECT_EQ(dev.page_count(), 4u);
+  EOS_ASSERT_OK(dev.Grow(10));
+  EXPECT_EQ(dev.page_count(), 10u);
+  Bytes b(128);
+  EOS_ASSERT_OK(dev.ReadPages(9, 1, b.data()));
+  EXPECT_TRUE(dev.Grow(5).IsInvalidArgument());
+}
+
+TEST(FileDeviceTest, CreateWriteReopenRead) {
+  std::string path = ::testing::TempDir() + "/eos_file_dev_test.vol";
+  Bytes w = testing_util::PatternBytes(2, 2 * 256);
+  {
+    auto dev = FilePageDevice::Create(path, 256, 8);
+    ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+    EOS_ASSERT_OK((*dev)->WritePages(3, 2, w.data()));
+    EOS_ASSERT_OK((*dev)->Sync());
+  }
+  {
+    auto dev = FilePageDevice::Open(path, 256);
+    ASSERT_TRUE(dev.ok());
+    EXPECT_EQ((*dev)->page_count(), 8u);
+    Bytes r(2 * 256);
+    EOS_ASSERT_OK((*dev)->ReadPages(3, 2, r.data()));
+    EXPECT_EQ(w, r);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PagerTest, FetchCachesPages) {
+  MemPageDevice dev(128, 16);
+  Bytes w = testing_util::PatternBytes(3, 128);
+  EOS_ASSERT_OK(dev.WritePages(5, 1, w.data()));
+  Pager pager(&dev, 4);
+  {
+    auto h = pager.Fetch(5);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(Bytes(h->data(), h->data() + 128), w);
+  }
+  uint64_t reads = dev.stats().pages_read;
+  {
+    auto h = pager.Fetch(5);  // hit: no device read
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_EQ(dev.stats().pages_read, reads);
+  EXPECT_EQ(pager.hits(), 1u);
+  EXPECT_EQ(pager.misses(), 1u);
+}
+
+TEST(PagerTest, DirtyWriteBackOnEviction) {
+  MemPageDevice dev(128, 16);
+  Pager pager(&dev, 2);
+  {
+    auto h = pager.Zeroed(1);
+    ASSERT_TRUE(h.ok());
+    h->data()[0] = 0xAB;
+    h->MarkDirty();
+  }
+  // Evict page 1 by touching two other pages.
+  ASSERT_TRUE(pager.Fetch(2).ok());
+  ASSERT_TRUE(pager.Fetch(3).ok());
+  Bytes r(128);
+  EOS_ASSERT_OK(dev.ReadPages(1, 1, r.data()));
+  EXPECT_EQ(r[0], 0xAB);
+}
+
+TEST(PagerTest, PinnedPagesCannotBeEvicted) {
+  MemPageDevice dev(128, 16);
+  Pager pager(&dev, 2);
+  auto h1 = pager.Fetch(1);
+  auto h2 = pager.Fetch(2);
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  auto h3 = pager.Fetch(3);
+  EXPECT_TRUE(h3.status().IsBusy()) << "all frames pinned";
+  h1->Reset();
+  auto h4 = pager.Fetch(3);
+  EXPECT_TRUE(h4.ok());
+}
+
+TEST(PagerTest, FlushAllPersistsDirtyFrames) {
+  MemPageDevice dev(128, 16);
+  Pager pager(&dev, 4);
+  {
+    auto h = pager.Zeroed(7);
+    ASSERT_TRUE(h.ok());
+    h->data()[10] = 0x77;
+    h->MarkDirty();
+  }
+  EOS_ASSERT_OK(pager.FlushAll());
+  Bytes r(128);
+  EOS_ASSERT_OK(dev.ReadPages(7, 1, r.data()));
+  EXPECT_EQ(r[10], 0x77);
+}
+
+TEST(PagerTest, InvalidateDropsWithoutWrite) {
+  MemPageDevice dev(128, 16);
+  Pager pager(&dev, 4);
+  {
+    auto h = pager.Zeroed(9);
+    ASSERT_TRUE(h.ok());
+    h->data()[0] = 0x55;
+    h->MarkDirty();
+  }
+  pager.Invalidate(9);
+  EOS_ASSERT_OK(pager.FlushAll());
+  Bytes r(128);
+  EOS_ASSERT_OK(dev.ReadPages(9, 1, r.data()));
+  EXPECT_EQ(r[0], 0x00) << "invalidated page must not be written back";
+}
+
+}  // namespace
+}  // namespace eos

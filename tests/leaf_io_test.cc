@@ -1,0 +1,114 @@
+// ReadLeafRuns: merging adjacent/overlapping page runs into single
+// physically contiguous accesses (the unit behind the paper's "read one or
+// two physically adjacent pages" insert/delete costs).
+
+#include "lob/leaf_io.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using lob_internal::ReadLeafRuns;
+using testing_util::PatternBytes;
+
+class LeafIoTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kPs = 100;
+  void SetUp() override {
+    device_ = std::make_unique<MemPageDevice>(kPs, 64);
+    data_ = PatternBytes(1, 40 * kPs);
+    ASSERT_TRUE(device_->WritePages(0, 40, data_.data()).ok());
+    device_->ResetStats();
+  }
+
+  Bytes Slice(uint64_t lo, uint64_t hi) {
+    return Bytes(data_.begin() + lo, data_.begin() + hi);
+  }
+
+  std::unique_ptr<MemPageDevice> device_;
+  Bytes data_;
+};
+
+TEST_F(LeafIoTest, SingleRange) {
+  std::vector<Bytes> out;
+  EOS_ASSERT_OK(ReadLeafRuns(device_.get(), kPs, 0, {{150, 420}}, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Slice(150, 420));
+  EXPECT_EQ(device_->stats().read_calls, 1u);
+  EXPECT_EQ(device_->stats().pages_read, 4u);  // pages 1..4
+}
+
+TEST_F(LeafIoTest, AdjacentRangesMergeIntoOneAccess) {
+  // [150, 200) and [200, 310): contiguous bytes -> pages 1..3, one access.
+  std::vector<Bytes> out;
+  EOS_ASSERT_OK(
+      ReadLeafRuns(device_.get(), kPs, 0, {{150, 200}, {200, 310}}, &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Slice(150, 200));
+  EXPECT_EQ(out[1], Slice(200, 310));
+  EXPECT_EQ(device_->stats().read_calls, 1u);
+}
+
+TEST_F(LeafIoTest, TouchingPageRunsMerge) {
+  // [150, 180) is page 1; [230, 260) is page 2: adjacent pages merge.
+  std::vector<Bytes> out;
+  EOS_ASSERT_OK(
+      ReadLeafRuns(device_.get(), kPs, 0, {{150, 180}, {230, 260}}, &out));
+  EXPECT_EQ(device_->stats().read_calls, 1u);
+  EXPECT_EQ(device_->stats().pages_read, 2u);
+  EXPECT_EQ(out[0], Slice(150, 180));
+  EXPECT_EQ(out[1], Slice(230, 260));
+}
+
+TEST_F(LeafIoTest, DistantRangesStaySeparate) {
+  // Pages 0 and 30: merging would transfer 30 useless pages.
+  std::vector<Bytes> out;
+  EOS_ASSERT_OK(
+      ReadLeafRuns(device_.get(), kPs, 0, {{10, 20}, {3000, 3050}}, &out));
+  EXPECT_EQ(device_->stats().read_calls, 2u);
+  EXPECT_EQ(device_->stats().pages_read, 2u);
+  EXPECT_EQ(out[0], Slice(10, 20));
+  EXPECT_EQ(out[1], Slice(3000, 3050));
+}
+
+TEST_F(LeafIoTest, EmptyRangesYieldEmptyBuffers) {
+  std::vector<Bytes> out;
+  EOS_ASSERT_OK(ReadLeafRuns(device_.get(), kPs, 0,
+                             {{50, 50}, {100, 200}, {200, 200}}, &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].empty());
+  EXPECT_EQ(out[1], Slice(100, 200));
+  EXPECT_TRUE(out[2].empty());
+  EXPECT_EQ(device_->stats().read_calls, 1u);
+}
+
+TEST_F(LeafIoTest, AllEmpty) {
+  std::vector<Bytes> out;
+  EOS_ASSERT_OK(ReadLeafRuns(device_.get(), kPs, 0, {{0, 0}}, &out));
+  EXPECT_TRUE(out[0].empty());
+  EXPECT_EQ(device_->stats().read_calls, 0u);
+}
+
+TEST_F(LeafIoTest, NonZeroLeafBase) {
+  std::vector<Bytes> out;
+  // Leaf starts at device page 10: byte 0 of the leaf is page 10.
+  EOS_ASSERT_OK(ReadLeafRuns(device_.get(), kPs, 10, {{0, 150}}, &out));
+  EXPECT_EQ(out[0], Slice(1000, 1150));
+}
+
+TEST_F(LeafIoTest, ThreeRangesMixedMerging) {
+  // The insert pattern: L-tail + P-suffix adjacent, R-head beyond a gap.
+  std::vector<Bytes> out;
+  EOS_ASSERT_OK(ReadLeafRuns(device_.get(), kPs, 0,
+                             {{380, 450}, {450, 500}, {2000, 2100}}, &out));
+  EXPECT_EQ(device_->stats().read_calls, 2u);
+  EXPECT_EQ(out[0], Slice(380, 450));
+  EXPECT_EQ(out[1], Slice(450, 500));
+  EXPECT_EQ(out[2], Slice(2000, 2100));
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,335 @@
+// Basic large-object operations plus the exact object shapes of Figure 5
+// (E4) and the worked read-cost example of Section 4.2 (E5).
+
+#include <gtest/gtest.h>
+
+#include "lob/lob_manager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+TEST(LobBasicTest, EmptyObject) {
+  Stack s = Stack::Make(100);
+  LobDescriptor d = s.lob->CreateEmpty();
+  EXPECT_EQ(d.size(), 0u);
+  auto all = s.lob->ReadAll(d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->empty());
+  EOS_EXPECT_OK(s.lob->CheckInvariants(d));
+}
+
+TEST(LobBasicTest, Figure5aKnownSizeCreate) {
+  // PS = 100, 1820 bytes with the size known in advance: one segment of
+  // ceil(1820/100) = 19 pages, root with a single pair (count 1820).
+  Stack s = Stack::Make(100);
+  Bytes data = PatternBytes(1, 1820);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 1820u);
+  EXPECT_EQ(d->root.level, 0);
+  ASSERT_EQ(d->root.entries.size(), 1u);
+  EXPECT_EQ(d->root.entries[0].count, 1820u);
+  auto stats = s.lob->Stats(*d);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_segments, 1u);
+  EXPECT_EQ(stats->leaf_pages, 19u);
+  EXPECT_EQ(stats->index_pages, 0u);
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(*d));
+}
+
+TEST(LobBasicTest, Figure5bUnknownSizeDoublingGrowth) {
+  // The same 1820 bytes appended in 20 chunks of 91 bytes without a size
+  // hint: segments double 1, 2, 4, 8 pages, then the last (16) is trimmed
+  // to 4 pages -> cumulative counts 100, 300, 700, 1500, 1820.
+  Stack s = Stack::Make(100);
+  Bytes data = PatternBytes(2, 1820);
+  LobDescriptor d = s.lob->CreateEmpty();
+  {
+    LobAppender app(s.lob.get(), &d);
+    for (int i = 0; i < 20; ++i) {
+      EOS_ASSERT_OK(app.Append(ByteView(data.data() + i * 91, 91)));
+    }
+    EOS_ASSERT_OK(app.Finish());
+  }
+  EXPECT_EQ(d.size(), 1820u);
+  ASSERT_EQ(d.root.entries.size(), 5u);
+  EXPECT_EQ(d.root.entries[0].count, 100u);
+  EXPECT_EQ(d.root.entries[1].count, 200u);
+  EXPECT_EQ(d.root.entries[2].count, 400u);
+  EXPECT_EQ(d.root.entries[3].count, 800u);
+  EXPECT_EQ(d.root.entries[4].count, 320u);
+  auto all = s.lob->ReadAll(d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(d));
+
+  // Storage utilization: only the last page of the last segment is
+  // partially full (20 bytes of 100).
+  auto stats = s.lob->Stats(d);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->leaf_pages, 19u);
+}
+
+// Builds the exact object of Figure 5.c: root (level 1) with two children;
+// the right child points to three segments of 280, 430 and 90 bytes.
+class Figure5cTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = Stack::Make(100);
+    data_ = PatternBytes(3, 1820);
+    NodeStore* store = s_.lob->node_store();
+
+    // Left child: 1020 bytes in two segments (520 + 500).
+    LobNode left;
+    left.level = 0;
+    left.entries.push_back(MakeSegment(0, 520));
+    left.entries.push_back(MakeSegment(520, 500));
+    auto left_page = store->WriteNew(left);
+    ASSERT_TRUE(left_page.ok());
+
+    // Right child: 800 bytes in segments of 280, 430, 90 (cumulative
+    // counts 280, 710, 800 as in the figure).
+    LobNode right;
+    right.level = 0;
+    right.entries.push_back(MakeSegment(1020, 280));
+    right.entries.push_back(MakeSegment(1300, 430));
+    right.entries.push_back(MakeSegment(1730, 90));
+    auto right_page = store->WriteNew(right);
+    ASSERT_TRUE(right_page.ok());
+
+    d_.root.level = 1;
+    d_.root.entries = {LobEntry{1020, *left_page},
+                       LobEntry{800, *right_page}};
+    EOS_ASSERT_OK(s_.pager->FlushAll());
+  }
+
+  LobEntry MakeSegment(uint64_t offset, uint64_t bytes) {
+    uint32_t pages = static_cast<uint32_t>((bytes + 99) / 100);
+    auto e = s_.allocator->Allocate(pages);
+    EXPECT_TRUE(e.ok());
+    // Leave a one-page gap after each segment so consecutive segments are
+    // never physically adjacent (each access costs its own seek).
+    auto gap = s_.allocator->Allocate(1);
+    EXPECT_TRUE(gap.ok());
+    Bytes buf(size_t{pages} * 100, 0);
+    std::memcpy(buf.data(), data_.data() + offset, bytes);
+    EXPECT_TRUE(
+        s_.device->WritePages(e->first, pages, buf.data()).ok());
+    return LobEntry{bytes, e->first};
+  }
+
+  Stack s_;
+  Bytes data_;
+  LobDescriptor d_;
+};
+
+TEST_F(Figure5cTest, StructureAndContent) {
+  EXPECT_EQ(d_.size(), 1820u);
+  auto all = s_.lob->ReadAll(d_);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data_);
+  EOS_EXPECT_OK(s_.lob->CheckInvariants(d_));
+  auto stats = s_.lob->Stats(d_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_segments, 5u);
+  EXPECT_EQ(stats->index_pages, 2u);
+  EXPECT_EQ(stats->depth, 1u);
+}
+
+TEST_F(Figure5cTest, WorkedReadCostExample) {
+  // Section 4.2: reading 320 bytes from byte 1470 costs, excluding the
+  // root, 3 disk seeks plus 6 page transfers (1 index page + 4 pages of
+  // the 430-byte segment + 1 page of the 90-byte segment).
+  EOS_ASSERT_OK(s_.pager->EvictAll());
+  s_.device->ForgetHeadPosition();
+  s_.device->ResetStats();
+  Bytes out;
+  EOS_ASSERT_OK(s_.lob->Read(d_, 1470, 320, &out));
+  EXPECT_EQ(out, Bytes(data_.begin() + 1470, data_.begin() + 1790));
+  const IoStats& io = s_.device->stats();
+  EXPECT_EQ(io.seeks, 3u);
+  EXPECT_EQ(io.pages_read, 6u);
+  EXPECT_EQ(io.pages_written, 0u);
+}
+
+TEST(LobBasicTest, Figure5aReadCost) {
+  // The same read on the contiguous object of Figure 5.a: one seek, and
+  // the pages holding bytes 1470..1790 (pages 14..17 -> 4 transfers; the
+  // paper's prose says 5, an off-by-one in its own arithmetic).
+  Stack s = Stack::Make(100);
+  Bytes data = PatternBytes(4, 1820);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  EOS_ASSERT_OK(s.pager->EvictAll());
+  s.device->ForgetHeadPosition();
+  s.device->ResetStats();
+  Bytes out;
+  EOS_ASSERT_OK(s.lob->Read(*d, 1470, 320, &out));
+  EXPECT_EQ(out, Bytes(data.begin() + 1470, data.begin() + 1790));
+  EXPECT_EQ(s.device->stats().seeks, 1u);
+  EXPECT_EQ(s.device->stats().pages_read, 4u);
+}
+
+TEST(LobBasicTest, ReplaceInPlace) {
+  Stack s = Stack::Make(100);
+  Bytes data = PatternBytes(5, 2500);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  Bytes patch = PatternBytes(6, 333);
+  EOS_ASSERT_OK(s.lob->Replace(&*d, 777, patch));
+  std::memcpy(data.data() + 777, patch.data(), patch.size());
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  // Replace must not change the structure.
+  EXPECT_EQ(d->size(), 2500u);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(*d));
+}
+
+TEST(LobBasicTest, ReplaceBeyondEndFails) {
+  Stack s = Stack::Make(100);
+  auto d = s.lob->CreateFrom(PatternBytes(7, 500));
+  ASSERT_TRUE(d.ok());
+  Bytes patch(100, 0xAB);
+  Status st = s.lob->Replace(&*d, 450, patch);
+  EXPECT_TRUE(st.IsOutOfRange());
+}
+
+TEST(LobBasicTest, AppendToExistingObjectMovesPartialTail) {
+  Stack s = Stack::Make(100);
+  Bytes data = PatternBytes(8, 250);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  Bytes more = PatternBytes(9, 180);
+  EOS_ASSERT_OK(s.lob->Append(&*d, more));
+  data.insert(data.end(), more.begin(), more.end());
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  EXPECT_EQ(d->size(), 430u);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(*d));
+}
+
+TEST(LobBasicTest, TruncateTouchesNoLeafPages) {
+  Stack s = Stack::Make(100);
+  Bytes data = PatternBytes(10, 5000);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  s.device->ResetStats();
+  // Truncating at a page boundary must not read or write any leaf page
+  // (Section 4.3.2). 1700 is page-aligned.
+  EOS_ASSERT_OK(s.lob->Truncate(&*d, 1700));
+  // Index pages may be read/written but leaf data may not; the object is a
+  // single segment, so any leaf I/O would be a multi-page access. All
+  // accesses here must be single-page (index/directory only).
+  EXPECT_EQ(d->size(), 1700u);
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, Bytes(data.begin(), data.begin() + 1700));
+}
+
+TEST(LobBasicTest, TruncateMidPageCreatesOnePageSegment) {
+  Stack s = Stack::Make(100);
+  LobConfig cfg;
+  cfg.threshold_pages = 1;
+  Stack s2 = Stack::Make(100, 0, cfg);
+  Bytes data = PatternBytes(11, 5000);
+  auto d = s2.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  EOS_ASSERT_OK(s2.lob->Truncate(&*d, 1750));
+  EXPECT_EQ(d->size(), 1750u);
+  auto all = s2.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, Bytes(data.begin(), data.begin() + 1750));
+  EOS_EXPECT_OK(s2.lob->CheckInvariants(*d));
+}
+
+TEST(LobBasicTest, DestroyReturnsAllPages) {
+  Stack s = Stack::Make(100);
+  auto before = s.allocator->TotalFreePages();
+  ASSERT_TRUE(before.ok());
+  auto d = s.lob->CreateFrom(PatternBytes(12, 123456));
+  ASSERT_TRUE(d.ok());
+  EOS_ASSERT_OK(s.lob->Destroy(&*d));
+  EXPECT_EQ(d->size(), 0u);
+  auto after = s.allocator->TotalFreePages();
+  ASSERT_TRUE(after.ok());
+  // The workload may have grown the volume; every page of every space must
+  // be free again afterwards.
+  EXPECT_EQ(*after, uint64_t{s.allocator->num_spaces()} *
+                        s.allocator->geometry().space_pages)
+      << "destroy must free every page";
+  EOS_EXPECT_OK(s.allocator->CheckInvariants());
+}
+
+TEST(LobBasicTest, LargeObjectMultiLevelTree) {
+  // Force a deep tree: tiny root (2 entries max => 40 bytes) and small
+  // pages.
+  LobConfig cfg;
+  cfg.max_root_bytes = 8 + 2 * 16 + 8;  // room for 2 entries
+  cfg.max_segment_pages = 4;
+  Stack s = Stack::Make(128, 0, cfg);
+  Bytes data = PatternBytes(13, 60000);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_LE(d->root.entries.size(), 2u);
+  EXPECT_GE(d->root.level, 1);
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(*d));
+  // Random access: read 100 bytes at various offsets.
+  for (uint64_t off : {0ull, 1ull, 12345ull, 59900ull}) {
+    Bytes out;
+    EOS_ASSERT_OK(s.lob->Read(*d, off, 100, &out));
+    size_t want = std::min<size_t>(100, 60000 - off);
+    EXPECT_EQ(out, Bytes(data.begin() + off, data.begin() + off + want));
+  }
+}
+
+TEST(LobBasicTest, ReadPastEndClampsAndOffsetBeyondFails) {
+  Stack s = Stack::Make(100);
+  auto d = s.lob->CreateFrom(PatternBytes(14, 500));
+  ASSERT_TRUE(d.ok());
+  Bytes out;
+  EOS_ASSERT_OK(s.lob->Read(*d, 450, 1000, &out));
+  EXPECT_EQ(out.size(), 50u);
+  Status st = s.lob->Read(*d, 501, 10, &out);
+  EXPECT_TRUE(st.IsOutOfRange());
+}
+
+TEST(LobBasicTest, WriteOverwritesAndExtends) {
+  Stack s = Stack::Make(100);
+  Bytes model = PatternBytes(30, 1000);
+  auto d = s.lob->CreateFrom(model);
+  ASSERT_TRUE(d.ok());
+  // Entirely within bounds: pure replace.
+  Bytes w1 = PatternBytes(31, 200);
+  EOS_ASSERT_OK(s.lob->Write(&*d, 100, w1));
+  std::copy(w1.begin(), w1.end(), model.begin() + 100);
+  // Straddles the end: replace + append.
+  Bytes w2 = PatternBytes(32, 300);
+  EOS_ASSERT_OK(s.lob->Write(&*d, 900, w2));
+  model.resize(900);
+  model.insert(model.end(), w2.begin(), w2.end());
+  // Exactly at the end: pure append.
+  Bytes w3 = PatternBytes(33, 50);
+  EOS_ASSERT_OK(s.lob->Write(&*d, d->size(), w3));
+  model.insert(model.end(), w3.begin(), w3.end());
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, model);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(*d));
+  // Beyond the end: rejected (no holes in objects).
+  EXPECT_TRUE(s.lob->Write(&*d, d->size() + 1, w3).IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,150 @@
+// I/O-cost assertions for the paper's per-operation claims (Sections
+// 4.3.1, 4.3.2): updates touch I/O proportional to the bytes involved,
+// never to the object size.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "lob/lob_manager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+// Leaf-page reads of an operation = total reads minus single-page index
+// reads is hard to separate exactly; instead we bound total page I/O.
+struct CostProbe {
+  Stack s;
+  LobDescriptor d;
+
+  static CostProbe Make(uint32_t t, uint64_t object_bytes) {
+    LobConfig cfg;
+    cfg.threshold_pages = t;
+    CostProbe p{Stack::Make(4096, 4096, cfg), {}};
+    Random rng(1);
+    auto d = p.s.lob->CreateFrom(testing_util::PatternBytes(1, object_bytes));
+    EXPECT_TRUE(d.ok());
+    p.d = *d;
+    return p;
+  }
+
+  IoStats Op(const std::function<Status(LobManager*, LobDescriptor*)>& fn) {
+    EXPECT_TRUE(s.pager->FlushAll().ok());
+    EXPECT_TRUE(s.pager->EvictAll().ok());
+    s.device->ForgetHeadPosition();
+    s.device->ResetStats();
+    Status st = fn(s.lob.get(), &d);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_TRUE(s.pager->FlushAll().ok());
+    return s.device->stats();
+  }
+};
+
+TEST(LobCostTest, InsertReadsAtMostTwoLeafRuns) {
+  // Section 4.3.1: "one or two (physically adjacent) pages from the
+  // original leaf segment have to be read" (plus index I/O and the write
+  // of N). With T=1 (no page reshuffling) on a fresh object, total reads
+  // must be tiny and independent of the 16 MB object size.
+  CostProbe p = CostProbe::Make(1, 16 << 20);
+  Bytes ins = PatternBytes(2, 100);
+  IoStats io = p.Op([&](LobManager* lob, LobDescriptor* d) {
+    return lob->Insert(d, 8 << 20, ins);
+  });
+  EXPECT_LE(io.pages_read, 4u) << io.ToString();   // 1-2 leaf + 1-2 index
+  EXPECT_LE(io.pages_written, 6u) << io.ToString();
+}
+
+TEST(LobCostTest, InsertCostIndependentOfObjectSize) {
+  uint64_t reads_small = 0, reads_big = 0;
+  {
+    CostProbe p = CostProbe::Make(8, 1 << 20);
+    Bytes ins = PatternBytes(3, 200);
+    reads_small = p.Op([&](LobManager* lob, LobDescriptor* d) {
+                     return lob->Insert(d, 300000, ins);
+                   }).transfers();
+  }
+  {
+    CostProbe p = CostProbe::Make(8, 32 << 20);
+    Bytes ins = PatternBytes(3, 200);
+    reads_big = p.Op([&](LobManager* lob, LobDescriptor* d) {
+                  return lob->Insert(d, 300000, ins);
+                }).transfers();
+  }
+  // Objective 3: cost depends on the bytes involved, not the object size.
+  EXPECT_LE(reads_big, reads_small + 4);
+}
+
+TEST(LobCostTest, AlignedDeleteTouchesNoLeafPage) {
+  // Section 4.3.2: "deletions where the last byte to be deleted happens to
+  // be the last byte of a page can be completed without accessing any
+  // segment". With T=1, delete [page-aligned, page-aligned): zero leaf
+  // reads; only index pages move.
+  CostProbe p = CostProbe::Make(1, 8 << 20);
+  IoStats io = p.Op([&](LobManager* lob, LobDescriptor* d) {
+    return lob->Delete(d, 4096 * 100, 4096 * 50);
+  });
+  // Every access must be a single (index/directory) page: no multi-page
+  // leaf transfers at all.
+  EXPECT_EQ(io.pages_read, io.read_calls) << io.ToString();
+}
+
+TEST(LobCostTest, TruncateTouchesNoLeafPage) {
+  CostProbe p = CostProbe::Make(1, 8 << 20);
+  IoStats io = p.Op([&](LobManager* lob, LobDescriptor* d) {
+    return lob->Truncate(d, 12345);  // mid-page boundary is fine too:
+    // N is empty because the deletion extends to the object end.
+  });
+  EXPECT_EQ(io.pages_read, io.read_calls) << io.ToString();
+}
+
+TEST(LobCostTest, DestroyTouchesNoLeafPage) {
+  CostProbe p = CostProbe::Make(1, 8 << 20);
+  IoStats io = p.Op([&](LobManager* lob, LobDescriptor* d) {
+    return lob->Destroy(d);
+  });
+  EXPECT_EQ(io.pages_read, io.read_calls) << io.ToString();
+  // Writes are buddy-directory updates only: all single-page.
+  EXPECT_EQ(io.pages_written, io.write_calls) << io.ToString();
+}
+
+TEST(LobCostTest, MidPageDeleteReadsBoundedPages) {
+  // General delete: "one leaf page needs to be accessed ... if bytes are
+  // shuffled, one or two more" (T=1 disables page reshuffling).
+  CostProbe p = CostProbe::Make(1, 8 << 20);
+  IoStats io = p.Op([&](LobManager* lob, LobDescriptor* d) {
+    return lob->Delete(d, 1000000, 500000);
+  });
+  EXPECT_LE(io.pages_read, 6u) << io.ToString();
+}
+
+TEST(LobCostTest, ReplaceCostProportionalToRange) {
+  CostProbe p = CostProbe::Make(8, 8 << 20);
+  Bytes patch = PatternBytes(4, 3 * 4096);
+  IoStats io = p.Op([&](LobManager* lob, LobDescriptor* d) {
+    return lob->Replace(d, 1 << 20, patch);
+  });
+  // 3-4 pages read + the same written, plus at most one index page.
+  EXPECT_LE(io.pages_read, 6u) << io.ToString();
+  EXPECT_LE(io.pages_written, 5u) << io.ToString();
+}
+
+TEST(LobCostTest, PageReshuffleCostBoundedByThreshold) {
+  // Section 4.4: "the overhead is the cost of transferring some additional
+  // pages from within the segment (no additional disk seeks)" for inserts.
+  for (uint32_t t : {4u, 16u}) {
+    CostProbe p = CostProbe::Make(t, 8 << 20);
+    Bytes ins = PatternBytes(5, 100);
+    IoStats io = p.Op([&](LobManager* lob, LobDescriptor* d) {
+      return lob->Insert(d, (4 << 20) + 123, ins);
+    });
+    // Reads bounded by ~T pages (making N safe) + index.
+    EXPECT_LE(io.pages_read, uint64_t{t} + 4) << "T=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,132 @@
+// Randomized differential test: the large object manager against a plain
+// byte-string model, across page sizes and thresholds (parameterized),
+// with structural invariants and a storage-leak check at the end.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "lob/lob_manager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+struct Params {
+  uint32_t page_size;
+  uint32_t threshold;
+  bool adaptive;
+  uint32_t max_root_bytes;  // 0 = default
+  uint64_t seed;
+};
+
+class LobPropertyTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(LobPropertyTest, RandomOpsMatchModel) {
+  const Params p = GetParam();
+  LobConfig cfg;
+  cfg.threshold_pages = p.threshold;
+  cfg.adaptive_threshold = p.adaptive;
+  cfg.max_root_bytes = p.max_root_bytes;
+  Stack s = Stack::Make(p.page_size, 0, cfg);
+  auto initial_free = s.allocator->TotalFreePages();
+  ASSERT_TRUE(initial_free.ok());
+
+  Bytes model;
+  LobDescriptor d = s.lob->CreateEmpty();
+  Random rng(p.seed);
+
+  for (int step = 0; step < 400; ++step) {
+    int op = static_cast<int>(rng.Uniform(12));
+    if (model.empty()) op = 0;
+    if (op == 11) {  // occasional reorganize (content-neutral), then trim
+      EOS_ASSERT_OK(s.lob->Reorganize(&d));
+      op = 10;
+    }
+    if (op == 10) {  // truncate to a random size
+      uint64_t keep = rng.Uniform(model.size() + 1);
+      EOS_ASSERT_OK(s.lob->Truncate(&d, keep));
+      model.resize(keep);
+      op = -1;
+    }
+    if (op <= 2 && op >= 0) {  // append
+      Bytes data = PatternBytes(p.seed * 1000 + step,
+                                rng.Range(1, p.page_size * 3));
+      EOS_ASSERT_OK(s.lob->Append(&d, data));
+      model.insert(model.end(), data.begin(), data.end());
+    } else if (op <= 5) {  // insert
+      Bytes data = PatternBytes(p.seed * 2000 + step,
+                                rng.Range(1, p.page_size * 2));
+      uint64_t off = rng.Uniform(model.size() + 1);
+      EOS_ASSERT_OK(s.lob->Insert(&d, off, data));
+      model.insert(model.begin() + off, data.begin(), data.end());
+    } else if (op <= 8) {  // delete
+      uint64_t off = rng.Uniform(model.size());
+      uint64_t n = rng.Range(1, std::max<uint64_t>(1, model.size() / 4));
+      n = std::min<uint64_t>(n, model.size() - off);
+      EOS_ASSERT_OK(s.lob->Delete(&d, off, n));
+      model.erase(model.begin() + off, model.begin() + off + n);
+    } else if (op == 9) {  // replace
+      uint64_t off = rng.Uniform(model.size());
+      uint64_t n = rng.Range(1, std::max<uint64_t>(1, model.size() - off));
+      Bytes data = PatternBytes(p.seed * 3000 + step, n);
+      EOS_ASSERT_OK(s.lob->Replace(&d, off, data));
+      std::copy(data.begin(), data.end(), model.begin() + off);
+    }
+    ASSERT_EQ(d.size(), model.size()) << "step " << step;
+    if (step % 20 == 19) {
+      auto all = s.lob->ReadAll(d);
+      ASSERT_TRUE(all.ok()) << all.status().ToString();
+      ASSERT_EQ(*all, model) << "content diverged at step " << step;
+      EOS_ASSERT_OK(s.lob->CheckInvariants(d));
+      EOS_ASSERT_OK(s.allocator->CheckInvariants());
+    }
+  }
+  // Random reads.
+  for (int i = 0; i < 50 && !model.empty(); ++i) {
+    uint64_t off = rng.Uniform(model.size());
+    uint64_t n = rng.Range(1, p.page_size * 4);
+    Bytes out;
+    EOS_ASSERT_OK(s.lob->Read(d, off, n, &out));
+    size_t want = std::min<size_t>(n, model.size() - off);
+    ASSERT_EQ(out.size(), want);
+    ASSERT_TRUE(std::equal(out.begin(), out.end(), model.begin() + off));
+  }
+  // Storage-leak check: destroying the object returns every page.
+  EOS_ASSERT_OK(s.lob->Destroy(&d));
+  auto final_free = s.allocator->TotalFreePages();
+  ASSERT_TRUE(final_free.ok());
+  EXPECT_EQ(*initial_free +
+                uint64_t{s.allocator->num_spaces() - 1} *
+                    s.allocator->geometry().space_pages,
+            *final_free)
+      << "pages leaked by the workload";
+  EOS_ASSERT_OK(s.allocator->CheckInvariants());
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Params>& info) {
+  const Params& p = info.param;
+  return "ps" + std::to_string(p.page_size) + "_t" +
+         std::to_string(p.threshold) + (p.adaptive ? "_adaptive" : "") +
+         (p.max_root_bytes ? "_tinyroot" : "") + "_s" +
+         std::to_string(p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LobPropertyTest,
+    ::testing::Values(
+        Params{100, 1, false, 0, 1}, Params{100, 4, false, 0, 2},
+        Params{100, 8, false, 0, 3}, Params{128, 8, false, 0, 4},
+        Params{128, 16, false, 0, 5}, Params{256, 4, false, 0, 6},
+        Params{100, 8, true, 0, 7}, Params{128, 8, true, 0, 8},
+        Params{100, 4, false, 88, 9},   // tiny root: deep trees
+        Params{128, 8, false, 88, 10},  // tiny root + threshold
+        Params{512, 8, false, 0, 11}, Params{100, 2, false, 0, 12}),
+    ParamName);
+
+}  // namespace
+}  // namespace eos

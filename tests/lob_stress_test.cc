@@ -1,0 +1,158 @@
+// Heavier randomized stress: realistic 4 KB pages, longer operation
+// sequences, deep trees via tiny roots, and a three-way differential test
+// running EOS, Exodus and Starburst on the same operation stream.
+
+#include <gtest/gtest.h>
+
+#include "baselines/exodus/exodus_manager.h"
+#include "baselines/starburst/starburst_manager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+TEST(LobStressTest, LongMixedWorkload4K) {
+  LobConfig cfg;
+  cfg.threshold_pages = 8;
+  Stack s = Stack::Make(4096, 4096, cfg);
+  Bytes model;
+  LobDescriptor d = s.lob->CreateEmpty();
+  Random rng(20260704);
+  for (int step = 0; step < 1200; ++step) {
+    int op = static_cast<int>(rng.Uniform(12));
+    if (model.empty()) op = 0;
+    if (op <= 3) {
+      Bytes data = PatternBytes(step, rng.Range(1, 30000));
+      EOS_ASSERT_OK(s.lob->Append(&d, data));
+      model.insert(model.end(), data.begin(), data.end());
+    } else if (op <= 6) {
+      Bytes data = PatternBytes(step + 1, rng.Range(1, 20000));
+      uint64_t off = rng.Uniform(model.size() + 1);
+      EOS_ASSERT_OK(s.lob->Insert(&d, off, data));
+      model.insert(model.begin() + off, data.begin(), data.end());
+    } else if (op <= 9) {
+      uint64_t off = rng.Uniform(model.size());
+      uint64_t n = std::min<uint64_t>(rng.Range(1, 25000),
+                                      model.size() - off);
+      EOS_ASSERT_OK(s.lob->Delete(&d, off, n));
+      model.erase(model.begin() + off, model.begin() + off + n);
+    } else if (op == 10) {
+      uint64_t off = rng.Uniform(model.size());
+      uint64_t n = std::min<uint64_t>(rng.Range(1, 10000),
+                                      model.size() - off);
+      Bytes data = PatternBytes(step + 2, n);
+      EOS_ASSERT_OK(s.lob->Replace(&d, off, data));
+      std::copy(data.begin(), data.end(), model.begin() + off);
+    } else {
+      uint64_t keep = rng.Uniform(model.size() + 1);
+      EOS_ASSERT_OK(s.lob->Truncate(&d, keep));
+      model.resize(keep);
+    }
+    ASSERT_EQ(d.size(), model.size()) << "step " << step;
+    if (step % 100 == 99) {
+      auto all = s.lob->ReadAll(d);
+      ASSERT_TRUE(all.ok()) << all.status().ToString();
+      ASSERT_EQ(*all, model) << "step " << step;
+      EOS_ASSERT_OK(s.lob->CheckInvariants(d));
+      EOS_ASSERT_OK(s.allocator->CheckInvariants());
+    }
+  }
+  EOS_ASSERT_OK(s.lob->Destroy(&d));
+  auto free_pages = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, uint64_t{s.allocator->num_spaces()} * 4096u);
+}
+
+TEST(LobStressTest, DeepTreeTinyRootTinyPages) {
+  LobConfig cfg;
+  cfg.max_root_bytes = 8 + 2 * 16 + 8;  // 2-entry root
+  cfg.threshold_pages = 2;
+  cfg.max_segment_pages = 4;
+  Stack s = Stack::Make(64, 0, cfg);  // 64-byte pages: 3-entry nodes
+  Bytes model;
+  LobDescriptor d = s.lob->CreateEmpty();
+  Random rng(17);
+  for (int step = 0; step < 600; ++step) {
+    if (model.empty() || rng.OneIn(2)) {
+      Bytes data = PatternBytes(step, rng.Range(1, 400));
+      uint64_t off = rng.Uniform(model.size() + 1);
+      EOS_ASSERT_OK(s.lob->Insert(&d, off, data));
+      model.insert(model.begin() + off, data.begin(), data.end());
+    } else {
+      uint64_t off = rng.Uniform(model.size());
+      uint64_t n = std::min<uint64_t>(rng.Range(1, 300),
+                                      model.size() - off);
+      EOS_ASSERT_OK(s.lob->Delete(&d, off, n));
+      model.erase(model.begin() + off, model.begin() + off + n);
+    }
+    ASSERT_EQ(d.size(), model.size()) << "step " << step;
+    if (step % 50 == 49) {
+      auto all = s.lob->ReadAll(d);
+      ASSERT_TRUE(all.ok());
+      ASSERT_EQ(*all, model) << "step " << step;
+      EOS_ASSERT_OK(s.lob->CheckInvariants(d));
+    }
+  }
+  auto st = s.lob->Stats(d);
+  ASSERT_TRUE(st.ok());
+  EXPECT_GE(st->depth, 3u) << "tiny roots and pages should force depth";
+}
+
+// The same operation stream applied to all three managers must yield the
+// same bytes — a three-way differential oracle.
+TEST(LobStressTest, ThreeWayDifferential) {
+  Stack se = Stack::Make(512);
+  ExodusConfig xcfg;
+  xcfg.leaf_pages = 2;
+  Stack sx = Stack::Make(512);
+  ExodusManager exodus(sx.pager.get(), sx.allocator.get(), xcfg);
+  Stack ss = Stack::Make(512);
+  StarburstManager starburst(ss.allocator.get(), ss.device.get(), 64);
+
+  LobDescriptor de = se.lob->CreateEmpty();
+  LobDescriptor dx = exodus.CreateEmpty();
+  StarburstDescriptor dsb = starburst.CreateEmpty();
+  Bytes model;
+  Random rng(777);
+  for (int step = 0; step < 150; ++step) {
+    int op = static_cast<int>(rng.Uniform(9));
+    if (model.empty()) op = 0;
+    if (op <= 2) {
+      Bytes data = PatternBytes(step, rng.Range(1, 2000));
+      EOS_ASSERT_OK(se.lob->Append(&de, data));
+      EOS_ASSERT_OK(exodus.Append(&dx, data));
+      EOS_ASSERT_OK(starburst.Append(&dsb, data));
+      model.insert(model.end(), data.begin(), data.end());
+    } else if (op <= 5) {
+      Bytes data = PatternBytes(step + 5, rng.Range(1, 1500));
+      uint64_t off = rng.Uniform(model.size() + 1);
+      EOS_ASSERT_OK(se.lob->Insert(&de, off, data));
+      EOS_ASSERT_OK(exodus.Insert(&dx, off, data));
+      EOS_ASSERT_OK(starburst.Insert(&dsb, off, data));
+      model.insert(model.begin() + off, data.begin(), data.end());
+    } else {
+      uint64_t off = rng.Uniform(model.size());
+      uint64_t n = std::min<uint64_t>(rng.Range(1, 1500),
+                                      model.size() - off);
+      EOS_ASSERT_OK(se.lob->Delete(&de, off, n));
+      EOS_ASSERT_OK(exodus.Delete(&dx, off, n));
+      EOS_ASSERT_OK(starburst.Delete(&dsb, off, n));
+      model.erase(model.begin() + off, model.begin() + off + n);
+    }
+    if (step % 15 == 14) {
+      auto ae = se.lob->ReadAll(de);
+      auto ax = exodus.ReadAll(dx);
+      auto asb = starburst.ReadAll(dsb);
+      ASSERT_TRUE(ae.ok() && ax.ok() && asb.ok());
+      ASSERT_EQ(*ae, model) << "eos diverged at " << step;
+      ASSERT_EQ(*ax, model) << "exodus diverged at " << step;
+      ASSERT_EQ(*asb, model) << "starburst diverged at " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eos

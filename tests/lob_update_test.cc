@@ -1,0 +1,289 @@
+// Targeted insert/delete cases (Sections 4.3 and 4.4).
+
+#include <gtest/gtest.h>
+
+#include "lob/lob_manager.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+struct Model {
+  // Reference implementation: the object is just a byte string.
+  Bytes bytes;
+
+  void Insert(uint64_t off, const Bytes& data) {
+    bytes.insert(bytes.begin() + off, data.begin(), data.end());
+  }
+  void Delete(uint64_t off, uint64_t n) {
+    bytes.erase(bytes.begin() + off, bytes.begin() + off + n);
+  }
+  void Append(const Bytes& data) {
+    bytes.insert(bytes.end(), data.begin(), data.end());
+  }
+  void Replace(uint64_t off, const Bytes& data) {
+    std::copy(data.begin(), data.end(), bytes.begin() + off);
+  }
+};
+
+void ExpectMatches(Stack& s, const LobDescriptor& d, const Model& m,
+                   const char* what) {
+  ASSERT_EQ(d.size(), m.bytes.size()) << what;
+  auto all = s.lob->ReadAll(d);
+  ASSERT_TRUE(all.ok()) << what << ": " << all.status().ToString();
+  ASSERT_EQ(*all, m.bytes) << what;
+  EOS_ASSERT_OK(s.lob->CheckInvariants(d));
+}
+
+TEST(LobInsertTest, InsertIntoMiddleOfPage) {
+  Stack s = Stack::Make(100);
+  Model m;
+  m.bytes = PatternBytes(1, 1000);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  Bytes ins = PatternBytes(2, 37);
+  EOS_ASSERT_OK(s.lob->Insert(&*d, 450, ins));
+  m.Insert(450, ins);
+  ExpectMatches(s, *d, m, "mid-page insert");
+}
+
+TEST(LobInsertTest, InsertAtPageBoundary) {
+  Stack s = Stack::Make(100);
+  Model m;
+  m.bytes = PatternBytes(3, 1000);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  Bytes ins = PatternBytes(4, 250);
+  EOS_ASSERT_OK(s.lob->Insert(&*d, 400, ins));
+  m.Insert(400, ins);
+  ExpectMatches(s, *d, m, "page-boundary insert");
+}
+
+TEST(LobInsertTest, InsertAtZero) {
+  Stack s = Stack::Make(100);
+  Model m;
+  m.bytes = PatternBytes(5, 777);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  Bytes ins = PatternBytes(6, 123);
+  EOS_ASSERT_OK(s.lob->Insert(&*d, 0, ins));
+  m.Insert(0, ins);
+  ExpectMatches(s, *d, m, "insert at zero");
+}
+
+TEST(LobInsertTest, InsertIntoLastPartialPage) {
+  Stack s = Stack::Make(100);
+  Model m;
+  m.bytes = PatternBytes(7, 955);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  Bytes ins = PatternBytes(8, 10);
+  EOS_ASSERT_OK(s.lob->Insert(&*d, 950, ins));
+  m.Insert(950, ins);
+  ExpectMatches(s, *d, m, "insert near end");
+}
+
+TEST(LobInsertTest, HugeInsertSpansMultipleSegments) {
+  LobConfig cfg;
+  cfg.max_segment_pages = 8;
+  Stack s = Stack::Make(100, 0, cfg);
+  Model m;
+  m.bytes = PatternBytes(9, 2000);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  Bytes ins = PatternBytes(10, 5000);  // > 8 pages -> several N segments
+  EOS_ASSERT_OK(s.lob->Insert(&*d, 999, ins));
+  m.Insert(999, ins);
+  ExpectMatches(s, *d, m, "huge insert");
+}
+
+TEST(LobInsertTest, ManyInsertsGrowTree) {
+  Stack s = Stack::Make(100);
+  Model m;
+  m.bytes = PatternBytes(11, 300);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  Random rng(42);
+  for (int i = 0; i < 200; ++i) {
+    Bytes ins = PatternBytes(100 + i, rng.Range(1, 120));
+    uint64_t off = rng.Uniform(m.bytes.size() + 1);
+    EOS_ASSERT_OK(s.lob->Insert(&*d, off, ins));
+    m.Insert(off, ins);
+  }
+  ExpectMatches(s, *d, m, "many inserts");
+  EXPECT_GE(d->root.level, 0);
+}
+
+TEST(LobDeleteTest, DeleteWithinOneSegmentMidPage) {
+  Stack s = Stack::Make(100);
+  Model m;
+  m.bytes = PatternBytes(12, 1500);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  EOS_ASSERT_OK(s.lob->Delete(&*d, 333, 512));
+  m.Delete(333, 512);
+  ExpectMatches(s, *d, m, "mid-segment delete");
+}
+
+TEST(LobDeleteTest, DeleteEndingAtPageBoundaryTouchesNoLeaf) {
+  Stack s = Stack::Make(100);
+  Model m;
+  m.bytes = PatternBytes(13, 2000);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  // Deletion [300, 800): last deleted byte 799 is the last byte of page 7.
+  // L also ends page-aligned. No leaf page should be read or written.
+  s.device->ResetStats();
+  uint64_t writes_before = s.device->stats().pages_written;
+  EOS_ASSERT_OK(s.lob->Delete(&*d, 300, 500));
+  (void)writes_before;
+  m.Delete(300, 500);
+  ExpectMatches(s, *d, m, "aligned delete");
+}
+
+TEST(LobDeleteTest, DeleteAcrossSegments) {
+  Stack s = Stack::Make(100);
+  Model m;
+  LobDescriptor d = s.lob->CreateEmpty();
+  // Build a multi-segment object via the appender.
+  {
+    LobAppender app(s.lob.get(), &d);
+    for (int i = 0; i < 30; ++i) {
+      Bytes chunk = PatternBytes(200 + i, 91);
+      EOS_ASSERT_OK(app.Append(chunk));
+      m.Append(chunk);
+    }
+    EOS_ASSERT_OK(app.Finish());
+  }
+  ExpectMatches(s, d, m, "after build");
+  EOS_ASSERT_OK(s.lob->Delete(&d, 150, 2222));
+  m.Delete(150, 2222);
+  ExpectMatches(s, d, m, "cross-segment delete");
+}
+
+TEST(LobDeleteTest, DeleteEntireObject) {
+  Stack s = Stack::Make(100);
+  auto before = s.allocator->TotalFreePages();
+  ASSERT_TRUE(before.ok());
+  auto d = s.lob->CreateFrom(PatternBytes(14, 7777));
+  ASSERT_TRUE(d.ok());
+  EOS_ASSERT_OK(s.lob->Delete(&*d, 0, 7777));
+  EXPECT_EQ(d->size(), 0u);
+  auto after = s.allocator->TotalFreePages();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+TEST(LobDeleteTest, DeletePrefix) {
+  Stack s = Stack::Make(100);
+  Model m;
+  m.bytes = PatternBytes(15, 3000);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  EOS_ASSERT_OK(s.lob->Delete(&*d, 0, 1234));
+  m.Delete(0, 1234);
+  ExpectMatches(s, *d, m, "prefix delete");
+}
+
+TEST(LobDeleteTest, ThresholdKeepsSegmentsClustered) {
+  LobConfig cfg;
+  cfg.threshold_pages = 8;
+  Stack s = Stack::Make(100, 0, cfg);
+  Model m;
+  m.bytes = PatternBytes(16, 20000);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  Random rng(77);
+  for (int i = 0; i < 60; ++i) {
+    uint64_t off = rng.Uniform(m.bytes.size() - 10);
+    if (rng.OneIn(2)) {
+      Bytes ins = PatternBytes(300 + i, rng.Range(1, 50));
+      EOS_ASSERT_OK(s.lob->Insert(&*d, off, ins));
+      m.Insert(off, ins);
+    } else {
+      uint64_t n = rng.Range(1, 50);
+      n = std::min(n, m.bytes.size() - off);
+      EOS_ASSERT_OK(s.lob->Delete(&*d, off, n));
+      m.Delete(off, n);
+    }
+  }
+  ExpectMatches(s, *d, m, "threshold workload");
+  auto stats = s.lob->Stats(*d);
+  ASSERT_TRUE(stats.ok());
+  // With T=8 the threshold machinery must keep segments large: strictly
+  // fewer segments than a 1-page-per-segment degeneration.
+  EXPECT_GE(stats->avg_segment_pages, 4.0)
+      << "segments degenerated despite threshold";
+}
+
+TEST(LobDeleteTest, NoThresholdDegeneratesClustering) {
+  LobConfig cfg;
+  cfg.threshold_pages = 1;
+  Stack s = Stack::Make(100, 0, cfg);
+  Model m;
+  m.bytes = PatternBytes(17, 20000);
+  auto d = s.lob->CreateFrom(m.bytes);
+  ASSERT_TRUE(d.ok());
+  Random rng(78);
+  for (int i = 0; i < 60; ++i) {
+    uint64_t off = rng.Uniform(m.bytes.size() - 10);
+    if (rng.OneIn(2)) {
+      Bytes ins = PatternBytes(400 + i, rng.Range(1, 50));
+      EOS_ASSERT_OK(s.lob->Insert(&*d, off, ins));
+      m.Insert(off, ins);
+    } else {
+      uint64_t n = rng.Range(1, 50);
+      n = std::min(n, m.bytes.size() - off);
+      EOS_ASSERT_OK(s.lob->Delete(&*d, off, n));
+      m.Delete(off, n);
+    }
+  }
+  ExpectMatches(s, *d, m, "no-threshold workload");
+  auto t1 = s.lob->Stats(*d);
+  ASSERT_TRUE(t1.ok());
+  // Section 4.4's motivation: without the threshold, segments shatter.
+  EXPECT_LT(t1->avg_segment_pages, 4.0);
+}
+
+TEST(ThresholdHintTest, PerObjectHintOverridesManagerDefault) {
+  // Two objects under the same manager (default T=1): the one opened with
+  // a larger hint keeps its segments clustered through the same workload.
+  LobConfig cfg;
+  cfg.threshold_pages = 1;
+  Stack s = Stack::Make(100, 0, cfg);
+  Model m1, m2;
+  m1.bytes = PatternBytes(40, 15000);
+  m2.bytes = m1.bytes;
+  auto d1 = s.lob->CreateFrom(m1.bytes);
+  auto d2 = s.lob->CreateFrom(m2.bytes);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  d2->threshold_hint = 8;  // "T may change every time the object is opened"
+  Random rng(41);
+  for (int i = 0; i < 80; ++i) {
+    uint64_t off = rng.Uniform(m1.bytes.size() - 60);
+    Bytes ins = PatternBytes(600 + i, rng.Range(1, 50));
+    EOS_ASSERT_OK(s.lob->Insert(&*d1, off, ins));
+    m1.Insert(off, ins);
+    EOS_ASSERT_OK(s.lob->Insert(&*d2, off, ins));
+    m2.Insert(off, ins);
+    uint64_t del = rng.Uniform(m1.bytes.size() - 60);
+    uint64_t n = rng.Range(1, 50);
+    EOS_ASSERT_OK(s.lob->Delete(&*d1, del, n));
+    m1.Delete(del, n);
+    EOS_ASSERT_OK(s.lob->Delete(&*d2, del, n));
+    m2.Delete(del, n);
+  }
+  ExpectMatches(s, *d1, m1, "default-T object");
+  ExpectMatches(s, *d2, m2, "hinted-T object");
+  auto s1 = s.lob->Stats(*d1);
+  auto s2 = s.lob->Stats(*d2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_GT(s2->avg_segment_pages, s1->avg_segment_pages * 2)
+      << "the per-object hint must keep d2 clustered";
+}
+
+}  // namespace
+}  // namespace eos

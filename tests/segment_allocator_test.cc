@@ -1,0 +1,140 @@
+// Multi-space allocation, superdirectory behaviour (Section 3.3), volume
+// growth and partial frees.
+
+#include "buddy/segment_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::Stack;
+
+TEST(SegmentAllocatorTest, AllocateAndFreeRoundTrip) {
+  Stack s = Stack::Make(128, 64);
+  auto e = s.allocator->Allocate(10);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->pages, 10u);
+  auto free1 = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free1.ok());
+  EXPECT_EQ(*free1, 64u - 10u);
+  EOS_ASSERT_OK(s.allocator->Free(*e));
+  auto free2 = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free2.ok());
+  EXPECT_EQ(*free2, 64u);
+}
+
+TEST(SegmentAllocatorTest, GrowsVolumeWhenFull) {
+  Stack s = Stack::Make(128, 64);
+  EXPECT_EQ(s.allocator->num_spaces(), 1u);
+  std::vector<Extent> extents;
+  for (int i = 0; i < 3; ++i) {
+    auto e = s.allocator->Allocate(48);
+    ASSERT_TRUE(e.ok()) << e.status().ToString();
+    extents.push_back(*e);
+  }
+  EXPECT_GE(s.allocator->num_spaces(), 2u);
+  // Extents never span spaces and never collide.
+  for (size_t i = 0; i < extents.size(); ++i) {
+    for (size_t j = i + 1; j < extents.size(); ++j) {
+      bool disjoint = extents[i].end() <= extents[j].first ||
+                      extents[j].end() <= extents[i].first;
+      EXPECT_TRUE(disjoint);
+    }
+  }
+  EOS_ASSERT_OK(s.allocator->CheckInvariants());
+}
+
+TEST(SegmentAllocatorTest, PartialFreeTrimsSegment) {
+  Stack s = Stack::Make(128, 64);
+  auto e = s.allocator->Allocate(16);
+  ASSERT_TRUE(e.ok());
+  // Trim the last 5 pages (Section 4.1's append trim).
+  EOS_ASSERT_OK(s.allocator->Free(Extent{e->first + 11, 5}));
+  auto free1 = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free1.ok());
+  EXPECT_EQ(*free1, 64u - 11u);
+  EOS_ASSERT_OK(s.allocator->Free(Extent{e->first, 11}));
+  auto free2 = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free2.ok());
+  EXPECT_EQ(*free2, 64u);
+  EOS_ASSERT_OK(s.allocator->CheckInvariants());
+}
+
+TEST(SegmentAllocatorTest, SuperdirectorySkipsFullSpaces) {
+  Stack s = Stack::Make(128, 64);
+  // Fill space 0 completely.
+  auto big = s.allocator->Allocate(64);
+  ASSERT_TRUE(big.ok());
+  // Next allocation grows to space 1.
+  auto e = s.allocator->Allocate(32);
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(s.allocator->num_spaces(), 2u);
+
+  // With the superdirectory, allocations skip the exhausted space 0: the
+  // hint for space 0 was corrected when its allocation failed.
+  s.allocator->ResetDirectoryVisits();
+  auto e2 = s.allocator->Allocate(16);
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(s.allocator->directory_visits(), 1u)
+      << "superdirectory should eliminate the visit to the full space";
+
+  // Without it, every allocation probes space 0 first.
+  s.allocator->set_use_superdirectory(false);
+  s.allocator->ResetDirectoryVisits();
+  auto e3 = s.allocator->Allocate(8);
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(s.allocator->directory_visits(), 2u);
+}
+
+TEST(SegmentAllocatorTest, AllocateAtMostFallsBack) {
+  Stack s = Stack::Make(128, 64);
+  auto big = s.allocator->Allocate(48);  // leaves a 16-page hole
+  ASSERT_TRUE(big.ok());
+  auto e = s.allocator->AllocateAtMost(64);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e->pages, 16u);
+  EOS_ASSERT_OK(s.allocator->CheckInvariants());
+}
+
+TEST(SegmentAllocatorTest, RejectsBadRequests) {
+  Stack s = Stack::Make(128, 64);
+  EXPECT_TRUE(s.allocator->Allocate(0).status().IsInvalidArgument());
+  uint32_t max = s.allocator->geometry().max_segment_pages();
+  EXPECT_TRUE(
+      s.allocator->Allocate(max + 1).status().IsInvalidArgument());
+  EXPECT_TRUE(s.allocator
+                  ->Free(Extent{0, 1})  // page 0 is the first directory
+                  .IsInvalidArgument());
+}
+
+TEST(SegmentAllocatorTest, ManySpacesStressWithInvariants) {
+  Stack s = Stack::Make(128, 32);
+  Random rng(99);
+  std::vector<Extent> live;
+  for (int i = 0; i < 500; ++i) {
+    if (live.empty() || rng.OneIn(2)) {
+      auto e = s.allocator->Allocate(
+          static_cast<uint32_t>(rng.Range(1, 24)));
+      ASSERT_TRUE(e.ok()) << e.status().ToString();
+      live.push_back(*e);
+    } else {
+      size_t idx = rng.Uniform(live.size());
+      EOS_ASSERT_OK(s.allocator->Free(live[idx]));
+      live.erase(live.begin() + idx);
+    }
+  }
+  EOS_ASSERT_OK(s.allocator->CheckInvariants());
+  for (const Extent& e : live) {
+    EOS_ASSERT_OK(s.allocator->Free(e));
+  }
+  auto free_pages = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages,
+            uint64_t{s.allocator->num_spaces()} * 32u);
+}
+
+}  // namespace
+}  // namespace eos

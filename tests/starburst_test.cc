@@ -1,0 +1,149 @@
+// Correctness tests for the Starburst long field baseline [Lehm89],
+// including its defining weakness: length-changing updates copy every
+// segment right of the edit point.
+
+#include "baselines/starburst/starburst_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+struct SbStack {
+  Stack base;
+  std::unique_ptr<StarburstManager> mgr;
+
+  static SbStack Make(uint32_t page_size, uint32_t max_seg = 0) {
+    SbStack s;
+    s.base = Stack::Make(page_size);
+    s.mgr = std::make_unique<StarburstManager>(s.base.allocator.get(),
+                                               s.base.device.get(), max_seg);
+    return s;
+  }
+};
+
+TEST(StarburstTest, CreateKnownSizeUsesMaximalSegments) {
+  SbStack s = SbStack::Make(100, 16);
+  Bytes data = PatternBytes(1, 5000);  // 50 pages -> 16+16+16+2
+  auto d = s.mgr->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 5000u);
+  ASSERT_EQ(d->segments.size(), 4u);
+  EXPECT_EQ(d->segments[0].count, 1600u);
+  EXPECT_EQ(d->segments[3].count, 200u);
+  auto all = s.mgr->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+}
+
+TEST(StarburstTest, UnknownSizeDoublesAndTrims) {
+  SbStack s = SbStack::Make(100, 64);
+  auto d = s.mgr->CreateEmpty();
+  Bytes model;
+  for (int i = 0; i < 20; ++i) {
+    Bytes chunk = PatternBytes(i, 91);
+    EOS_ASSERT_OK(s.mgr->Append(&d, chunk));
+    model.insert(model.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(d.size(), 1820u);
+  auto all = s.mgr->ReadAll(d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, model);
+  // Utilization stays near 100%: only the last page may be partial.
+  auto stats = s.mgr->Stats(d);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->leaf_pages, 19u);
+}
+
+TEST(StarburstTest, RandomOpsMatchModel) {
+  SbStack s = SbStack::Make(128, 32);
+  Bytes model;
+  auto d = s.mgr->CreateEmpty();
+  Random rng(31337);
+  for (int step = 0; step < 200; ++step) {
+    int op = static_cast<int>(rng.Uniform(10));
+    if (model.empty()) op = 0;
+    if (op <= 3) {
+      Bytes data = PatternBytes(step, rng.Range(1, 500));
+      EOS_ASSERT_OK(s.mgr->Append(&d, data));
+      model.insert(model.end(), data.begin(), data.end());
+    } else if (op <= 5) {
+      Bytes data = PatternBytes(step + 111, rng.Range(1, 200));
+      uint64_t off = rng.Uniform(model.size() + 1);
+      EOS_ASSERT_OK(s.mgr->Insert(&d, off, data));
+      model.insert(model.begin() + off, data.begin(), data.end());
+    } else if (op <= 7) {
+      uint64_t off = rng.Uniform(model.size());
+      uint64_t n = rng.Range(1, std::max<uint64_t>(1, model.size() / 3));
+      n = std::min<uint64_t>(n, model.size() - off);
+      EOS_ASSERT_OK(s.mgr->Delete(&d, off, n));
+      model.erase(model.begin() + off, model.begin() + off + n);
+    } else {
+      uint64_t off = rng.Uniform(model.size());
+      uint64_t n = rng.Range(1, std::max<uint64_t>(1, model.size() - off));
+      Bytes data = PatternBytes(step + 222, n);
+      EOS_ASSERT_OK(s.mgr->Replace(&d, off, data));
+      std::copy(data.begin(), data.end(), model.begin() + off);
+    }
+    ASSERT_EQ(d.size(), model.size()) << "step " << step;
+    if (step % 25 == 24) {
+      auto all = s.mgr->ReadAll(d);
+      ASSERT_TRUE(all.ok());
+      ASSERT_EQ(*all, model) << "step " << step;
+      EOS_ASSERT_OK(s.base.allocator->CheckInvariants());
+    }
+  }
+  EOS_ASSERT_OK(s.mgr->Destroy(&d));
+  auto free_pages = s.base.allocator->TotalFreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, uint64_t{s.base.allocator->num_spaces()} *
+                             s.base.allocator->geometry().space_pages);
+}
+
+TEST(StarburstTest, InsertCostGrowsWithSuffixSize) {
+  // The paper's criticism: an insert near the front rewrites almost the
+  // whole field, an insert near the end almost nothing.
+  SbStack s = SbStack::Make(100, 64);
+  Bytes data = PatternBytes(9, 50000);
+  auto front = s.mgr->CreateFrom(data);
+  auto back = s.mgr->CreateFrom(data);
+  ASSERT_TRUE(front.ok() && back.ok());
+  Bytes ins = PatternBytes(10, 10);
+
+  s.base.device->ResetStats();
+  EOS_ASSERT_OK(s.mgr->Insert(&*front, 100, ins));
+  uint64_t front_io = s.base.device->stats().transfers();
+
+  s.base.device->ResetStats();
+  EOS_ASSERT_OK(s.mgr->Insert(&*back, 49900, ins));
+  uint64_t back_io = s.base.device->stats().transfers();
+
+  EXPECT_GT(front_io, back_io * 5)
+      << "Starburst front-insert must cost far more than back-insert";
+}
+
+TEST(StarburstTest, DescriptorSerializationRoundTrip) {
+  SbStack s = SbStack::Make(100, 16);
+  Bytes data = PatternBytes(20, 3210);
+  auto d = s.mgr->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  Bytes wire = d->Serialize();
+  auto back = StarburstDescriptor::Deserialize(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->segments.size(), d->segments.size());
+  EXPECT_EQ(back->size(), d->size());
+  auto all = s.mgr->ReadAll(*back);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  // Corruption detected.
+  wire.pop_back();
+  EXPECT_TRUE(StarburstDescriptor::Deserialize(wire).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace eos

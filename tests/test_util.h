@@ -1,0 +1,74 @@
+#ifndef EOS_TESTS_TEST_UTIL_H_
+#define EOS_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "buddy/geometry.h"
+#include "buddy/segment_allocator.h"
+#include "common/random.h"
+#include "io/page_device.h"
+#include "io/pager.h"
+#include "lob/lob_manager.h"
+
+namespace eos {
+namespace testing_util {
+
+// In-memory storage stack: device + pager + buddy allocator (+ LobManager
+// on demand). Most tests build on this.
+struct Stack {
+  std::unique_ptr<MemPageDevice> device;
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<SegmentAllocator> allocator;
+  std::unique_ptr<LobManager> lob;
+
+  static Stack Make(uint32_t page_size, uint32_t space_pages = 0,
+                    const LobConfig& lob_config = LobConfig{},
+                    uint32_t initial_spaces = 1,
+                    size_t pager_frames = 64) {
+    Stack s;
+    auto geo = BuddyGeometry::Make(page_size, space_pages);
+    EXPECT_TRUE(geo.ok()) << geo.status().ToString();
+    uint64_t pages =
+        1 + uint64_t{initial_spaces} * (geo->space_pages + 1);
+    s.device = std::make_unique<MemPageDevice>(page_size, pages);
+    s.pager = std::make_unique<Pager>(s.device.get(), pager_frames);
+    SegmentAllocator::Options opt;
+    opt.initial_spaces = initial_spaces;
+    opt.auto_grow = true;
+    auto alloc = SegmentAllocator::Format(s.pager.get(), *geo, 1, opt);
+    EXPECT_TRUE(alloc.ok()) << alloc.status().ToString();
+    s.allocator = std::move(alloc).value();
+    s.lob = std::make_unique<LobManager>(s.pager.get(), s.allocator.get(),
+                                         lob_config);
+    return s;
+  }
+};
+
+// Deterministic pseudo-random payload whose bytes encode their position, so
+// content mismatches localize the bug.
+inline Bytes PatternBytes(uint64_t seed, size_t n) {
+  Bytes b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<uint8_t>((seed * 131 + i * 7 + (i >> 8)) & 0xFF);
+  }
+  return b;
+}
+
+#define EOS_ASSERT_OK(expr)                                 \
+  do {                                                      \
+    ::eos::Status _s = (expr);                              \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();                  \
+  } while (0)
+
+#define EOS_EXPECT_OK(expr)                                 \
+  do {                                                      \
+    ::eos::Status _s = (expr);                              \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();                  \
+  } while (0)
+
+}  // namespace testing_util
+}  // namespace eos
+
+#endif  // EOS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,178 @@
+// Transactions: logged updates, deferred frees under release locks,
+// commit/rollback semantics.
+
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+struct TxnStack {
+  Stack base;
+  std::unique_ptr<LogManager> log_holder = std::make_unique<LogManager>();
+  LogManager& log = *log_holder;
+  std::unique_ptr<ReleaseLockTable> locks;
+
+  explicit TxnStack(uint32_t page_size) {
+    base = Stack::Make(page_size);
+    locks = std::make_unique<ReleaseLockTable>(
+        base.allocator->geometry().space_pages,
+        base.allocator->geometry().max_type);
+  }
+};
+
+TEST(TransactionTest, CommitAppliesAndFreesParkedSegments) {
+  TxnStack s(128);
+  Bytes model = PatternBytes(1, 20000);
+  auto d = s.base.lob->CreateFrom(model);
+  ASSERT_TRUE(d.ok());
+  auto free_before = s.base.allocator->TotalFreePages();
+  ASSERT_TRUE(free_before.ok());
+  {
+    Transaction txn(s.base.lob.get(), &s.log, s.locks.get(), /*txn=*/1,
+                    /*object=*/7, &*d);
+    Bytes ins = PatternBytes(2, 500);
+    EOS_ASSERT_OK(txn.Insert(3000, ins));
+    model.insert(model.begin() + 3000, ins.begin(), ins.end());
+    EOS_ASSERT_OK(txn.Delete(10000, 2500));
+    model.erase(model.begin() + 10000, model.begin() + 12500);
+    // Freed segments are parked, not reusable: free-page count cannot have
+    // grown past where it started minus net new data.
+    EXPECT_GT(s.locks->lock_count(), 0u);
+    EOS_ASSERT_OK(txn.Commit());
+  }
+  EXPECT_EQ(s.locks->lock_count(), 0u);
+  auto all = s.base.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, model);
+  EOS_ASSERT_OK(s.base.allocator->CheckInvariants());
+  // Log records carry the object id.
+  for (const LogRecord& r : s.log.records()) {
+    EXPECT_EQ(r.object_id, 7u);
+  }
+}
+
+TEST(TransactionTest, RollbackRestoresContentAndStorage) {
+  TxnStack s(128);
+  Bytes model = PatternBytes(3, 30000);
+  auto d = s.base.lob->CreateFrom(model);
+  ASSERT_TRUE(d.ok());
+  auto free_before = s.base.allocator->TotalFreePages();
+  ASSERT_TRUE(free_before.ok());
+  {
+    Transaction txn(s.base.lob.get(), &s.log, s.locks.get(), 2, 9, &*d);
+    EOS_ASSERT_OK(txn.Insert(100, PatternBytes(4, 999)));
+    EOS_ASSERT_OK(txn.Delete(5000, 7000));
+    EOS_ASSERT_OK(txn.Replace(0, PatternBytes(5, 64)));
+    EOS_ASSERT_OK(txn.Rollback());
+  }
+  EXPECT_EQ(s.locks->lock_count(), 0u);
+  auto all = s.base.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, model) << "rollback must restore the exact content";
+  EOS_EXPECT_OK(s.base.lob->CheckInvariants(*d));
+  EOS_ASSERT_OK(s.base.allocator->CheckInvariants());
+  // Storage balance: everything the transaction touched is accounted for.
+  auto free_after = s.base.allocator->TotalFreePages();
+  ASSERT_TRUE(free_after.ok());
+  uint64_t grown = (s.base.allocator->num_spaces() - 1) *
+                   s.base.allocator->geometry().space_pages;
+  EXPECT_EQ(*free_before + grown, *free_after)
+      << "rollback leaked or double-freed pages";
+}
+
+TEST(TransactionTest, DestructorRollsBack) {
+  TxnStack s(128);
+  Bytes model = PatternBytes(6, 10000);
+  auto d = s.base.lob->CreateFrom(model);
+  ASSERT_TRUE(d.ok());
+  {
+    Transaction txn(s.base.lob.get(), &s.log, s.locks.get(), 3, 1, &*d);
+    EOS_ASSERT_OK(txn.Delete(0, 5000));
+    // Forgot to commit: destructor rolls back.
+  }
+  auto all = s.base.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, model);
+}
+
+TEST(TransactionTest, ParkedSegmentsNotReusedDuringTransaction) {
+  // Use a tight volume with auto_grow so reuse would be observable: the
+  // freed pages must not satisfy a subsequent allocation while parked.
+  TxnStack s(128);
+  Bytes model = PatternBytes(7, 40000);  // ~313 pages
+  auto d = s.base.lob->CreateFrom(model);
+  ASSERT_TRUE(d.ok());
+  auto free_mid = s.base.allocator->TotalFreePages();
+  ASSERT_TRUE(free_mid.ok());
+  {
+    Transaction txn(s.base.lob.get(), &s.log, s.locks.get(), 4, 2, &*d);
+    // Truncating frees many pages — all parked.
+    EOS_ASSERT_OK(txn.Delete(20000, 20000));
+    auto free_in_txn = s.base.allocator->TotalFreePages();
+    ASSERT_TRUE(free_in_txn.ok());
+    EXPECT_LE(*free_in_txn, *free_mid)
+        << "freed pages must stay allocated while the txn is open";
+    EOS_ASSERT_OK(txn.Commit());
+    auto free_done = s.base.allocator->TotalFreePages();
+    ASSERT_TRUE(free_done.ok());
+    EXPECT_GT(*free_done, *free_in_txn)
+        << "commit must return the parked pages";
+  }
+}
+
+TEST(TransactionTest, OperationsAfterCommitRejected) {
+  TxnStack s(128);
+  auto d = s.base.lob->CreateFrom(PatternBytes(8, 1000));
+  ASSERT_TRUE(d.ok());
+  Transaction txn(s.base.lob.get(), &s.log, s.locks.get(), 5, 3, &*d);
+  EOS_ASSERT_OK(txn.Append(PatternBytes(9, 10)));
+  EOS_ASSERT_OK(txn.Commit());
+  EXPECT_TRUE(txn.Append(PatternBytes(9, 10)).IsInvalidArgument());
+  EXPECT_TRUE(txn.Commit().IsInvalidArgument());
+}
+
+TEST(TransactionTest, SequentialTransactionsOnOneObject) {
+  TxnStack s(128);
+  Bytes model = PatternBytes(10, 15000);
+  auto d = s.base.lob->CreateFrom(model);
+  ASSERT_TRUE(d.ok());
+  Random rng(11);
+  for (uint64_t t = 1; t <= 10; ++t) {
+    Transaction txn(s.base.lob.get(), &s.log, s.locks.get(), t, 4, &*d);
+    Bytes snapshot = model;
+    for (int op = 0; op < 5; ++op) {
+      uint64_t off = rng.Uniform(model.size());
+      if (rng.OneIn(2)) {
+        Bytes ins = PatternBytes(t * 100 + op, rng.Range(1, 300));
+        EOS_ASSERT_OK(txn.Insert(off, ins));
+        model.insert(model.begin() + off, ins.begin(), ins.end());
+      } else {
+        uint64_t n = std::min<uint64_t>(rng.Range(1, 300),
+                                        model.size() - off);
+        EOS_ASSERT_OK(txn.Delete(off, n));
+        model.erase(model.begin() + off, model.begin() + off + n);
+      }
+    }
+    if (t % 2 == 0) {
+      EOS_ASSERT_OK(txn.Rollback());
+      model = snapshot;
+    } else {
+      EOS_ASSERT_OK(txn.Commit());
+    }
+    auto all = s.base.lob->ReadAll(*d);
+    ASSERT_TRUE(all.ok());
+    ASSERT_EQ(*all, model) << "after txn " << t;
+    EOS_ASSERT_OK(s.base.lob->CheckInvariants(*d));
+    EOS_ASSERT_OK(s.base.allocator->CheckInvariants());
+  }
+}
+
+}  // namespace
+}  // namespace eos

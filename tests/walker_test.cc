@@ -1,0 +1,163 @@
+// LeafWalker and LobReader: streaming traversal of large objects.
+
+#include "lob/walker.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using testing_util::PatternBytes;
+using testing_util::Stack;
+
+TEST(LeafWalkerTest, VisitsEveryLeafInOrder) {
+  Stack s = Stack::Make(100);
+  LobDescriptor d = s.lob->CreateEmpty();
+  Bytes model;
+  {
+    LobAppender app(s.lob.get(), &d);
+    for (int i = 0; i < 25; ++i) {
+      Bytes chunk = PatternBytes(i, 230);
+      EOS_ASSERT_OK(app.Append(chunk));
+      model.insert(model.end(), chunk.begin(), chunk.end());
+    }
+    EOS_ASSERT_OK(app.Finish());
+  }
+  LeafWalker w(s.lob.get(), d);
+  EOS_ASSERT_OK(w.Seek(0));
+  uint64_t total = 0;
+  Bytes gathered;
+  for (;;) {
+    Bytes leaf(w.leaf_bytes());
+    EOS_ASSERT_OK(w.ReadLeafBytes(0, w.leaf_bytes(), leaf.data()));
+    gathered.insert(gathered.end(), leaf.begin(), leaf.end());
+    total += w.leaf_bytes();
+    auto more = w.Next();
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+  }
+  EXPECT_EQ(total, d.size());
+  EXPECT_EQ(gathered, model);
+}
+
+TEST(LeafWalkerTest, SeekLandsMidLeaf) {
+  Stack s = Stack::Make(100);
+  auto d = s.lob->CreateFrom(PatternBytes(1, 2500));
+  ASSERT_TRUE(d.ok());
+  LeafWalker w(s.lob.get(), *d);
+  EOS_ASSERT_OK(w.Seek(1234));
+  EXPECT_EQ(w.local(), 1234u);  // single segment: local == global
+}
+
+TEST(LobReaderTest, StreamsWholeObject) {
+  Stack s = Stack::Make(128);
+  Bytes data = PatternBytes(2, 50000);
+  auto d = s.lob->CreateFrom(data);
+  ASSERT_TRUE(d.ok());
+  LobReader r(s.lob.get(), *d);
+  Bytes gathered;
+  while (!r.AtEnd()) {
+    auto chunk = r.ReadNext(777);
+    ASSERT_TRUE(chunk.ok());
+    ASSERT_FALSE(chunk->empty());
+    gathered.insert(gathered.end(), chunk->begin(), chunk->end());
+  }
+  EXPECT_EQ(gathered, data);
+  EXPECT_EQ(r.position(), data.size());
+}
+
+TEST(LobReaderTest, SeekAndChunkedReads) {
+  Stack s = Stack::Make(100);
+  LobDescriptor d = s.lob->CreateEmpty();
+  Bytes model;
+  {
+    LobAppender app(s.lob.get(), &d);
+    for (int i = 0; i < 40; ++i) {
+      Bytes chunk = PatternBytes(100 + i, 333);
+      EOS_ASSERT_OK(app.Append(chunk));
+      model.insert(model.end(), chunk.begin(), chunk.end());
+    }
+    EOS_ASSERT_OK(app.Finish());
+  }
+  LobReader r(s.lob.get(), d);
+  Random rng(5);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t off = rng.Uniform(model.size());
+    EOS_ASSERT_OK(r.Seek(off));
+    uint64_t n = rng.Range(1, 2000);
+    auto got = r.ReadNext(n);
+    ASSERT_TRUE(got.ok());
+    size_t want = std::min<size_t>(n, model.size() - off);
+    ASSERT_EQ(got->size(), want);
+    ASSERT_TRUE(std::equal(got->begin(), got->end(), model.begin() + off));
+    EXPECT_EQ(r.position(), off + want);
+  }
+  // Consecutive reads continue from the position without re-seeking.
+  EOS_ASSERT_OK(r.Seek(100));
+  auto a = r.ReadNext(50);
+  auto b = r.ReadNext(50);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(std::equal(a->begin(), a->end(), model.begin() + 100));
+  EXPECT_TRUE(std::equal(b->begin(), b->end(), model.begin() + 150));
+}
+
+TEST(LobReaderTest, EmptyObjectAndBounds) {
+  Stack s = Stack::Make(100);
+  LobDescriptor d = s.lob->CreateEmpty();
+  LobReader r(s.lob.get(), d);
+  EXPECT_TRUE(r.AtEnd());
+  auto got = r.ReadNext(10);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+  EXPECT_TRUE(r.Seek(1).IsOutOfRange());
+}
+
+TEST(ReorganizeTest, RestoresOptimalLayout) {
+  LobConfig cfg;
+  cfg.threshold_pages = 1;  // let the object shatter
+  Stack s = Stack::Make(128, 0, cfg);
+  Bytes model = PatternBytes(3, 60000);
+  auto d = s.lob->CreateFrom(model);
+  ASSERT_TRUE(d.ok());
+  Random rng(9);
+  for (int i = 0; i < 150; ++i) {
+    uint64_t off = rng.Uniform(model.size() - 100);
+    if (rng.OneIn(2)) {
+      Bytes ins = PatternBytes(500 + i, rng.Range(1, 80));
+      EOS_ASSERT_OK(s.lob->Insert(&*d, off, ins));
+      model.insert(model.begin() + off, ins.begin(), ins.end());
+    } else {
+      uint64_t n = std::min<uint64_t>(rng.Range(1, 80), model.size() - off);
+      EOS_ASSERT_OK(s.lob->Delete(&*d, off, n));
+      model.erase(model.begin() + off, model.begin() + off + n);
+    }
+  }
+  auto before = s.lob->Stats(*d);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(before->num_segments, 20u) << "workload should fragment";
+
+  uint64_t lsn_before = d->lsn;
+  EOS_ASSERT_OK(s.lob->Reorganize(&*d));
+  auto after = s.lob->Stats(*d);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after->num_segments, 4u);
+  EXPECT_GT(after->leaf_utilization, 0.99);
+  EXPECT_EQ(d->lsn, lsn_before) << "reorganize is content-neutral";
+
+  auto all = s.lob->ReadAll(*d);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, model);
+  EOS_EXPECT_OK(s.lob->CheckInvariants(*d));
+
+  // No storage leaked by the swap.
+  EOS_ASSERT_OK(s.lob->Destroy(&*d));
+  auto free_pages = s.allocator->TotalFreePages();
+  ASSERT_TRUE(free_pages.ok());
+  EXPECT_EQ(*free_pages, uint64_t{s.allocator->num_spaces()} *
+                             s.allocator->geometry().space_pages);
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,152 @@
+// eos_inspect — command-line volume inspector.
+//
+//   eos_inspect <volume> [--page-size N]        overview + object list
+//   eos_inspect <volume> --object <id>          one object's structure
+//   eos_inspect <volume> --check                full integrity check
+//   eos_inspect <volume> --spaces               buddy free-list report
+//
+// Read-only except for the superblock flush performed on clean close.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "eos/database.h"
+
+namespace {
+
+using eos::Database;
+using eos::DatabaseOptions;
+using eos::LobStats;
+using eos::SpaceReport;
+using eos::Status;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: eos_inspect <volume> [--page-size N] "
+               "[--object ID | --check | --spaces]\n");
+  return 2;
+}
+
+void Fail(const Status& s, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+  std::exit(1);
+}
+
+void PrintOverview(Database* db) {
+  auto ids = db->ListObjects();
+  if (!ids.ok()) Fail(ids.status(), "list");
+  std::printf("volume: page_size=%u spaces=%u (%.1f MB managed)\n",
+              db->device()->page_size(), db->allocator()->num_spaces(),
+              db->allocator()->num_spaces() *
+                  static_cast<double>(db->allocator()->geometry().space_pages) *
+                  db->device()->page_size() / 1048576.0);
+  auto free_pages = db->allocator()->TotalFreePages();
+  if (!free_pages.ok()) Fail(free_pages.status(), "free pages");
+  std::printf("free: %llu pages\n",
+              static_cast<unsigned long long>(*free_pages));
+  std::printf("%8s %14s %10s %10s %8s %8s\n", "object", "bytes", "segments",
+              "leaf pgs", "depth", "util");
+  for (uint64_t id : *ids) {
+    auto st = db->ObjectStats(id);
+    if (!st.ok()) Fail(st.status(), "stats");
+    std::printf("%8llu %14llu %10llu %10llu %8u %7.1f%%\n",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(st->size_bytes),
+                static_cast<unsigned long long>(st->num_segments),
+                static_cast<unsigned long long>(st->leaf_pages), st->depth,
+                100.0 * st->leaf_utilization);
+  }
+}
+
+void PrintObject(Database* db, uint64_t id) {
+  auto root = db->GetRoot(id);
+  if (!root.ok()) Fail(root.status(), "object");
+  auto st = db->ObjectStats(id);
+  if (!st.ok()) Fail(st.status(), "stats");
+  std::printf("object %llu: %llu bytes, lsn %llu\n",
+              static_cast<unsigned long long>(id),
+              static_cast<unsigned long long>(root->size()),
+              static_cast<unsigned long long>(root->lsn));
+  std::printf(
+      "  tree: depth %u, %llu index pages, %llu segments "
+      "(min %llu / avg %.1f / max %llu pages)\n",
+      st->depth, static_cast<unsigned long long>(st->index_pages),
+      static_cast<unsigned long long>(st->num_segments),
+      static_cast<unsigned long long>(st->min_segment_pages),
+      st->avg_segment_pages,
+      static_cast<unsigned long long>(st->max_segment_pages));
+  std::printf("  utilization: %.2f%% leaf, %.2f%% incl. index\n",
+              100.0 * st->leaf_utilization, 100.0 * st->total_utilization);
+  std::printf("  root entries (cumulative count -> page):\n");
+  uint64_t cum = 0;
+  for (const eos::LobEntry& e : root->root.entries) {
+    cum += e.count;
+    std::printf("    %12llu -> page %llu\n",
+                static_cast<unsigned long long>(cum),
+                static_cast<unsigned long long>(e.page));
+  }
+}
+
+void PrintSpaces(Database* db) {
+  auto report = db->allocator()->Report();
+  if (!report.ok()) Fail(report.status(), "report");
+  std::printf("%6s %12s %14s   free segments by size (pages x count)\n",
+              "space", "free pages", "largest free");
+  for (const SpaceReport& r : *report) {
+    std::printf("%6u %12llu %14s   ", r.space,
+                static_cast<unsigned long long>(r.free_pages),
+                r.max_free_type < 0
+                    ? "-"
+                    : std::to_string(uint64_t{1} << r.max_free_type)
+                          .c_str());
+    for (size_t t = 0; t < r.free_counts.size(); ++t) {
+      if (r.free_counts[t] > 0) {
+        std::printf("%llux%u ",
+                    static_cast<unsigned long long>(uint64_t{1} << t),
+                    r.free_counts[t]);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string path = argv[1];
+  DatabaseOptions options;
+  std::string mode = "overview";
+  uint64_t object_id = 0;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--page-size" && i + 1 < argc) {
+      options.page_size = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--object" && i + 1 < argc) {
+      mode = "object";
+      object_id = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--check") {
+      mode = "check";
+    } else if (arg == "--spaces") {
+      mode = "spaces";
+    } else {
+      return Usage();
+    }
+  }
+  auto db = Database::Open(path, options);
+  if (!db.ok()) Fail(db.status(), "open");
+  if (mode == "overview") {
+    PrintOverview(db->get());
+  } else if (mode == "object") {
+    PrintObject(db->get(), object_id);
+  } else if (mode == "spaces") {
+    PrintSpaces(db->get());
+  } else if (mode == "check") {
+    Status s = (*db)->CheckIntegrity();
+    if (!s.ok()) Fail(s, "integrity");
+    std::printf("integrity OK\n");
+  }
+  return 0;
+}
