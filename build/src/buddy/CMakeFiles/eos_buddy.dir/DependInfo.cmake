@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buddy/alloc_map.cc" "src/buddy/CMakeFiles/eos_buddy.dir/alloc_map.cc.o" "gcc" "src/buddy/CMakeFiles/eos_buddy.dir/alloc_map.cc.o.d"
+  "/root/repo/src/buddy/buddy_space.cc" "src/buddy/CMakeFiles/eos_buddy.dir/buddy_space.cc.o" "gcc" "src/buddy/CMakeFiles/eos_buddy.dir/buddy_space.cc.o.d"
+  "/root/repo/src/buddy/segment_allocator.cc" "src/buddy/CMakeFiles/eos_buddy.dir/segment_allocator.cc.o" "gcc" "src/buddy/CMakeFiles/eos_buddy.dir/segment_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/eos_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
