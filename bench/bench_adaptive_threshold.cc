@@ -68,5 +68,6 @@ void Ablation() {
 
 int main() {
   eos::bench::Ablation();
+  eos::bench::EmitMetricsBlock("bench_adaptive_threshold");
   return 0;
 }

@@ -101,5 +101,6 @@ int main() {
   eos::bench::DirectoryOnlyIo();
   eos::bench::AllocationThroughput();
   eos::bench::Superdirectory();
+  eos::bench::EmitMetricsBlock("bench_buddy_alloc");
   return 0;
 }

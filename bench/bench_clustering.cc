@@ -61,5 +61,6 @@ void ClusteringDecay() {
 
 int main() {
   eos::bench::ClusteringDecay();
+  eos::bench::EmitMetricsBlock("bench_clustering");
   return 0;
 }

@@ -112,5 +112,6 @@ int main() {
   eos::bench::CreatePatterns();
   eos::bench::AppendThroughput();
   eos::bench::Figure5bShape();
+  eos::bench::EmitMetricsBlock("bench_create_append");
   return 0;
 }

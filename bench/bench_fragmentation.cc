@@ -81,5 +81,6 @@ void FragmentationUnderChurn() {
 
 int main() {
   eos::bench::FragmentationUnderChurn();
+  eos::bench::EmitMetricsBlock("bench_fragmentation");
   return 0;
 }

@@ -183,4 +183,13 @@ BENCHMARK(BM_Reorganize)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace eos
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the process can emit the observability
+// metrics block after the benchmark report.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  eos::bench::EmitMetricsBlock("bench_micro");
+  return 0;
+}

@@ -85,5 +85,6 @@ void ReadCostVsState() {
 int main() {
   eos::bench::WorkedExample();
   eos::bench::ReadCostVsState();
+  eos::bench::EmitMetricsBlock("bench_read_cost");
   return 0;
 }

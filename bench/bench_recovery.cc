@@ -106,5 +106,6 @@ void RedoCost() {
 int main() {
   eos::bench::ShadowingOverhead();
   eos::bench::RedoCost();
+  eos::bench::EmitMetricsBlock("bench_recovery");
   return 0;
 }

@@ -64,5 +64,6 @@ void CostVsObjectSize() {
 
 int main() {
   eos::bench::CostVsObjectSize();
+  eos::bench::EmitMetricsBlock("bench_scaling");
   return 0;
 }

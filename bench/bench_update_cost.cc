@@ -69,5 +69,6 @@ void UpdateVsReadTradeoff() {
 
 int main() {
   eos::bench::UpdateVsReadTradeoff();
+  eos::bench::EmitMetricsBlock("bench_update_cost");
   return 0;
 }

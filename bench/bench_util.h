@@ -11,6 +11,8 @@
 #include "io/page_device.h"
 #include "io/pager.h"
 #include "lob/lob_manager.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace eos {
 namespace bench {
@@ -108,6 +110,26 @@ inline void EditWorkload(LobManager* lob, LobDescriptor* d, Random* rng,
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// One machine-readable result per line, greppable out of the human report:
+//   {"bench":"...","metric":"...","value":...}
+inline void EmitJsonResult(const std::string& bench, const std::string& metric,
+                           double value) {
+  obs::JsonValue o = obs::JsonValue::Object();
+  o.Set("bench", obs::JsonValue::Str(bench));
+  o.Set("metric", obs::JsonValue::Str(metric));
+  o.Set("value", obs::JsonValue::Number(value));
+  std::printf("%s\n", o.Dump().c_str());
+}
+
+// Whole-process metrics dump, emitted once at the end of each bench main:
+//   {"bench":"...","metrics":{"counters":...,"gauges":...,"histograms":...}}
+inline void EmitMetricsBlock(const std::string& bench) {
+  obs::JsonValue o = obs::JsonValue::Object();
+  o.Set("bench", obs::JsonValue::Str(bench));
+  o.Set("metrics", obs::MetricsRegistry::Default().ToJsonValue());
+  std::printf("%s\n", o.Dump().c_str());
 }
 
 }  // namespace bench

@@ -35,6 +35,8 @@ void UtilizationVsThreshold() {
                 100.0 * paper,
                 static_cast<unsigned long long>(st.index_pages),
                 100.0 * st.total_utilization);
+    EmitJsonResult("bench_utilization",
+                   "leaf_util_T" + std::to_string(t), st.leaf_utilization);
   }
   std::printf(
       "(the measured leaf utilization should track the paper's 1-1/2T "
@@ -78,5 +80,6 @@ void AppendOnlyUtilization() {
 int main() {
   eos::bench::UtilizationVsThreshold();
   eos::bench::AppendOnlyUtilization();
+  eos::bench::EmitMetricsBlock("bench_utilization");
   return 0;
 }

@@ -167,5 +167,6 @@ void StarburstInsertScaling() {
 int main() {
   eos::bench::Compare();
   eos::bench::StarburstInsertScaling();
+  eos::bench::EmitMetricsBlock("bench_vs_baselines");
   return 0;
 }

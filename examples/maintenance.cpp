@@ -11,6 +11,7 @@
 #include "eos/database.h"
 #include "common/random.h"
 #include "io/io_stats.h"
+#include "obs/snapshot.h"
 
 using namespace eos;  // example code; the library itself never does this
 
@@ -87,7 +88,10 @@ int main() {
 
   Check(db->CheckIntegrity(), "integrity");
   Check(db->Flush(), "flush");
-  std::printf("volume left at %s — try: ./build/tools/eos_inspect %s\n",
-              path.c_str(), path.c_str());
+  Check(obs::WriteSnapshotFile(obs::SnapshotPathFor(path)),
+        "write obs snapshot");
+  std::printf("volume left at %s — try: ./build/tools/eos_inspect %s\n"
+              "(also: eos_inspect %s stats | trace)\n",
+              path.c_str(), path.c_str(), path.c_str());
   return 0;
 }

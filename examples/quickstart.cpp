@@ -9,6 +9,7 @@
 #include <string>
 
 #include "eos/database.h"
+#include "obs/snapshot.h"
 
 using eos::Bytes;
 using eos::ByteView;
@@ -90,6 +91,12 @@ int main() {
               100.0 * st.leaf_utilization);
 
   Check(db2->CheckIntegrity(), "integrity");
+
+  // Leave the metrics/trace snapshot next to the volume so
+  // `eos_inspect <volume> stats` (and `trace`) can read it back.
+  Check(eos::obs::WriteSnapshotFile(eos::obs::SnapshotPathFor(path)),
+        "write obs snapshot");
+
   std::printf("quickstart OK\n");
   return 0;
 }

@@ -5,10 +5,24 @@
 
 #include "common/bytes.h"
 #include "common/math.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace eos {
 
 namespace {
+
+obs::Counter* SplitCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().counter(obs::kBuddySplit);
+  return c;
+}
+
+obs::Counter* CoalesceCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().counter(obs::kBuddyCoalesce);
+  return c;
+}
 
 // Splits [lo, hi) into maximal buddy-aligned power-of-two chunks, capped at
 // 2^max_type, and invokes fn(start, type) for each in address order.
@@ -101,12 +115,14 @@ StatusOr<uint32_t> BuddySpace::Allocate(uint32_t npages) {
     }
   }
   // Free remainder: binary decomposition in reverse order (smallest chunk
-  // first), directly after the allocated prefix.
+  // first), directly after the allocated prefix. Each remainder chunk is a
+  // split of the 2^j segment the request was carved from.
   uint32_t rem = (uint32_t{1} << j) - npages;
   for (uint32_t t = 0; t <= geo_.max_type && rem != 0; ++t) {
     if (rem & (uint32_t{1} << t)) {
       map.WriteFree(pos, t);
       SetCount(h, t, GetCount(h, t) + 1);
+      SplitCounter()->Inc();
       pos += uint32_t{1} << t;
       rem &= ~(uint32_t{1} << t);
     }
@@ -133,6 +149,7 @@ void BuddySpace::FreeChunkAndCoalesce(PageHandle& h, uint32_t chunk,
   while (type < geo_.max_type) {
     uint32_t buddy = chunk ^ (uint32_t{1} << type);
     if (!map.IsFreeForCoalesce(buddy, type)) break;
+    CoalesceCounter()->Inc();
     SetCount(h, type, GetCount(h, type) - 2);
     chunk = chunk < buddy ? chunk : buddy;
     ++type;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metric_names.h"
+
 namespace eos {
 
 SegmentAllocator::SegmentAllocator(Pager* pager, const BuddyGeometry& geo,
@@ -13,7 +15,17 @@ SegmentAllocator::SegmentAllocator(Pager* pager, const BuddyGeometry& geo,
       num_spaces_(num_spaces),
       options_(options),
       // Optimistic initial hints: each space may hold a maximal segment.
-      hints_(num_spaces, static_cast<int8_t>(geo.max_type)) {}
+      hints_(num_spaces, static_cast<int8_t>(geo.max_type)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  m_alloc_ = reg.counter(obs::kBuddyAlloc);
+  m_free_ = reg.counter(obs::kBuddyFree);
+  m_free_deferred_ = reg.counter(obs::kBuddyFreeDeferred);
+  m_space_added_ = reg.counter(obs::kBuddySpaceAdded);
+  m_dir_visit_ = reg.counter(obs::kBuddyDirectoryVisit);
+  m_alloc_pages_ = reg.histogram(obs::kBuddyAllocPages);
+  m_free_pages_ = reg.gauge(obs::kBuddyFreePages);
+  m_managed_pages_ = reg.gauge(obs::kBuddyManagedPages);
+}
 
 StatusOr<std::unique_ptr<SegmentAllocator>> SegmentAllocator::Format(
     Pager* pager, const BuddyGeometry& geo, PageId first_space_page,
@@ -35,9 +47,17 @@ StatusOr<std::unique_ptr<SegmentAllocator>> SegmentAllocator::Attach(
   }
   std::unique_ptr<SegmentAllocator> alloc(
       new SegmentAllocator(pager, geo, first_space_page, num_spaces, options));
-  // Verify every directory is present and well-formed.
+  // Verify every directory is present and well-formed, seeding the free-page
+  // gauges from the on-disk counts as we go.
   for (uint32_t i = 0; i < num_spaces; ++i) {
-    EOS_RETURN_IF_ERROR(alloc->Space(i).Counts().status());
+    EOS_ASSIGN_OR_RETURN(std::vector<uint32_t> counts,
+                         alloc->Space(i).Counts());
+    int64_t free_pages = 0;
+    for (uint32_t t = 0; t < counts.size(); ++t) {
+      free_pages += int64_t{counts[t]} << t;
+    }
+    alloc->m_managed_pages_->Add(geo.space_pages);
+    alloc->m_free_pages_->Add(free_pages);
   }
   return alloc;
 }
@@ -54,6 +74,9 @@ Status SegmentAllocator::AddSpace() {
     LatchGuard g(superdir_latch_);
     hints_.push_back(static_cast<int8_t>(geo_.max_type));
   }
+  m_space_added_->Inc();
+  m_managed_pages_->Add(geo_.space_pages);
+  m_free_pages_->Add(geo_.space_pages);
   return Status::OK();
 }
 
@@ -79,9 +102,13 @@ StatusOr<Extent> SegmentAllocator::TryAllocate(uint32_t npages) {
       if (hint < static_cast<int8_t>(t_need)) continue;
     }
     ++directory_visits_;
+    m_dir_visit_->Inc();
     auto r = Space(i).Allocate(npages);
     if (r.ok()) {
       EOS_RETURN_IF_ERROR(RefreshHint(i));
+      m_alloc_->Inc();
+      m_alloc_pages_->Record(npages);
+      m_free_pages_->Add(-int64_t{npages});
       return Extent{DirPage(i) + 1 + r.value(), npages};
     }
     if (!r.status().IsNoSpace()) return r.status();
@@ -144,6 +171,7 @@ Status SegmentAllocator::Free(const Extent& extent) {
       free_interceptor_->InterceptFree(extent)) {
     // Deferred: the segment stays allocated under a release lock until the
     // owning transaction commits.
+    m_free_deferred_->Inc();
     return Status::OK();
   }
   LatchGuard g(op_latch_);
@@ -156,6 +184,8 @@ Status SegmentAllocator::Free(const Extent& extent) {
     return Status::InvalidArgument("extent spans buddy spaces");
   }
   EOS_RETURN_IF_ERROR(Space(space).Free(local, extent.pages));
+  m_free_->Inc();
+  m_free_pages_->Add(extent.pages);
   return RefreshHint(space);
 }
 

@@ -10,6 +10,7 @@
 #include "common/latch.h"
 #include "common/status.h"
 #include "io/pager.h"
+#include "obs/metrics.h"
 
 namespace eos {
 
@@ -137,6 +138,16 @@ class SegmentAllocator {
   uint64_t directory_visits_ = 0;
   Latch op_latch_;  // serializes allocator operations
   FreeInterceptor* free_interceptor_ = nullptr;
+
+  // Process-wide metric mirrors (stable registry pointers, looked up once).
+  obs::Counter* m_alloc_;
+  obs::Counter* m_free_;
+  obs::Counter* m_free_deferred_;
+  obs::Counter* m_space_added_;
+  obs::Counter* m_dir_visit_;
+  obs::Histogram* m_alloc_pages_;
+  obs::Gauge* m_free_pages_;
+  obs::Gauge* m_managed_pages_;
 };
 
 }  // namespace eos

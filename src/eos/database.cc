@@ -5,6 +5,7 @@
 
 #include "buddy/geometry.h"
 #include "common/math.h"
+#include "obs/op_tracer.h"
 
 namespace eos {
 
@@ -205,21 +206,26 @@ Status Database::SaveDirectory() {
 }
 
 StatusOr<uint64_t> Database::CreateObject() {
+  obs::ScopedOp span("db.create_object", 0, device_.get());
   uint64_t id = next_object_id_++;
   LobDescriptor d = lob_->CreateEmpty();
   directory_.emplace_back(id, d.Serialize());
-  EOS_RETURN_IF_ERROR(SaveDirectory());
+  Status s = SaveDirectory();
+  if (!s.ok()) return span.Close(std::move(s));
   return id;
 }
 
 StatusOr<uint64_t> Database::CreateObjectFrom(ByteView data) {
   EOS_ASSIGN_OR_RETURN(uint64_t id, CreateObject());
+  obs::ScopedOp span("db.create_object_from", id, device_.get());
   if (log_ != nullptr) log_->set_current_object(id);
   // Append (not CreateFrom) so the initial content is a logged operation;
   // a one-shot append of a known size produces the same exact layout.
   LobDescriptor d = lob_->CreateEmpty();
-  EOS_RETURN_IF_ERROR(lob_->Append(&d, data));
-  EOS_RETURN_IF_ERROR(PutRoot(id, d));
+  Status s = lob_->Append(&d, data);
+  if (!s.ok()) return span.Close(std::move(s));
+  s = PutRoot(id, d);
+  if (!s.ok()) return span.Close(std::move(s));
   return id;
 }
 
@@ -244,9 +250,11 @@ void Database::SetObjectThreshold(uint64_t id, uint32_t threshold_pages) {
 }
 
 Status Database::ReorganizeObject(uint64_t id) {
+  obs::ScopedOp span("db.reorganize", id, device_.get());
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
-  EOS_RETURN_IF_ERROR(lob_->Reorganize(&d));
-  return PutRoot(id, d);
+  Status s = lob_->Reorganize(&d);
+  if (!s.ok()) return span.Close(std::move(s));
+  return span.Close(PutRoot(id, d));
 }
 
 Status Database::PutRoot(uint64_t id, const LobDescriptor& d) {
@@ -267,17 +275,19 @@ StatusOr<std::vector<uint64_t>> Database::ListObjects() {
 }
 
 Status Database::DropObject(uint64_t id) {
+  obs::ScopedOp span("db.drop_object", id, device_.get());
   for (size_t i = 0; i < directory_.size(); ++i) {
     if (directory_[i].first == id) {
       EOS_ASSIGN_OR_RETURN(
           LobDescriptor d, LobDescriptor::Deserialize(directory_[i].second));
       if (log_ != nullptr) log_->set_current_object(id);
-      EOS_RETURN_IF_ERROR(lob_->Destroy(&d));
+      Status s = lob_->Destroy(&d);
+      if (!s.ok()) return span.Close(std::move(s));
       directory_.erase(directory_.begin() + i);
-      return SaveDirectory();
+      return span.Close(SaveDirectory());
     }
   }
-  return Status::NotFound("object " + std::to_string(id));
+  return span.Close(Status::NotFound("object " + std::to_string(id)));
 }
 
 StatusOr<uint64_t> Database::Size(uint64_t id) {
@@ -286,38 +296,48 @@ StatusOr<uint64_t> Database::Size(uint64_t id) {
 }
 
 StatusOr<Bytes> Database::Read(uint64_t id, uint64_t offset, uint64_t n) {
+  obs::ScopedOp span("db.read", id, device_.get());
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   Bytes out;
-  EOS_RETURN_IF_ERROR(lob_->Read(d, offset, n, &out));
+  Status s = lob_->Read(d, offset, n, &out);
+  if (!s.ok()) return span.Close(std::move(s));
   return out;
 }
 
 Status Database::Append(uint64_t id, ByteView data) {
+  obs::ScopedOp span("db.append", id, device_.get());
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   if (log_ != nullptr) log_->set_current_object(id);
-  EOS_RETURN_IF_ERROR(lob_->Append(&d, data));
-  return PutRoot(id, d);
+  Status s = lob_->Append(&d, data);
+  if (!s.ok()) return span.Close(std::move(s));
+  return span.Close(PutRoot(id, d));
 }
 
 Status Database::Insert(uint64_t id, uint64_t offset, ByteView data) {
+  obs::ScopedOp span("db.insert", id, device_.get());
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   if (log_ != nullptr) log_->set_current_object(id);
-  EOS_RETURN_IF_ERROR(lob_->Insert(&d, offset, data));
-  return PutRoot(id, d);
+  Status s = lob_->Insert(&d, offset, data);
+  if (!s.ok()) return span.Close(std::move(s));
+  return span.Close(PutRoot(id, d));
 }
 
 Status Database::Delete(uint64_t id, uint64_t offset, uint64_t n) {
+  obs::ScopedOp span("db.delete", id, device_.get());
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   if (log_ != nullptr) log_->set_current_object(id);
-  EOS_RETURN_IF_ERROR(lob_->Delete(&d, offset, n));
-  return PutRoot(id, d);
+  Status s = lob_->Delete(&d, offset, n);
+  if (!s.ok()) return span.Close(std::move(s));
+  return span.Close(PutRoot(id, d));
 }
 
 Status Database::Replace(uint64_t id, uint64_t offset, ByteView data) {
+  obs::ScopedOp span("db.replace", id, device_.get());
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   if (log_ != nullptr) log_->set_current_object(id);
-  EOS_RETURN_IF_ERROR(lob_->Replace(&d, offset, data));
-  return PutRoot(id, d);
+  Status s = lob_->Replace(&d, offset, data);
+  if (!s.ok()) return span.Close(std::move(s));
+  return span.Close(PutRoot(id, d));
 }
 
 StatusOr<LobStats> Database::ObjectStats(uint64_t id) {

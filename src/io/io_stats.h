@@ -28,20 +28,26 @@ struct IoStats {
     seeks += o.seeks;
     return *this;
   }
+  IoStats& operator-=(const IoStats& o) {
+    read_calls -= o.read_calls;
+    write_calls -= o.write_calls;
+    pages_read -= o.pages_read;
+    pages_written -= o.pages_written;
+    seeks -= o.seeks;
+    return *this;
+  }
   IoStats operator-(const IoStats& o) const {
     IoStats r = *this;
-    r.read_calls -= o.read_calls;
-    r.write_calls -= o.write_calls;
-    r.pages_read -= o.pages_read;
-    r.pages_written -= o.pages_written;
-    r.seeks -= o.seeks;
+    r -= o;
     return r;
   }
 
   std::string ToString() const {
     return "seeks=" + std::to_string(seeks) +
            " pages_read=" + std::to_string(pages_read) +
-           " pages_written=" + std::to_string(pages_written);
+           " pages_written=" + std::to_string(pages_written) +
+           " read_calls=" + std::to_string(read_calls) +
+           " write_calls=" + std::to_string(write_calls);
   }
 };
 

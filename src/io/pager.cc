@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metric_names.h"
+
 namespace eos {
 
 PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
@@ -36,6 +38,12 @@ void PageHandle::MarkDirty() { pager_->MarkFrameDirty(frame_); }
 
 Pager::Pager(PageDevice* device, size_t capacity)
     : device_(device), capacity_(capacity == 0 ? 1 : capacity) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  m_hit_ = reg.counter(obs::kPagerHit);
+  m_miss_ = reg.counter(obs::kPagerMiss);
+  m_eviction_ = reg.counter(obs::kPagerEviction);
+  m_writeback_ = reg.counter(obs::kPagerWriteback);
+  m_cached_ = reg.gauge(obs::kPagerCachedPages);
   frames_.resize(capacity_);
   for (auto& f : frames_) f.data.resize(device_->page_size());
   free_frames_.reserve(capacity_);
@@ -63,6 +71,9 @@ StatusOr<size_t> Pager::GetFrame(PageId id, bool read, bool* was_hit) {
     EOS_ASSIGN_OR_RETURN(idx, FindVictim());
     EOS_RETURN_IF_ERROR(FlushFrame(frames_[idx]));
     map_.erase(frames_[idx].id);
+    ++evictions_;
+    m_eviction_->Inc();
+    m_cached_->Add(-1);
   }
   Frame& f = frames_[idx];
   f.id = id;
@@ -74,6 +85,7 @@ StatusOr<size_t> Pager::GetFrame(PageId id, bool read, bool* was_hit) {
     std::memset(f.data.data(), 0, f.data.size());
   }
   map_[id] = idx;
+  m_cached_->Add(1);
   return idx;
 }
 
@@ -97,6 +109,8 @@ Status Pager::FlushFrame(Frame& f) {
   if (f.dirty) {
     EOS_RETURN_IF_ERROR(device_->WritePages(f.id, 1, f.data.data()));
     f.dirty = false;
+    ++dirty_writebacks_;
+    m_writeback_->Inc();
   }
   return Status::OK();
 }
@@ -111,6 +125,7 @@ StatusOr<PageHandle> Pager::Fetch(PageId id) {
   bool hit = false;
   EOS_ASSIGN_OR_RETURN(size_t idx, GetFrame(id, /*read=*/true, &hit));
   hit ? ++hits_ : ++misses_;
+  (hit ? m_hit_ : m_miss_)->Inc();
   Frame& f = frames_[idx];
   ++f.pins;
   f.tick = ++tick_;
@@ -150,6 +165,7 @@ Status Pager::EvictAll() {
     if (f.id != kInvalidPage && f.pins == 0) {
       EOS_RETURN_IF_ERROR(FlushFrame(f));
       map_.erase(f.id);
+      m_cached_->Add(-1);
       // Reuse the slot via the free list.
       size_t idx = static_cast<size_t>(&f - frames_.data());
       f.id = kInvalidPage;
@@ -169,6 +185,7 @@ void Pager::Invalidate(PageId id) {
   f.dirty = false;
   free_frames_.push_back(it->second);
   map_.erase(it);
+  m_cached_->Add(-1);
 }
 
 }  // namespace eos

@@ -9,6 +9,7 @@
 #include "common/latch.h"
 #include "common/status.h"
 #include "io/page_device.h"
+#include "obs/metrics.h"
 
 namespace eos {
 
@@ -85,6 +86,8 @@ class Pager {
   PageDevice* device() { return device_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t dirty_writebacks() const { return dirty_writebacks_; }
   size_t cached_pages() const { return map_.size(); }
 
  private:
@@ -113,6 +116,15 @@ class Pager {
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t dirty_writebacks_ = 0;
+
+  // Process-wide metric mirrors (stable registry pointers, looked up once).
+  obs::Counter* m_hit_;
+  obs::Counter* m_miss_;
+  obs::Counter* m_eviction_;
+  obs::Counter* m_writeback_;
+  obs::Gauge* m_cached_;
 };
 
 }  // namespace eos

@@ -8,11 +8,16 @@
 
 #include "common/math.h"
 #include "lob/lob_manager.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace eos {
 
 Status LobManager::CompactUnsafeRuns(LobNode* leaf_parent) {
   assert(leaf_parent->level == 0);
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Default().counter(obs::kLobCompactUnsafeRuns);
+  runs->Inc();
   const uint32_t t = config_.threshold_pages;
   std::vector<LobEntry> out;
   out.reserve(leaf_parent->entries.size());

@@ -8,6 +8,8 @@
 
 #include "common/math.h"
 #include "lob/lob_manager.h"
+#include "obs/metric_names.h"
+#include "obs/op_tracer.h"
 #include "txn/log_manager.h"
 
 namespace eos {
@@ -165,18 +167,24 @@ Status LobAppender::Append(ByteView data) {
     }
   }
   appended_ += data.size();
+  static obs::Counter* chunks =
+      obs::MetricsRegistry::Default().counter(obs::kLobAppenderChunks);
+  chunks->Inc();
   return Status::OK();
 }
 
 Status LobAppender::Finish() {
   if (finished_) return Status::OK();
   finished_ = true;
+  obs::ScopedOp span("lob.appender_finish", 0, mgr_->device());
   if (!cur_.valid() && !page_buf_.empty()) {
     // Only an absorbed tail remains; give it its own (1-page) segment.
-    EOS_RETURN_IF_ERROR(OpenSegment(page_buf_.size()));
+    Status s = OpenSegment(page_buf_.size());
+    if (!s.ok()) return span.Close(std::move(s));
   }
-  EOS_RETURN_IF_ERROR(CloseSegment());
-  return mgr_->FitRoot(d_);
+  Status s = CloseSegment();
+  if (!s.ok()) return span.Close(std::move(s));
+  return span.Close(mgr_->FitRoot(d_));
 }
 
 }  // namespace eos

@@ -14,6 +14,7 @@
 #include "lob/leaf_io.h"
 #include "lob/lob_manager.h"
 #include "lob/reshuffle.h"
+#include "obs/op_tracer.h"
 #include "txn/log_manager.h"
 
 namespace eos {
@@ -283,6 +284,11 @@ StatusOr<LobNode> LobManager::DeleteInNode(LobNode node, uint64_t lo,
 }
 
 Status LobManager::Delete(LobDescriptor* d, uint64_t offset, uint64_t n) {
+  obs::ScopedOp span("lob.delete", 0, device());
+  return span.Close(DeleteImpl(d, offset, n));
+}
+
+Status LobManager::DeleteImpl(LobDescriptor* d, uint64_t offset, uint64_t n) {
   if (offset > d->size()) {
     return Status::OutOfRange("delete offset beyond object size");
   }

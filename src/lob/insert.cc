@@ -9,11 +9,18 @@
 #include "lob/leaf_io.h"
 #include "lob/lob_manager.h"
 #include "lob/reshuffle.h"
+#include "obs/op_tracer.h"
 #include "txn/log_manager.h"
 
 namespace eos {
 
 Status LobManager::Insert(LobDescriptor* d, uint64_t offset, ByteView data) {
+  obs::ScopedOp span("lob.insert", 0, device());
+  return span.Close(InsertImpl(d, offset, data));
+}
+
+Status LobManager::InsertImpl(LobDescriptor* d, uint64_t offset,
+                              ByteView data) {
   if (offset > d->size()) {
     return Status::OutOfRange("insert offset beyond object size");
   }
@@ -95,6 +102,11 @@ Status LobManager::Insert(LobDescriptor* d, uint64_t offset, ByteView data) {
 }
 
 Status LobManager::Append(LobDescriptor* d, ByteView data) {
+  obs::ScopedOp span("lob.append", 0, device());
+  return span.Close(AppendImpl(d, data));
+}
+
+Status LobManager::AppendImpl(LobDescriptor* d, ByteView data) {
   if (data.empty()) return Status::OK();
   if (log_ != nullptr) {
     EOS_RETURN_IF_ERROR(log_->LogAppend(d, data));

@@ -6,6 +6,8 @@
 
 #include "common/math.h"
 #include "lob/walker.h"
+#include "obs/metric_names.h"
+#include "obs/op_tracer.h"
 #include "txn/log_manager.h"
 
 namespace eos {
@@ -118,6 +120,10 @@ Status LobManager::WriteLeafPages(PageId first, ByteView data) {
 }
 
 StatusOr<std::vector<LobEntry>> LobManager::WriteSegments(ByteView data) {
+  static obs::Counter* written =
+      obs::MetricsRegistry::Default().counter(obs::kLobSegmentsWritten);
+  static obs::Histogram* seg_pages =
+      obs::MetricsRegistry::Default().histogram(obs::kLobSegmentPages);
   std::vector<LobEntry> entries;
   uint64_t pos = 0;
   uint64_t max_bytes = uint64_t{max_segment_pages_} * page_size();
@@ -126,6 +132,8 @@ StatusOr<std::vector<LobEntry>> LobManager::WriteSegments(ByteView data) {
     EOS_ASSIGN_OR_RETURN(Extent e,
                          allocator()->Allocate(LeafPages(chunk)));
     EOS_RETURN_IF_ERROR(WriteLeafPages(e.first, data.Slice(pos, chunk)));
+    written->Inc();
+    seg_pages->Record(LeafPages(chunk));
     entries.push_back(LobEntry{chunk, e.first});
     pos += chunk;
   }
@@ -201,7 +209,11 @@ Status LobManager::ReplaceInPath(LobDescriptor* d,
                           repl.begin(), repl.end());
   d->root = std::move(top.node);
   EOS_RETURN_IF_ERROR(FitRoot(d));
-  return CollapseRoot(d);
+  EOS_RETURN_IF_ERROR(CollapseRoot(d));
+  static obs::Gauge* tree_level =
+      obs::MetricsRegistry::Default().gauge(obs::kLobTreeLevel);
+  tree_level->Set(d->root.level);
+  return Status::OK();
 }
 
 Status LobManager::FitRoot(LobDescriptor* d) {
@@ -246,6 +258,13 @@ Status LobManager::CollapseRoot(LobDescriptor* d) {
 // ----- lifecycle -------------------------------------------------------------
 
 StatusOr<LobDescriptor> LobManager::CreateFrom(ByteView data) {
+  obs::ScopedOp span("lob.create_from", 0, device());
+  StatusOr<LobDescriptor> r = CreateFromImpl(data);
+  span.set_ok(r.ok());
+  return r;
+}
+
+StatusOr<LobDescriptor> LobManager::CreateFromImpl(ByteView data) {
   LobDescriptor d = CreateEmpty();
   LobAppender app(this, &d, data.size());
   EOS_RETURN_IF_ERROR(app.Append(data));
@@ -265,6 +284,11 @@ Status LobManager::FreeSubtree(const LobEntry& entry, uint16_t level) {
 }
 
 Status LobManager::Destroy(LobDescriptor* d) {
+  obs::ScopedOp span("lob.destroy", 0, device());
+  return span.Close(DestroyImpl(d));
+}
+
+Status LobManager::DestroyImpl(LobDescriptor* d) {
   if (log_ != nullptr) {
     // The undo image must be captured before the segments are freed.
     EOS_ASSIGN_OR_RETURN(Bytes old, ReadAll(*d));
@@ -281,6 +305,12 @@ Status LobManager::Destroy(LobDescriptor* d) {
 
 Status LobManager::Read(const LobDescriptor& d, uint64_t offset, uint64_t n,
                         Bytes* out) {
+  obs::ScopedOp span("lob.read", 0, device());
+  return span.Close(ReadImpl(d, offset, n, out));
+}
+
+Status LobManager::ReadImpl(const LobDescriptor& d, uint64_t offset,
+                            uint64_t n, Bytes* out) {
   if (offset > d.size()) {
     return Status::OutOfRange("read offset beyond object size");
   }
@@ -314,6 +344,12 @@ StatusOr<Bytes> LobManager::ReadAll(const LobDescriptor& d) {
 // ----- replace ---------------------------------------------------------------
 
 Status LobManager::Replace(LobDescriptor* d, uint64_t offset, ByteView data) {
+  obs::ScopedOp span("lob.replace", 0, device());
+  return span.Close(ReplaceImpl(d, offset, data));
+}
+
+Status LobManager::ReplaceImpl(LobDescriptor* d, uint64_t offset,
+                               ByteView data) {
   if (offset + data.size() > d->size()) {
     return Status::OutOfRange("replace range beyond object size");
   }
@@ -354,6 +390,11 @@ Status LobManager::Replace(LobDescriptor* d, uint64_t offset, ByteView data) {
 }
 
 Status LobManager::Reorganize(LobDescriptor* d) {
+  obs::ScopedOp span("lob.reorganize", 0, device());
+  return span.Close(ReorganizeImpl(d));
+}
+
+Status LobManager::ReorganizeImpl(LobDescriptor* d) {
   if (d->empty()) return Status::OK();
   // Stream the old object into a freshly allocated one, then swap. The
   // copy is chunked, so memory stays bounded for huge objects.
@@ -384,25 +425,28 @@ Status LobManager::Reorganize(LobDescriptor* d) {
 }
 
 Status LobManager::Write(LobDescriptor* d, uint64_t offset, ByteView data) {
+  obs::ScopedOp span("lob.write", 0, device());
   if (offset > d->size()) {
-    return Status::OutOfRange("write offset beyond object size");
+    return span.Close(Status::OutOfRange("write offset beyond object size"));
   }
   uint64_t overlap = std::min<uint64_t>(data.size(), d->size() - offset);
   if (overlap > 0) {
-    EOS_RETURN_IF_ERROR(Replace(d, offset, data.Slice(0, overlap)));
+    Status s = Replace(d, offset, data.Slice(0, overlap));
+    if (!s.ok()) return span.Close(std::move(s));
   }
   if (overlap < data.size()) {
-    EOS_RETURN_IF_ERROR(
-        Append(d, data.Slice(overlap, data.size() - overlap)));
+    Status s = Append(d, data.Slice(overlap, data.size() - overlap));
+    if (!s.ok()) return span.Close(std::move(s));
   }
-  return Status::OK();
+  return span.Close(Status::OK());
 }
 
 Status LobManager::Truncate(LobDescriptor* d, uint64_t new_size) {
+  obs::ScopedOp span("lob.truncate", 0, device());
   if (new_size > d->size()) {
-    return Status::OutOfRange("truncate beyond object size");
+    return span.Close(Status::OutOfRange("truncate beyond object size"));
   }
-  return Delete(d, new_size, d->size() - new_size);
+  return span.Close(Delete(d, new_size, d->size() - new_size));
 }
 
 // ----- stats & invariants ----------------------------------------------------

@@ -145,6 +145,18 @@ class LobManager {
   friend class LobAppender;
   friend class LeafWalker;
 
+  // The public operations above are thin obs::ScopedOp span wrappers (see
+  // src/obs/op_tracer.h) around these bodies.
+  StatusOr<LobDescriptor> CreateFromImpl(ByteView data);
+  Status DestroyImpl(LobDescriptor* d);
+  Status ReadImpl(const LobDescriptor& d, uint64_t offset, uint64_t n,
+                  Bytes* out);
+  Status ReplaceImpl(LobDescriptor* d, uint64_t offset, ByteView data);
+  Status InsertImpl(LobDescriptor* d, uint64_t offset, ByteView data);
+  Status DeleteImpl(LobDescriptor* d, uint64_t offset, uint64_t n);
+  Status AppendImpl(LobDescriptor* d, ByteView data);
+  Status ReorganizeImpl(LobDescriptor* d);
+
   struct PathLevel {
     PageId page = kInvalidPage;  // kInvalidPage for the root level
     LobNode node;

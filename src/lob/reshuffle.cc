@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "common/math.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace eos {
 
@@ -17,6 +19,16 @@ ReshufflePlan PlanReshuffle(const ReshuffleInput& in) {
   const uint64_t max_bytes = uint64_t{in.max_segment_pages} * ps;
   assert(ps > 0 && in.max_segment_pages > 0);
   assert(in.threshold <= in.max_segment_pages);
+
+  static obs::Counter* plans =
+      obs::MetricsRegistry::Default().counter(obs::kLobReshufflePlans);
+  static obs::Counter* page_mode =
+      obs::MetricsRegistry::Default().counter(obs::kLobReshufflePageMode);
+  static obs::Counter* byte_mode =
+      obs::MetricsRegistry::Default().counter(obs::kLobReshuffleByteMode);
+  static obs::Histogram* moved =
+      obs::MetricsRegistry::Default().histogram(obs::kLobReshuffleMovedBytes);
+  plans->Inc();
 
   ReshufflePlan plan;
   plan.lc = in.lc;
@@ -86,9 +98,20 @@ ReshufflePlan PlanReshuffle(const ReshuffleInput& in) {
     }
   }
 
+  // from_l/from_r so far were produced by whole-page movement; anything
+  // added past this point is byte reshuffling.
+  const uint64_t page_moved = plan.from_l + plan.from_r;
+  auto finish = [&]() {
+    uint64_t total = plan.from_l + plan.from_r;
+    if (page_moved > 0) page_mode->Inc();
+    if (total > page_moved) byte_mode->Inc();
+    if (total > 0) moved->Record(total);
+    return plan;
+  };
+
   // Byte reshuffling (Section 4.3.1 step 3 / Section 4.4 step 3.4).
   uint64_t nm = plan.nc % ps;
-  if (nm == 0) return plan;  // "If Nm = PS skip this step."
+  if (nm == 0) return finish();  // "If Nm = PS skip this step."
 
   auto last_page_bytes = [&](uint64_t c) {
     return c % ps == 0 ? uint64_t{ps} : c % ps;
@@ -138,7 +161,7 @@ ReshufflePlan PlanReshuffle(const ReshuffleInput& in) {
   // caller then writes it as a sequence of segments); page reshuffling
   // itself never pushes it past the cap.
   assert(plan.nc <= max_bytes || in.nc > max_bytes);
-  return plan;
+  return finish();
 }
 
 }  // namespace eos

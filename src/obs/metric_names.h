@@ -1,0 +1,55 @@
+#ifndef EOS_OBS_METRIC_NAMES_H_
+#define EOS_OBS_METRIC_NAMES_H_
+
+// Canonical metric names shared by the instrumented components, the
+// OpTracer snapshots, and eos_inspect. Units are part of the contract and
+// documented in DESIGN.md ("Observability"): counters are event counts,
+// *_pages gauges/histograms are in pages, *_bytes in bytes, op.*.us
+// histograms in microseconds of wall time.
+
+namespace eos {
+namespace obs {
+
+// --- pager -----------------------------------------------------------------
+inline constexpr char kPagerHit[] = "pager.hit";
+inline constexpr char kPagerMiss[] = "pager.miss";
+inline constexpr char kPagerEviction[] = "pager.eviction";
+inline constexpr char kPagerWriteback[] = "pager.writeback";
+inline constexpr char kPagerCachedPages[] = "pager.cached_pages";  // gauge
+
+// --- buddy space manager ---------------------------------------------------
+inline constexpr char kBuddyAlloc[] = "buddy.alloc";
+inline constexpr char kBuddyAllocPages[] = "buddy.alloc_pages";  // histogram
+inline constexpr char kBuddyFree[] = "buddy.free";
+inline constexpr char kBuddyFreeDeferred[] = "buddy.free_deferred";
+inline constexpr char kBuddySplit[] = "buddy.split";
+inline constexpr char kBuddyCoalesce[] = "buddy.coalesce";
+inline constexpr char kBuddyFreePages[] = "buddy.free_pages";        // gauge
+inline constexpr char kBuddyManagedPages[] = "buddy.managed_pages";  // gauge
+inline constexpr char kBuddySpaceAdded[] = "buddy.space_added";
+inline constexpr char kBuddyDirectoryVisit[] = "buddy.directory_visit";
+
+// --- large object manager --------------------------------------------------
+inline constexpr char kLobReshufflePlans[] = "lob.reshuffle.plans";
+// Plans computed with threshold T > 1 (page reshuffling enabled) vs T == 1
+// (pure byte reshuffling), the Section 4.4 decision.
+inline constexpr char kLobReshufflePageMode[] = "lob.reshuffle.page_mode";
+inline constexpr char kLobReshuffleByteMode[] = "lob.reshuffle.byte_mode";
+inline constexpr char kLobReshuffleMovedBytes[] =
+    "lob.reshuffle.moved_bytes";  // histogram
+inline constexpr char kLobSegmentsWritten[] = "lob.segments_written";
+inline constexpr char kLobSegmentPages[] = "lob.segment_pages";  // histogram
+inline constexpr char kLobTreeLevel[] = "lob.tree_level";        // gauge
+inline constexpr char kLobCompactUnsafeRuns[] = "lob.compact_unsafe_runs";
+inline constexpr char kLobAppenderChunks[] = "lob.appender.chunks";
+
+// --- transactions / recovery -----------------------------------------------
+inline constexpr char kTxnLogRecords[] = "txn.log.records";
+inline constexpr char kTxnLogBytes[] = "txn.log.bytes";
+inline constexpr char kTxnRedoApplied[] = "txn.recovery.redo";
+inline constexpr char kTxnUndoApplied[] = "txn.recovery.undo";
+
+}  // namespace obs
+}  // namespace eos
+
+#endif  // EOS_OBS_METRIC_NAMES_H_

@@ -1,0 +1,210 @@
+#include "obs/op_tracer.h"
+
+#include <cstdio>
+
+#include "io/page_device.h"
+#include "obs/metric_names.h"
+
+namespace eos {
+namespace obs {
+
+OpTracer& OpTracer::Default() {
+  static OpTracer* tracer = new OpTracer();
+  return *tracer;
+}
+
+OpTracer::OpTracer(size_t capacity) : cap_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(cap_);
+}
+
+void OpTracer::SetCapacity(size_t capacity) {
+  LatchGuard g(latch_);
+  cap_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(cap_);
+  next_ = 0;
+}
+
+size_t OpTracer::capacity() const {
+  LatchGuard g(latch_);
+  return cap_;
+}
+
+void OpTracer::Clear() {
+  LatchGuard g(latch_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+uint64_t OpTracer::total() const {
+  LatchGuard g(latch_);
+  return total_;
+}
+
+void OpTracer::Push(OpSpan&& span) {
+  LatchGuard g(latch_);
+  span.seq = ++total_;
+  if (ring_.size() < cap_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_] = std::move(span);
+    next_ = (next_ + 1) % cap_;
+  }
+}
+
+std::vector<OpSpan> OpTracer::Spans() const {
+  LatchGuard g(latch_);
+  std::vector<OpSpan> out;
+  out.reserve(ring_.size());
+  // Once the ring is full, next_ points at the oldest retained span.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+JsonValue OpTracer::ToJsonValue() const {
+  JsonValue arr = JsonValue::Array();
+  for (const OpSpan& s : Spans()) {
+    JsonValue o = JsonValue::Object();
+    o.Set("seq", JsonValue::Number(static_cast<double>(s.seq)));
+    o.Set("op", JsonValue::Str(s.op));
+    o.Set("object", JsonValue::Number(static_cast<double>(s.object_id)));
+    o.Set("depth", JsonValue::Number(s.depth));
+    o.Set("ok", JsonValue::Bool(s.ok));
+    o.Set("wall_us", JsonValue::Number(static_cast<double>(s.wall_us)));
+    o.Set("seeks", JsonValue::Number(static_cast<double>(s.io.seeks)));
+    o.Set("pages_read",
+          JsonValue::Number(static_cast<double>(s.io.pages_read)));
+    o.Set("pages_written",
+          JsonValue::Number(static_cast<double>(s.io.pages_written)));
+    o.Set("pager_hits",
+          JsonValue::Number(static_cast<double>(s.pager_hits)));
+    o.Set("pager_misses",
+          JsonValue::Number(static_cast<double>(s.pager_misses)));
+    o.Set("pager_evictions",
+          JsonValue::Number(static_cast<double>(s.pager_evictions)));
+    o.Set("buddy_allocs",
+          JsonValue::Number(static_cast<double>(s.buddy_allocs)));
+    o.Set("buddy_frees",
+          JsonValue::Number(static_cast<double>(s.buddy_frees)));
+    o.Set("buddy_coalesces",
+          JsonValue::Number(static_cast<double>(s.buddy_coalesces)));
+    o.Set("reshuffles", JsonValue::Number(static_cast<double>(s.reshuffles)));
+    o.Set("log_records",
+          JsonValue::Number(static_cast<double>(s.log_records)));
+    arr.Push(std::move(o));
+  }
+  return arr;
+}
+
+std::string OpTracer::ToText() const {
+  std::string out =
+      "   seq depth op                     obj       us  seeks  xfers "
+      "hit/miss  ok\n";
+  char line[160];
+  for (const OpSpan& s : Spans()) {
+    std::snprintf(line, sizeof(line),
+                  "%6llu %5u %-20s %4llu %8llu %6llu %6llu %4llu/%-4llu %3s\n",
+                  static_cast<unsigned long long>(s.seq), s.depth, s.op,
+                  static_cast<unsigned long long>(s.object_id),
+                  static_cast<unsigned long long>(s.wall_us),
+                  static_cast<unsigned long long>(s.io.seeks),
+                  static_cast<unsigned long long>(s.io.transfers()),
+                  static_cast<unsigned long long>(s.pager_hits),
+                  static_cast<unsigned long long>(s.pager_misses),
+                  s.ok ? "ok" : "ERR");
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+struct WellKnown {
+  Counter* pager_hit;
+  Counter* pager_miss;
+  Counter* pager_eviction;
+  Counter* buddy_alloc;
+  Counter* buddy_free;
+  Counter* buddy_coalesce;
+  Counter* reshuffle;
+  Counter* log_records;
+};
+
+const WellKnown& Counters() {
+  static WellKnown* w = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    auto* ww = new WellKnown();
+    ww->pager_hit = r.counter(kPagerHit);
+    ww->pager_miss = r.counter(kPagerMiss);
+    ww->pager_eviction = r.counter(kPagerEviction);
+    ww->buddy_alloc = r.counter(kBuddyAlloc);
+    ww->buddy_free = r.counter(kBuddyFree);
+    ww->buddy_coalesce = r.counter(kBuddyCoalesce);
+    ww->reshuffle = r.counter(kLobReshufflePlans);
+    ww->log_records = r.counter(kTxnLogRecords);
+    return ww;
+  }();
+  return *w;
+}
+
+}  // namespace
+
+ScopedOp::CounterSnap ScopedOp::Snap() {
+  const WellKnown& w = Counters();
+  CounterSnap s;
+  s.pager_hits = w.pager_hit->value();
+  s.pager_misses = w.pager_miss->value();
+  s.pager_evictions = w.pager_eviction->value();
+  s.buddy_allocs = w.buddy_alloc->value();
+  s.buddy_frees = w.buddy_free->value();
+  s.buddy_coalesces = w.buddy_coalesce->value();
+  s.reshuffles = w.reshuffle->value();
+  s.log_records = w.log_records->value();
+  return s;
+}
+
+ScopedOp::ScopedOp(const char* op, uint64_t object_id, PageDevice* device,
+                   OpTracer* tracer)
+    : op_(op), object_id_(object_id), device_(device) {
+  if (!Enabled()) return;
+  active_ = true;
+  tracer_ = tracer != nullptr ? tracer : &OpTracer::Default();
+  depth_ = tracer_->Enter();
+  start_ = std::chrono::steady_clock::now();
+  if (device_ != nullptr) io_start_ = device_->stats();
+  snap_ = Snap();
+}
+
+ScopedOp::~ScopedOp() {
+  if (!active_) return;
+  tracer_->Exit();
+  OpSpan span;
+  span.op = op_;
+  span.object_id = object_id_;
+  span.depth = depth_;
+  span.ok = ok_;
+  span.wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  if (device_ != nullptr) span.io = device_->stats() - io_start_;
+  CounterSnap now = Snap();
+  span.pager_hits = now.pager_hits - snap_.pager_hits;
+  span.pager_misses = now.pager_misses - snap_.pager_misses;
+  span.pager_evictions = now.pager_evictions - snap_.pager_evictions;
+  span.buddy_allocs = now.buddy_allocs - snap_.buddy_allocs;
+  span.buddy_frees = now.buddy_frees - snap_.buddy_frees;
+  span.buddy_coalesces = now.buddy_coalesces - snap_.buddy_coalesces;
+  span.reshuffles = now.reshuffles - snap_.reshuffles;
+  span.log_records = now.log_records - snap_.log_records;
+  MetricsRegistry::Default()
+      .histogram(std::string("op.") + op_ + ".us")
+      ->Record(span.wall_us);
+  tracer_->Push(std::move(span));
+}
+
+}  // namespace obs
+}  // namespace eos

@@ -1,0 +1,135 @@
+#ifndef EOS_OBS_OP_TRACER_H_
+#define EOS_OBS_OP_TRACER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/latch.h"
+#include "io/io_stats.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace eos {
+
+class PageDevice;
+
+namespace obs {
+
+// One completed traced operation: wall time plus the deltas of the paper's
+// cost quantities (seeks, transfers) and the component counters, attributed
+// to the logical operation that caused them. Deltas are computed from the
+// process-wide metric counters, so concurrent operations see each other's
+// activity folded in — spans attribute cost exactly in the single-writer
+// regime the paper (Section 4.5: lock the root) prescribes per object.
+struct OpSpan {
+  const char* op = "";      // static string, e.g. "db.append"
+  uint64_t object_id = 0;   // 0 when unknown at this layer
+  uint64_t seq = 0;         // monotone per tracer
+  uint32_t depth = 0;       // nesting depth at begin (0 = outermost)
+  bool ok = true;
+  uint64_t wall_us = 0;
+  IoStats io;               // device seeks/transfers during the span
+  uint64_t pager_hits = 0;
+  uint64_t pager_misses = 0;
+  uint64_t pager_evictions = 0;
+  uint64_t buddy_allocs = 0;
+  uint64_t buddy_frees = 0;
+  uint64_t buddy_coalesces = 0;
+  uint64_t reshuffles = 0;
+  uint64_t log_records = 0;
+};
+
+// Bounded in-memory ring of recent spans. Recording is O(1) and keeps the
+// last `capacity` spans; total() still counts every span ever recorded so
+// wraparound is observable.
+class OpTracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 512;
+
+  // The process-wide tracer every built-in hook reports to.
+  static OpTracer& Default();
+
+  explicit OpTracer(size_t capacity = kDefaultCapacity);
+
+  // Drops recorded spans when shrinking; capacity must be >= 1.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  void Clear();
+  uint64_t total() const;  // spans ever recorded (>= Spans().size())
+
+  // Retained spans, oldest first.
+  std::vector<OpSpan> Spans() const;
+
+  JsonValue ToJsonValue() const;
+  std::string ToText() const;
+
+ private:
+  friend class ScopedOp;
+
+  void Push(OpSpan&& span);
+  uint32_t Enter() { return depth_.fetch_add(1, std::memory_order_relaxed); }
+  void Exit() { depth_.fetch_sub(1, std::memory_order_relaxed); }
+
+  mutable Latch latch_;
+  size_t cap_;
+  std::vector<OpSpan> ring_;  // circular once full
+  size_t next_ = 0;           // insertion cursor
+  uint64_t total_ = 0;
+  std::atomic<uint32_t> depth_{0};
+};
+
+// RAII span: snapshots the device IoStats and the well-known component
+// counters at construction, and on destruction records the deltas (plus
+// wall time) into the tracer's ring and an "op.<name>.us" latency histogram
+// in the default registry. Inert when observability is disabled.
+class ScopedOp {
+ public:
+  // `device` may be null (no I/O attribution); `tracer` defaults to
+  // OpTracer::Default().
+  ScopedOp(const char* op, uint64_t object_id, PageDevice* device,
+           OpTracer* tracer = nullptr);
+  ~ScopedOp();
+
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+  void set_ok(bool ok) { ok_ = ok; }
+  // Convenience for `return span.Close(status);` call sites.
+  Status Close(Status s) {
+    ok_ = s.ok();
+    return s;
+  }
+
+ private:
+  struct CounterSnap {
+    uint64_t pager_hits = 0;
+    uint64_t pager_misses = 0;
+    uint64_t pager_evictions = 0;
+    uint64_t buddy_allocs = 0;
+    uint64_t buddy_frees = 0;
+    uint64_t buddy_coalesces = 0;
+    uint64_t reshuffles = 0;
+    uint64_t log_records = 0;
+  };
+  static CounterSnap Snap();
+
+  bool active_ = false;
+  bool ok_ = true;
+  const char* op_;
+  uint64_t object_id_;
+  PageDevice* device_;
+  OpTracer* tracer_ = nullptr;
+  uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  IoStats io_start_;
+  CounterSnap snap_;
+};
+
+}  // namespace obs
+}  // namespace eos
+
+#endif  // EOS_OBS_OP_TRACER_H_

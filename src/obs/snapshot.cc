@@ -1,0 +1,64 @@
+#include "obs/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/op_tracer.h"
+
+namespace eos {
+namespace obs {
+
+std::string SnapshotJson() {
+  JsonValue root = JsonValue::Object();
+  root.Set("version", JsonValue::Number(1));
+  root.Set("enabled", JsonValue::Bool(Enabled()));
+  root.Set("metrics", MetricsRegistry::Default().ToJsonValue());
+  root.Set("trace", OpTracer::Default().ToJsonValue());
+  return root.Dump();
+}
+
+std::string SnapshotPathFor(const std::string& volume_path) {
+  return volume_path + ".obs.json";
+}
+
+Status WriteSnapshotFile(const std::string& path) {
+  std::string json = SnapshotJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  size_t put = std::fwrite(json.data(), 1, json.size(), f);
+  int werr = std::ferror(f);
+  if (std::fputc('\n', f) == EOF) werr = 1;
+  if (std::fclose(f) != 0 || werr != 0 || put != json.size()) {
+    return Status::IOError("write(" + path + ") failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<JsonValue> ReadSnapshotFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot at " + path);
+    }
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  std::string all;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    all.append(buf, n);
+  }
+  int rerr = std::ferror(f);
+  std::fclose(f);
+  if (rerr != 0) {
+    return Status::IOError("read(" + path + ") failed");
+  }
+  return JsonValue::Parse(all);
+}
+
+}  // namespace obs
+}  // namespace eos

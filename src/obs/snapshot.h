@@ -1,0 +1,32 @@
+#ifndef EOS_OBS_SNAPSHOT_H_
+#define EOS_OBS_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace eos {
+namespace obs {
+
+// A snapshot bundles the default registry's metrics and the default
+// tracer's retained spans into one JSON document:
+//   {"version":1,"enabled":...,"metrics":{...},"trace":[...]}
+// Processes that exercise a volume (examples, benches) write it next to the
+// volume as "<volume>.obs.json"; `eos_inspect stats|trace` reads it back —
+// metrics are in-memory state, so cross-process inspection goes through
+// this file.
+std::string SnapshotJson();
+
+// Conventional sidecar path for a volume file.
+std::string SnapshotPathFor(const std::string& volume_path);
+
+Status WriteSnapshotFile(const std::string& path);
+
+// NotFound when the file does not exist; InvalidArgument on parse errors.
+StatusOr<JsonValue> ReadSnapshotFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace eos
+
+#endif  // EOS_OBS_SNAPSHOT_H_

@@ -6,6 +6,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace eos {
 
 StatusOr<std::unique_ptr<LogManager>> LogManager::CreateFileBacked(
@@ -73,6 +76,12 @@ Status LogManager::Emit(LobDescriptor* d, LogRecord&& r) {
     }
   }
   d->lsn = r.lsn;
+  static obs::Counter* log_records =
+      obs::MetricsRegistry::Default().counter(obs::kTxnLogRecords);
+  static obs::Counter* log_bytes =
+      obs::MetricsRegistry::Default().counter(obs::kTxnLogBytes);
+  log_records->Inc();
+  log_bytes->Inc(r.SerializedBytes());
   records_.push_back(std::move(r));
   return Status::OK();
 }

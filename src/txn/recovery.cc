@@ -1,10 +1,24 @@
 #include "txn/recovery.h"
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "txn/log_manager.h"
 
 namespace eos {
 
 namespace {
+
+obs::Counter* RedoCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().counter(obs::kTxnRedoApplied);
+  return c;
+}
+
+obs::Counter* UndoCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().counter(obs::kTxnUndoApplied);
+  return c;
+}
 
 // Recovery replays operations through the normal update paths; logging must
 // be suspended while it does, or replay would append to the log again.
@@ -66,6 +80,7 @@ Status Recovery::Redo(LobDescriptor* d, uint64_t object_id,
     if (r.object_id != object_id) continue;
     if (r.lsn <= d->lsn) continue;  // already reflected: idempotence
     EOS_RETURN_IF_ERROR(ApplyForward(d, r));
+    RedoCounter()->Inc();
     d->lsn = r.lsn;
   }
   return Status::OK();
@@ -80,6 +95,7 @@ Status Recovery::Undo(LobDescriptor* d, uint64_t object_id,
     if (r.lsn > d->lsn) continue;  // never applied: idempotence
     if (r.lsn <= stop_lsn) break;
     EOS_RETURN_IF_ERROR(ApplyBackward(d, r));
+    UndoCounter()->Inc();
     d->lsn = r.lsn - 1;
   }
   return Status::OK();

@@ -1,0 +1,278 @@
+// Unit tests for the observability layer: metric semantics (counters,
+// gauges, power-of-two histograms), the registry JSON exporter, span
+// nesting and ring wraparound in the OpTracer, the on-disk snapshot
+// sidecar, and the IoStats arithmetic the spans are built on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/io_stats.h"
+#include "obs/json.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/op_tracer.h"
+#include "obs/snapshot.h"
+#include "tests/test_util.h"
+
+namespace eos {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::JsonValue;
+using obs::MetricsRegistry;
+using obs::OpSpan;
+using obs::OpTracer;
+using obs::ScopedOp;
+
+// Restores the process-wide enabled flag on scope exit so a failing test
+// cannot leave the rest of the binary silently unobserved.
+struct EnabledGuard {
+  bool was = obs::Enabled();
+  ~EnabledGuard() { obs::SetEnabled(was); }
+};
+
+TEST(MetricsTest, CounterIncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAddAndNegative) {
+  Gauge g;
+  g.Set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricsTest, DisabledSuppressesAllUpdates) {
+  EnabledGuard guard;
+  obs::SetEnabled(false);
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.Inc(7);
+  g.Set(7);
+  g.Add(7);
+  h.Record(7);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+
+  // Spans are inert too: nothing reaches the tracer ring.
+  OpTracer tracer(8);
+  { ScopedOp span("test.disabled", 1, nullptr, &tracer); }
+  EXPECT_EQ(tracer.total(), 0u);
+
+  obs::SetEnabled(true);
+  c.Inc(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(HistogramTest, PowerOfTwoBucketBoundaries) {
+  // Bucket 0 holds the value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(7), 3u);
+  EXPECT_EQ(Histogram::BucketOf(8), 4u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+}
+
+TEST(HistogramTest, RecordAggregatesAndPercentilesAreConservative) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0u);  // empty
+  for (uint64_t v : {0ull, 1ull, 2ull, 4ull, 8ull}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 15u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  // Quantiles report the inclusive upper bound of the rank's bucket, so
+  // they never understate the true order statistic.
+  EXPECT_GE(h.Percentile(0.5), 1u);   // true median is 2
+  EXPECT_LE(h.Percentile(0.5), 3u);
+  EXPECT_GE(h.Percentile(1.0), h.max());
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(MetricsTest, RegistryPointersAreStableAndNamed) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  Counter* a = reg.counter("test.obs.stable");
+  a->Inc(3);
+  EXPECT_EQ(reg.counter("test.obs.stable"), a);
+  EXPECT_EQ(reg.counter("test.obs.stable")->value(), 3u);
+  // Well-known instrumentation names resolve (the components registered
+  // them at static init or construction).
+  EXPECT_NE(reg.counter(obs::kPagerHit), nullptr);
+  EXPECT_NE(reg.counter(obs::kBuddyAlloc), nullptr);
+}
+
+TEST(MetricsTest, JsonExportRoundTripsThroughParser) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.counter("test.obs.json_counter")->Inc(5);
+  reg.gauge("test.obs.json_gauge")->Set(-4);
+  Histogram* h = reg.histogram("test.obs.json_hist");
+  h->Record(16);
+  h->Record(100);
+
+  auto parsed = JsonValue::Parse(reg.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->NumberOr("test.obs.json_counter", -1), 5.0);
+  const JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->NumberOr("test.obs.json_gauge", 0), -4.0);
+  const JsonValue* hists = parsed->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* hist = hists->Find("test.obs.json_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->NumberOr("count", 0), 2.0);
+  EXPECT_EQ(hist->NumberOr("sum", 0), 116.0);
+  EXPECT_EQ(hist->NumberOr("max", 0), 100.0);
+  EXPECT_GE(hist->NumberOr("p99", 0), 100.0);
+}
+
+TEST(OpTracerTest, SpansNestAndRecordDepthOldestFirst) {
+  OpTracer tracer(16);
+  {
+    ScopedOp outer("test.outer", 11, nullptr, &tracer);
+    {
+      ScopedOp inner("test.inner", 22, nullptr, &tracer);
+      (void)inner;
+    }
+    outer.set_ok(false);
+  }
+  std::vector<OpSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner finishes first, so it is the older span.
+  EXPECT_STREQ(spans[0].op, "test.inner");
+  EXPECT_EQ(spans[0].object_id, 22u);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_TRUE(spans[0].ok);
+  EXPECT_EQ(spans[0].seq, 1u);
+  EXPECT_STREQ(spans[1].op, "test.outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_FALSE(spans[1].ok);
+  EXPECT_EQ(spans[1].seq, 2u);
+  EXPECT_EQ(tracer.total(), 2u);
+}
+
+TEST(OpTracerTest, CloseMarksSpanFromStatus) {
+  OpTracer tracer(4);
+  {
+    ScopedOp span("test.close", 0, nullptr, &tracer);
+    Status s = span.Close(Status::IOError("boom"));
+    EXPECT_TRUE(s.IsIOError());
+  }
+  std::vector<OpSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].ok);
+}
+
+TEST(OpTracerTest, RingWrapsKeepingNewestSpans) {
+  OpTracer tracer(OpTracer::kDefaultCapacity);
+  tracer.SetCapacity(4);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    ScopedOp span("test.wrap", static_cast<uint64_t>(i), nullptr, &tracer);
+    (void)span;
+  }
+  EXPECT_EQ(tracer.total(), 10u);
+  std::vector<OpSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first and only the 4 most recent survive: seqs 7..10.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].seq, 7u + i);
+    EXPECT_EQ(spans[i].object_id, 6u + i);
+  }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Spans().empty());
+  EXPECT_EQ(tracer.total(), 0u) << "Clear is a full reset";
+}
+
+TEST(OpTracerTest, JsonExportCarriesSpanFields) {
+  OpTracer tracer(4);
+  { ScopedOp span("test.json", 9, nullptr, &tracer); }
+  JsonValue arr = tracer.ToJsonValue();
+  ASSERT_EQ(arr.elements().size(), 1u);
+  const JsonValue& s = arr.elements()[0];
+  EXPECT_EQ(s.NumberOr("object", 0), 9.0);
+  EXPECT_EQ(s.NumberOr("depth", 7), 0.0);
+  const JsonValue* op = s.Find("op");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->str(), "test.json");
+}
+
+TEST(SnapshotTest, WriteReadRoundTripAndMissingFile) {
+  const std::string path =
+      ::testing::TempDir() + "/eos_obs_snapshot_test.json";
+  std::remove(path.c_str());
+  auto missing = obs::ReadSnapshotFile(path);
+  EXPECT_TRUE(missing.status().IsNotFound())
+      << missing.status().ToString();
+
+  MetricsRegistry::Default().counter("test.obs.snapshot")->Inc(13);
+  EOS_ASSERT_OK(obs::WriteSnapshotFile(path));
+  auto snap = obs::ReadSnapshotFile(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->NumberOr("version", 0), 1.0);
+  const JsonValue* metrics = snap->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->NumberOr("test.obs.snapshot", 0), 13.0);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(obs::SnapshotPathFor("/tmp/v.vol"), "/tmp/v.vol.obs.json");
+}
+
+TEST(IoStatsTest, DifferenceAndToString) {
+  IoStats a;
+  a.read_calls = 10;
+  a.write_calls = 4;
+  a.pages_read = 30;
+  a.pages_written = 8;
+  a.seeks = 12;
+  IoStats b;
+  b.read_calls = 3;
+  b.write_calls = 1;
+  b.pages_read = 10;
+  b.pages_written = 2;
+  b.seeks = 5;
+  IoStats d = a - b;
+  EXPECT_EQ(d.read_calls, 7u);
+  EXPECT_EQ(d.write_calls, 3u);
+  EXPECT_EQ(d.pages_read, 20u);
+  EXPECT_EQ(d.pages_written, 6u);
+  EXPECT_EQ(d.seeks, 7u);
+  EXPECT_EQ(d.transfers(), 26u);
+  a -= b;
+  EXPECT_EQ(a.seeks, 7u);
+  std::string s = d.ToString();
+  EXPECT_NE(s.find("read_calls=7"), std::string::npos) << s;
+  EXPECT_NE(s.find("write_calls=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("seeks=7"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace eos

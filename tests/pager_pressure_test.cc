@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include "io/page_device.h"
+#include "io/pager.h"
 #include "lob/lob_manager.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "tests/test_util.h"
 
 namespace eos {
@@ -56,6 +60,49 @@ TEST(PagerPressureTest, SingleFramePagerStillWorksForFlatObjects) {
   ASSERT_TRUE(all.ok());
   EXPECT_EQ(*all, data);
   EOS_ASSERT_OK(s.lob->Destroy(&*d));
+}
+
+TEST(PagerPressureTest, CountersMatchForcedEvictionSequence) {
+  // A 2-frame pager over a 8-page device, driven through a fixed access
+  // sequence whose hits, misses, evictions, and dirty writebacks are all
+  // known in advance. The per-pager accessors and the process-wide obs
+  // counters must both advance by exactly those amounts.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const uint64_t hit0 = reg.counter(obs::kPagerHit)->value();
+  const uint64_t miss0 = reg.counter(obs::kPagerMiss)->value();
+  const uint64_t evict0 = reg.counter(obs::kPagerEviction)->value();
+  const uint64_t wb0 = reg.counter(obs::kPagerWriteback)->value();
+  const int64_t cached0 = reg.gauge(obs::kPagerCachedPages)->value();
+
+  MemPageDevice dev(128, 8);
+  Pager pager(&dev, /*capacity=*/2);
+  auto touch = [&](PageId id, bool dirty) {
+    auto h = pager.Fetch(id);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    if (dirty) h->MarkDirty();
+  };
+  touch(0, false);  // miss 1 (cold)
+  touch(0, false);  // hit 1
+  touch(1, false);  // miss 2 (second frame)
+  touch(2, false);  // miss 3, evicts LRU page 0 (clean)     -> eviction 1
+  touch(2, false);  // hit 2
+  touch(3, true);   // miss 4, evicts LRU page 1 (clean)     -> eviction 2
+  touch(2, false);  // hit 3 (refreshes page 2's LRU tick)
+  touch(0, false);  // miss 5, evicts LRU page 3 (dirty)     -> eviction 3,
+                    //                                          writeback 1
+  EXPECT_EQ(pager.hits(), 3u);
+  EXPECT_EQ(pager.misses(), 5u);
+  EXPECT_EQ(pager.evictions(), 3u);
+  EXPECT_EQ(pager.dirty_writebacks(), 1u);
+  EXPECT_EQ(pager.cached_pages(), 2u);
+
+  if (obs::Enabled()) {
+    EXPECT_EQ(reg.counter(obs::kPagerHit)->value() - hit0, 3u);
+    EXPECT_EQ(reg.counter(obs::kPagerMiss)->value() - miss0, 5u);
+    EXPECT_EQ(reg.counter(obs::kPagerEviction)->value() - evict0, 3u);
+    EXPECT_EQ(reg.counter(obs::kPagerWriteback)->value() - wb0, 1u);
+    EXPECT_EQ(reg.gauge(obs::kPagerCachedPages)->value() - cached0, 2);
+  }
 }
 
 }  // namespace

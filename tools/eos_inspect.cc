@@ -4,8 +4,13 @@
 //   eos_inspect <volume> --object <id>          one object's structure
 //   eos_inspect <volume> --check                full integrity check
 //   eos_inspect <volume> --spaces               buddy free-list report
+//   eos_inspect <volume> stats                  metrics snapshot summary
+//   eos_inspect <volume> trace                  recent operation spans
 //
-// Read-only except for the superblock flush performed on clean close.
+// `stats` and `trace` read the "<volume>.obs.json" sidecar written by
+// instrumented processes (see src/obs/snapshot.h); they do not open the
+// volume itself. Everything else is read-only except the superblock flush
+// performed on clean close.
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +18,9 @@
 #include <string>
 
 #include "eos/database.h"
+#include "obs/json.h"
+#include "obs/metric_names.h"
+#include "obs/snapshot.h"
 
 namespace {
 
@@ -25,7 +33,7 @@ using eos::Status;
 int Usage() {
   std::fprintf(stderr,
                "usage: eos_inspect <volume> [--page-size N] "
-               "[--object ID | --check | --spaces]\n");
+               "[--object ID | --check | --spaces | stats | trace]\n");
   return 2;
 }
 
@@ -112,6 +120,120 @@ void PrintSpaces(Database* db) {
   }
 }
 
+// Loads the "<volume>.obs.json" sidecar; prints the satellite-friendly
+// "no stats recorded" line and exits 0 when it is absent (uninstrumented
+// or never-exercised volumes are not an error).
+eos::obs::JsonValue LoadSnapshotOrExit(const std::string& volume) {
+  std::string path = eos::obs::SnapshotPathFor(volume);
+  auto snap = eos::obs::ReadSnapshotFile(path);
+  if (snap.status().IsNotFound()) {
+    std::printf("no stats recorded for %s (missing %s)\n", volume.c_str(),
+                path.c_str());
+    std::exit(0);
+  }
+  if (!snap.ok()) Fail(snap.status(), "stats snapshot");
+  return std::move(snap).value();
+}
+
+double CounterOf(const eos::obs::JsonValue& snap, const char* name) {
+  const eos::obs::JsonValue* metrics = snap.Find("metrics");
+  const eos::obs::JsonValue* counters =
+      metrics == nullptr ? nullptr : metrics->Find("counters");
+  return counters == nullptr ? 0.0 : counters->NumberOr(name, 0.0);
+}
+
+double GaugeOf(const eos::obs::JsonValue& snap, const char* name) {
+  const eos::obs::JsonValue* metrics = snap.Find("metrics");
+  const eos::obs::JsonValue* gauges =
+      metrics == nullptr ? nullptr : metrics->Find("gauges");
+  return gauges == nullptr ? 0.0 : gauges->NumberOr(name, 0.0);
+}
+
+void PrintStats(const std::string& volume) {
+  namespace obs = eos::obs;
+  obs::JsonValue snap = LoadSnapshotOrExit(volume);
+
+  double hits = CounterOf(snap, obs::kPagerHit);
+  double misses = CounterOf(snap, obs::kPagerMiss);
+  double fetches = hits + misses;
+  std::printf("pager: %.0f fetches, %.1f%% hit rate, %.0f evictions, "
+              "%.0f dirty writebacks\n",
+              fetches, fetches == 0 ? 0.0 : 100.0 * hits / fetches,
+              CounterOf(snap, obs::kPagerEviction),
+              CounterOf(snap, obs::kPagerWriteback));
+
+  double managed = GaugeOf(snap, obs::kBuddyManagedPages);
+  double free_pages = GaugeOf(snap, obs::kBuddyFreePages);
+  std::printf("buddy: %.0f allocs, %.0f frees (%.0f deferred), "
+              "%.0f splits, %.0f coalesces\n",
+              CounterOf(snap, obs::kBuddyAlloc),
+              CounterOf(snap, obs::kBuddyFree),
+              CounterOf(snap, obs::kBuddyFreeDeferred),
+              CounterOf(snap, obs::kBuddySplit),
+              CounterOf(snap, obs::kBuddyCoalesce));
+  std::printf("buddy: %.0f/%.0f pages in use (%.1f%% utilization), "
+              "%.0f directory visits\n",
+              managed - free_pages, managed,
+              managed == 0 ? 0.0 : 100.0 * (managed - free_pages) / managed,
+              CounterOf(snap, obs::kBuddyDirectoryVisit));
+
+  std::printf("reshuffle: %.0f plans (%.0f page-mode, %.0f byte-mode), "
+              "%.0f unsafe-run compactions\n",
+              CounterOf(snap, obs::kLobReshufflePlans),
+              CounterOf(snap, obs::kLobReshufflePageMode),
+              CounterOf(snap, obs::kLobReshuffleByteMode),
+              CounterOf(snap, obs::kLobCompactUnsafeRuns));
+  std::printf("txn: %.0f log records (%.0f bytes), %.0f redo, %.0f undo\n",
+              CounterOf(snap, obs::kTxnLogRecords),
+              CounterOf(snap, obs::kTxnLogBytes),
+              CounterOf(snap, obs::kTxnRedoApplied),
+              CounterOf(snap, obs::kTxnUndoApplied));
+
+  const obs::JsonValue* metrics = snap.Find("metrics");
+  const obs::JsonValue* hists =
+      metrics == nullptr ? nullptr : metrics->Find("histograms");
+  if (hists != nullptr && hists->is_object()) {
+    bool header = false;
+    for (const auto& [name, h] : hists->members()) {
+      if (name.rfind("op.", 0) != 0) continue;
+      if (!header) {
+        std::printf("%-28s %10s %10s %10s %10s\n", "operation latency",
+                    "count", "p50 us", "p99 us", "max us");
+        header = true;
+      }
+      std::printf("%-28s %10.0f %10.0f %10.0f %10.0f\n", name.c_str(),
+                  h.NumberOr("count", 0), h.NumberOr("p50", 0),
+                  h.NumberOr("p99", 0), h.NumberOr("max", 0));
+    }
+  }
+}
+
+void PrintTrace(const std::string& volume) {
+  eos::obs::JsonValue snap = LoadSnapshotOrExit(volume);
+  const eos::obs::JsonValue* trace = snap.Find("trace");
+  if (trace == nullptr || !trace->is_array() || trace->elements().empty()) {
+    std::printf("no trace spans recorded\n");
+    return;
+  }
+  std::printf("%6s %5s %-22s %6s %9s %6s %6s %9s %3s\n", "seq", "depth",
+              "op", "obj", "us", "seeks", "xfers", "hit/miss", "ok");
+  for (const eos::obs::JsonValue& s : trace->elements()) {
+    const eos::obs::JsonValue* op = s.Find("op");
+    char hm[32];
+    std::snprintf(hm, sizeof(hm), "%.0f/%.0f", s.NumberOr("pager_hits", 0),
+                  s.NumberOr("pager_misses", 0));
+    std::printf("%6.0f %5.0f %-22s %6.0f %9.0f %6.0f %6.0f %9s %3s\n",
+                s.NumberOr("seq", 0), s.NumberOr("depth", 0),
+                op != nullptr && op->is_string() ? op->str().c_str() : "?",
+                s.NumberOr("object", 0), s.NumberOr("wall_us", 0),
+                s.NumberOr("seeks", 0),
+                s.NumberOr("pages_read", 0) + s.NumberOr("pages_written", 0),
+                hm,
+                s.Find("ok") != nullptr && s.Find("ok")->boolean() ? "ok"
+                                                                   : "ERR");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,9 +253,22 @@ int main(int argc, char** argv) {
       mode = "check";
     } else if (arg == "--spaces") {
       mode = "spaces";
+    } else if (arg == "stats" || arg == "--stats") {
+      mode = "stats";
+    } else if (arg == "trace" || arg == "--trace") {
+      mode = "trace";
     } else {
       return Usage();
     }
+  }
+  // The snapshot subcommands read only the sidecar; no volume open needed.
+  if (mode == "stats") {
+    PrintStats(path);
+    return 0;
+  }
+  if (mode == "trace") {
+    PrintTrace(path);
+    return 0;
   }
   auto db = Database::Open(path, options);
   if (!db.ok()) Fail(db.status(), "open");
