@@ -202,6 +202,64 @@ Status BuddySpace::Free(uint32_t start, uint32_t npages) {
   return Status::OK();
 }
 
+Status BuddySpace::AllocateRange(uint32_t start, uint32_t npages) {
+  if (npages == 0 || start + npages > geo_.space_pages) {
+    return Status::InvalidArgument("allocate range out of space bounds");
+  }
+  EOS_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(dir_page_));
+  EOS_RETURN_IF_ERROR(CheckMagic(h));
+  AllocMap map = Map(h);
+  uint32_t end = start + npages;
+
+  // Walk segment starts from the beginning of the space to find the
+  // canonical free segments overlapping the range (collected up front —
+  // their encodings are destroyed as we rewrite).
+  struct Overlap {
+    uint32_t seg_start;
+    uint32_t seg_end;
+    uint32_t type;
+  };
+  std::vector<Overlap> overlaps;
+  uint32_t p = 0;
+  while (p < geo_.space_pages && p < end) {
+    uint32_t step = map.StepSizeAt(p);
+    uint32_t seg_end = p + step;
+    if (seg_end > start) {
+      if (map.PageAllocated(p)) {
+        return Status::InvalidArgument(
+            "allocating over page " + std::to_string(p < start ? start : p) +
+            " that is already allocated");
+      }
+      overlaps.push_back({p, seg_end, map.CanonicalFreeTypeAt(p)});
+    }
+    p = seg_end;
+  }
+
+  for (const Overlap& ov : overlaps) {
+    uint32_t lo = ov.seg_start > start ? ov.seg_start : start;
+    uint32_t hi = ov.seg_end < end ? ov.seg_end : end;
+    SetCount(h, ov.type, GetCount(h, ov.type) - 1);
+    // The allocated middle is written before the outside parts are freed
+    // so the coalescing reads below only ever see valid encodings (same
+    // ordering as Free).
+    WriteAllocatedRange(h, lo, hi);
+    if (ov.seg_start < lo) {
+      ForEachAlignedChunk(ov.seg_start, lo, geo_.max_type,
+                          [&](uint32_t c, uint32_t t) {
+                            FreeChunkAndCoalesce(h, c, t);
+                          });
+    }
+    if (hi < ov.seg_end) {
+      ForEachAlignedChunk(hi, ov.seg_end, geo_.max_type,
+                          [&](uint32_t c, uint32_t t) {
+                            FreeChunkAndCoalesce(h, c, t);
+                          });
+    }
+  }
+  h.MarkDirty();
+  return Status::OK();
+}
+
 StatusOr<int> BuddySpace::MaxFreeType() {
   EOS_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(dir_page_));
   EOS_RETURN_IF_ERROR(CheckMagic(h));

@@ -42,6 +42,13 @@ class BuddySpace {
   // pages are buddy-coalesced iteratively.
   Status Free(uint32_t start, uint32_t npages);
 
+  // Marks [start, start + npages) — which must be entirely free — as
+  // allocated: the inverse of Free. Crash recovery rebuilds a freshly
+  // formatted space by re-allocating exactly the extents the recovered
+  // object trees reference; free remainders of the segments it carves from
+  // are re-encoded and coalesced back.
+  Status AllocateRange(uint32_t start, uint32_t npages);
+
   // Largest t with count[t] > 0, or -1 if the space is completely full.
   StatusOr<int> MaxFreeType();
 

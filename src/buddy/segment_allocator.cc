@@ -237,4 +237,41 @@ Status SegmentAllocator::CheckInvariants() {
   return Status::OK();
 }
 
+Status SegmentAllocator::WipeAndRebuild(const std::vector<Extent>& live) {
+  LatchGuard g(op_latch_);
+  for (uint32_t i = 0; i < num_spaces_; ++i) {
+    EOS_RETURN_IF_ERROR(Space(i).Format());
+  }
+  uint64_t allocated = 0;
+  for (const Extent& e : live) {
+    if (!e.valid()) return Status::InvalidArgument("invalid live extent");
+    uint32_t space, local;
+    EOS_RETURN_IF_ERROR(Locate(e.first, &space, &local));
+    uint32_t space_end, local_end;
+    EOS_RETURN_IF_ERROR(Locate(e.first + e.pages - 1, &space_end, &local_end));
+    if (space_end != space) {
+      return Status::InvalidArgument("live extent spans buddy spaces");
+    }
+    Status s = Space(space).AllocateRange(local, e.pages);
+    if (!s.ok()) {
+      // An already-allocated page means two recovered trees claim the same
+      // storage — surface that as corruption, not a parameter error.
+      if (s.IsInvalidArgument()) {
+        return Status::Corruption("live extents overlap: " + s.message());
+      }
+      return s;
+    }
+    allocated += e.pages;
+  }
+  for (uint32_t i = 0; i < num_spaces_; ++i) {
+    EOS_RETURN_IF_ERROR(RefreshHint(i));
+  }
+  m_free_pages_->Set(
+      static_cast<int64_t>(uint64_t{num_spaces_} * geo_.space_pages -
+                           allocated));
+  m_managed_pages_->Set(
+      static_cast<int64_t>(uint64_t{num_spaces_} * geo_.space_pages));
+  return Status::OK();
+}
+
 }  // namespace eos

@@ -86,6 +86,14 @@ class SegmentAllocator {
   StatusOr<uint64_t> TotalFreePages();
   Status CheckInvariants();
 
+  // Crash-recovery rebuild: reformats every space (all pages free) and
+  // re-allocates exactly the extents in `live`. After a crash the on-disk
+  // allocation maps may be torn or stale, but the object trees — walked
+  // from the recovered roots — say precisely which pages are in use, so
+  // reachability is the ground truth the maps are rebuilt from. Extents
+  // that overlap each other are rejected as corruption.
+  Status WipeAndRebuild(const std::vector<Extent>& live);
+
   // Fragmentation snapshot of every space.
   StatusOr<std::vector<SpaceReport>> Report();
 

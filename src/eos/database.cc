@@ -6,6 +6,7 @@
 #include "buddy/geometry.h"
 #include "common/math.h"
 #include "obs/op_tracer.h"
+#include "txn/recovery.h"
 
 namespace eos {
 
@@ -70,6 +71,32 @@ StatusOr<std::unique_ptr<Database>> Database::CreateInMemory(
   return Init(std::move(dev), options, /*fresh=*/true);
 }
 
+StatusOr<std::unique_ptr<Database>> Database::CreateOnDevice(
+    std::unique_ptr<PageDevice> device, const DatabaseOptions& options) {
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  if (device->page_size() != options.page_size) {
+    return Status::InvalidArgument(
+        "device page size differs from the configured page size");
+  }
+  EOS_ASSIGN_OR_RETURN(BuddyGeometry geo,
+                       BuddyGeometry::Make(options.page_size,
+                                           options.space_pages));
+  uint64_t pages =
+      kFirstSpacePage +
+      uint64_t{std::max<uint32_t>(1, options.initial_spaces)} *
+          (geo.space_pages + 1);
+  if (device->page_count() < pages) {
+    EOS_RETURN_IF_ERROR(device->Grow(pages));
+  }
+  return Init(std::move(device), options, /*fresh=*/true);
+}
+
+StatusOr<std::unique_ptr<Database>> Database::OpenOnDevice(
+    std::unique_ptr<PageDevice> device, const DatabaseOptions& options) {
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  return Init(std::move(device), options, /*fresh=*/false);
+}
+
 StatusOr<std::unique_ptr<Database>> Database::Init(
     std::unique_ptr<PageDevice> device, const DatabaseOptions& options,
     bool fresh) {
@@ -79,6 +106,9 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
   db->pager_ = std::make_unique<Pager>(db->device_.get(),
                                        std::max<size_t>(8,
                                                         options.pager_frames));
+  // Write-through must be on before any page is formatted: a durable page
+  // may only reference pages that are themselves already durable.
+  if (options.crash_safe) db->pager_->set_write_through(true);
   uint32_t space_pages = options.space_pages;
   uint32_t num_spaces = std::max<uint32_t>(1, options.initial_spaces);
   if (!fresh) {
@@ -102,6 +132,11 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
   }
   db->lob_ = std::make_unique<LobManager>(db->pager_.get(),
                                           db->allocator_.get(), options.lob);
+  if (options.crash_safe) {
+    db->lob_->set_shadowing(true);
+    db->deferred_frees_ = std::make_unique<CheckpointFreeList>();
+    db->allocator_->set_free_interceptor(db->deferred_frees_.get());
+  }
   if (fresh) {
     EOS_RETURN_IF_ERROR(db->WriteSuperblock());
   } else {
@@ -202,6 +237,12 @@ Status Database::SaveDirectory() {
           "max_root_bytes or raise kDirRootBytes");
     }
   }
+  // No-force policy in crash-safe mode: the superblock is rewritten only at
+  // Checkpoint()/Flush(), so the durable root always describes the last
+  // checkpoint and the write-ahead log carries everything since. The old
+  // directory object stays readable until then — its segments are parked,
+  // not freed — which is what Recover() re-opens after a crash.
+  if (options_.crash_safe) return Status::OK();
   return WriteSuperblock();
 }
 
@@ -351,6 +392,96 @@ Status Database::Flush() {
   EOS_RETURN_IF_ERROR(WriteSuperblock());
   EOS_RETURN_IF_ERROR(pager_->FlushAll());
   return device_->Sync();
+}
+
+Status Database::Checkpoint() {
+  EOS_RETURN_IF_ERROR(Flush());
+  if (deferred_frees_ == nullptr) return Status::OK();
+  // Every root that could reach the parked segments is durably superseded
+  // now; detach the interceptor so the frees reach the buddy system.
+  allocator_->set_free_interceptor(nullptr);
+  Status s;
+  for (const Extent& e : deferred_frees_->TakeAll()) {
+    s = allocator_->Free(e);
+    if (!s.ok()) break;
+  }
+  allocator_->set_free_interceptor(deferred_frees_.get());
+  return s;
+}
+
+Status Database::Recover(const std::vector<LogRecord>& log) {
+  obs::ScopedOp span("db.recover", 0, device_.get());
+  // Deserialize every durable root. These are trustworthy: write-through
+  // ordering guarantees a durable root only references durable pages.
+  std::map<uint64_t, LobDescriptor> roots;
+  for (const auto& [id, root] : directory_) {
+    EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(root));
+    roots[id] = d;
+  }
+
+  // Phase 1: the allocation maps themselves may lag or lead the roots
+  // arbitrarily (their page writes raced the crash), so discard them and
+  // rebuild from reachability.
+  std::vector<Extent> live;
+  if (!dir_object_.empty()) {
+    Status s = lob_->CollectExtents(dir_object_, &live);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  for (auto& [id, d] : roots) {
+    Status s = lob_->CollectExtents(d, &live);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  Status s = allocator_->WipeAndRebuild(live);
+  if (!s.ok()) return span.Close(std::move(s));
+
+  // Phase 2: objects only the log knows about (their creation never became
+  // durable) start from an empty root; RecoverObject leaves them empty
+  // unless the log carries a commit for them.
+  for (const LogRecord& r : log) {
+    if (r.object_id == 0) continue;
+    if (roots.find(r.object_id) == roots.end()) {
+      roots[r.object_id] = lob_->CreateEmpty();
+    }
+  }
+
+  // Phase 3: per object, redo the committed tail and remove in-flight
+  // effects.
+  Recovery rec(lob_.get());
+  for (auto& [id, d] : roots) {
+    s = rec.RecoverObject(&d, id, log);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+
+  // Phase 4: rebuild the directory. An object survives recovery if its
+  // last committed record is not a destroy, or — when the log holds no
+  // committed record for it — if the durable directory listed it (i.e. it
+  // was untouched since the last checkpoint, or an uncommitted destroy had
+  // already rewritten the directory).
+  std::vector<std::pair<uint64_t, Bytes>> old_directory;
+  old_directory.swap(directory_);
+  for (auto& [id, d] : roots) {
+    uint64_t commit_lsn = Recovery::LastCommitLsn(id, log);
+    bool has_committed = false;
+    bool destroyed = false;
+    for (const LogRecord& r : log) {
+      if (r.object_id != id || r.op == LogOp::kCommit) continue;
+      if (r.lsn > commit_lsn) break;
+      has_committed = true;
+      destroyed = (r.op == LogOp::kDestroy);
+    }
+    bool keep;
+    if (has_committed) {
+      keep = !destroyed;
+    } else {
+      keep = std::any_of(old_directory.begin(), old_directory.end(),
+                         [id = id](const auto& e) { return e.first == id; });
+    }
+    if (keep) directory_.emplace_back(id, d.Serialize());
+    if (id >= next_object_id_) next_object_id_ = id + 1;
+  }
+  s = SaveDirectory();
+  if (!s.ok()) return span.Close(std::move(s));
+  return span.Close(Checkpoint());
 }
 
 Status Database::CheckIntegrity() {

@@ -29,6 +29,36 @@ struct DatabaseOptions {
   uint32_t initial_spaces = 1;
   size_t pager_frames = 256;
   LobConfig lob;
+
+  // Crash-safe configuration (Section 4.5 + DESIGN.md "Testing & fault
+  // model"): the pager runs write-through so pages are durable before any
+  // page referencing them is written, index nodes are shadowed, and every
+  // freed segment is parked until the next Checkpoint() so no page a
+  // durable root can reach is ever reused early. Costs extra writes;
+  // recovery via Recover() then restores exactly the committed state after
+  // a crash at any write boundary.
+  bool crash_safe = false;
+};
+
+// FreeInterceptor that parks every freed extent until the next
+// Checkpoint() drains it: in crash-safe mode nothing a durable root can
+// reach may be reused before a newer root is durable ([Lehm89] release
+// locks at volume scope).
+class CheckpointFreeList final : public FreeInterceptor {
+ public:
+  bool InterceptFree(const Extent& e) override {
+    parked_.push_back(e);
+    return true;
+  }
+  std::vector<Extent> TakeAll() {
+    std::vector<Extent> out;
+    out.swap(parked_);
+    return out;
+  }
+  size_t parked() const { return parked_.size(); }
+
+ private:
+  std::vector<Extent> parked_;
 };
 
 class Database {
@@ -50,6 +80,16 @@ class Database {
   // Volatile volume for tests, examples and benches.
   static StatusOr<std::unique_ptr<Database>> CreateInMemory(
       const DatabaseOptions& options);
+
+  // Formats a volume on a caller-supplied device (e.g. a ChaosPageDevice
+  // wrapping the real backend); the device is grown as needed.
+  static StatusOr<std::unique_ptr<Database>> CreateOnDevice(
+      std::unique_ptr<PageDevice> device, const DatabaseOptions& options);
+
+  // Opens a previously formatted volume on a caller-supplied device (e.g.
+  // the cloned image of a crashed chaos device).
+  static StatusOr<std::unique_ptr<Database>> OpenOnDevice(
+      std::unique_ptr<PageDevice> device, const DatabaseOptions& options);
 
   ~Database();
 
@@ -92,6 +132,22 @@ class Database {
   // Flushes the pager, rewrites the superblock, syncs the device.
   Status Flush();
 
+  // Flush(), then (crash-safe mode) returns the segments freed since the
+  // last checkpoint to the buddy system — they can no longer be reached
+  // from any durable root, so reuse is safe from here on.
+  Status Checkpoint();
+
+  // Crash recovery on a freshly opened volume whose superblock may lag the
+  // log and whose allocation maps may be stale:
+  //   1. rebuilds every space's allocation map from reachability (the
+  //      directory object plus every directory root);
+  //   2. per object — including ids only the log knows — redoes committed
+  //      records and removes in-flight effects (Recovery::RecoverObject);
+  //   3. drops objects whose last committed record is a destroy, saves the
+  //      recovered directory, and checkpoints.
+  // `log` is the surviving write-ahead log, in emit order.
+  Status Recover(const std::vector<LogRecord>& log);
+
   // Buddy invariants of every space plus tree invariants of every object.
   Status CheckIntegrity();
 
@@ -123,6 +179,7 @@ class Database {
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<SegmentAllocator> allocator_;
   std::unique_ptr<LobManager> lob_;
+  std::unique_ptr<CheckpointFreeList> deferred_frees_;  // crash-safe only
   LogManager* log_ = nullptr;
 
   uint64_t next_object_id_ = 1;

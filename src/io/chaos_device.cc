@@ -1,0 +1,246 @@
+#include "io/chaos_device.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace eos {
+
+namespace {
+
+obs::Counter* FaultCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().counter(obs::kChaosInjectedFaults);
+  return c;
+}
+
+obs::Counter* TornCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().counter(obs::kChaosTornWrites);
+  return c;
+}
+
+obs::Counter* BitRotCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().counter(obs::kChaosBitRot);
+  return c;
+}
+
+obs::Counter* CrashCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().counter(obs::kChaosCrashes);
+  return c;
+}
+
+}  // namespace
+
+ChaosPageDevice::ChaosPageDevice(PageDevice* inner, uint64_t seed)
+    : PageDevice(inner->page_size(), inner->page_count()),
+      inner_(inner),
+      rng_(seed) {}
+
+ChaosPageDevice::ChaosPageDevice(std::unique_ptr<PageDevice> inner,
+                                 uint64_t seed)
+    : PageDevice(inner->page_size(), inner->page_count()),
+      owned_(std::move(inner)),
+      inner_(owned_.get()),
+      rng_(seed) {}
+
+void ChaosPageDevice::FailReadsAfter(int ops, bool permanent) {
+  LatchGuard g(latch_);
+  read_fault_ = {ops, permanent};
+}
+
+void ChaosPageDevice::FailWritesAfter(int ops, bool permanent) {
+  LatchGuard g(latch_);
+  write_fault_ = {ops, permanent};
+}
+
+void ChaosPageDevice::FailAfter(int ops, bool permanent) {
+  LatchGuard g(latch_);
+  any_fault_ = {ops, permanent};
+}
+
+void ChaosPageDevice::FailNextGrow() {
+  LatchGuard g(latch_);
+  grow_fault_ = true;
+}
+
+void ChaosPageDevice::Heal() {
+  LatchGuard g(latch_);
+  read_fault_ = Fault{};
+  write_fault_ = Fault{};
+  any_fault_ = Fault{};
+  grow_fault_ = false;
+  tear_countdown_ = -1;
+}
+
+void ChaosPageDevice::TearWriteAfter(int ops, uint32_t keep_pages) {
+  LatchGuard g(latch_);
+  tear_countdown_ = ops;
+  tear_keep_pages_ = keep_pages;
+}
+
+Status ChaosPageDevice::CorruptPage(PageId page, int bits) {
+  if (page >= inner_->page_count()) {
+    return Status::OutOfRange("corrupting page beyond volume end");
+  }
+  std::vector<uint8_t> buf(page_size_);
+  EOS_RETURN_IF_ERROR(inner_->ReadPages(page, 1, buf.data()));
+  {
+    LatchGuard g(latch_);
+    for (int i = 0; i < bits; ++i) {
+      uint64_t bit = rng_.Uniform(uint64_t{page_size_} * 8);
+      buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    ++injected_;
+  }
+  BitRotCounter()->Inc();
+  FaultCounter()->Inc();
+  return inner_->WritePages(page, 1, buf.data());
+}
+
+void ChaosPageDevice::Crash() {
+  {
+    LatchGuard g(latch_);
+    if (crashed_) return;
+    crashed_ = true;
+    ++injected_;
+  }
+  CrashCounter()->Inc();
+  FaultCounter()->Inc();
+}
+
+void ChaosPageDevice::CrashAfterWrites(uint64_t writes, uint32_t tear_pages) {
+  LatchGuard g(latch_);
+  crash_write_budget_ = static_cast<int64_t>(writes);
+  crash_tear_pages_ = tear_pages;
+}
+
+bool ChaosPageDevice::crashed() const {
+  LatchGuard g(latch_);
+  return crashed_;
+}
+
+StatusOr<std::unique_ptr<MemPageDevice>> ChaosPageDevice::CloneImage() {
+  uint64_t pages = inner_->page_count();
+  std::vector<uint8_t> image(pages * page_size_);
+  // Chunked so a huge volume never needs a single giant transfer.
+  constexpr uint32_t kChunk = 1024;
+  for (uint64_t p = 0; p < pages; p += kChunk) {
+    uint32_t n = static_cast<uint32_t>(std::min<uint64_t>(kChunk, pages - p));
+    EOS_RETURN_IF_ERROR(
+        inner_->ReadPages(p, n, image.data() + p * page_size_));
+  }
+  return std::make_unique<MemPageDevice>(page_size_, pages, std::move(image));
+}
+
+uint64_t ChaosPageDevice::injected_faults() const {
+  LatchGuard g(latch_);
+  return injected_;
+}
+
+Status ChaosPageDevice::Grow(uint64_t new_page_count) {
+  {
+    LatchGuard g(latch_);
+    if (crashed_) return Status::IOError("simulated crash: device offline");
+    if (grow_fault_) {
+      grow_fault_ = false;
+      ++injected_;
+      FaultCounter()->Inc();
+      return Status::IOError("injected grow fault");
+    }
+  }
+  EOS_RETURN_IF_ERROR(inner_->Grow(new_page_count));
+  SetPageCount(inner_->page_count());
+  return Status::OK();
+}
+
+Status ChaosPageDevice::Sync() {
+  {
+    LatchGuard g(latch_);
+    if (crashed_) return Status::IOError("simulated crash: device offline");
+  }
+  return inner_->Sync();
+}
+
+Status ChaosPageDevice::Tick(Fault* f, const char* what) {
+  if (f->countdown < 0) return Status::OK();
+  if (f->countdown == 0) {
+    if (!f->permanent) f->countdown = -1;
+    ++injected_;
+    FaultCounter()->Inc();
+    return Status::IOError(std::string("injected ") + what + " fault");
+  }
+  --f->countdown;
+  return Status::OK();
+}
+
+Status ChaosPageDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
+  {
+    LatchGuard g(latch_);
+    if (crashed_) return Status::IOError("simulated crash: device offline");
+    EOS_RETURN_IF_ERROR(Tick(&any_fault_, "I/O"));
+    EOS_RETURN_IF_ERROR(Tick(&read_fault_, "read"));
+  }
+  return inner_->ReadPages(first, n, out);
+}
+
+Status ChaosPageDevice::DoWrite(PageId first, uint32_t n,
+                                const uint8_t* data) {
+  uint32_t torn_keep = 0;
+  bool torn = false;
+  {
+    LatchGuard g(latch_);
+    if (crashed_) return Status::IOError("simulated crash: device offline");
+    EOS_RETURN_IF_ERROR(Tick(&any_fault_, "I/O"));
+    EOS_RETURN_IF_ERROR(Tick(&write_fault_, "write"));
+    if (crash_write_budget_ == 0) {
+      // The fatal write: power is lost during this call. An optional torn
+      // prefix persists first.
+      crash_write_budget_ = -1;
+      crashed_ = true;
+      ++injected_;
+      torn = crash_tear_pages_ > 0;
+      torn_keep = std::min(crash_tear_pages_, n);
+    } else if (crash_write_budget_ > 0) {
+      --crash_write_budget_;
+    }
+  }
+  if (crashed()) {
+    CrashCounter()->Inc();
+    FaultCounter()->Inc();
+    if (torn && torn_keep > 0) {
+      TornCounter()->Inc();
+      (void)inner_->WritePages(first, torn_keep, data);
+    }
+    return Status::IOError("simulated crash: power lost mid-write");
+  }
+  {
+    LatchGuard g(latch_);
+    if (tear_countdown_ >= 0) {
+      if (tear_countdown_ == 0) {
+        tear_countdown_ = -1;
+        ++injected_;
+        torn = true;
+        torn_keep = std::min(tear_keep_pages_, n);
+      } else {
+        --tear_countdown_;
+      }
+    }
+  }
+  if (torn) {
+    TornCounter()->Inc();
+    FaultCounter()->Inc();
+    if (torn_keep > 0) (void)inner_->WritePages(first, torn_keep, data);
+    return Status::IOError("injected torn write: " +
+                           std::to_string(torn_keep) + " of " +
+                           std::to_string(n) + " pages persisted");
+  }
+  return inner_->WritePages(first, n, data);
+}
+
+}  // namespace eos

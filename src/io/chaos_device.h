@@ -1,0 +1,118 @@
+#ifndef EOS_IO_CHAOS_DEVICE_H_
+#define EOS_IO_CHAOS_DEVICE_H_
+
+#include <memory>
+
+#include "common/latch.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "io/page_device.h"
+
+namespace eos {
+
+// Deterministic fault-injection wrapper over any PageDevice (DESIGN.md,
+// "Testing & fault model").
+//
+// A seeded schedule arms faults that fire on upcoming operations:
+//   * transient or permanent I/O errors on reads, writes, or either;
+//   * a one-shot Grow failure;
+//   * torn multi-page writes — the first k of n pages persist and the call
+//     still fails, modelling power loss mid-transfer;
+//   * bit-rot on a chosen page (seeded pseudo-random bit flips);
+//   * a crash: immediately, or after a budget of further successful write
+//     calls, the device "loses power" — every later read, write, grow and
+//     sync fails — while the bytes persisted so far can be cloned into a
+//     fresh MemPageDevice so a new stack can be re-opened on the image.
+//
+// Countdowns are in successful operations of the gated kind, matching the
+// crash-point enumeration in tests/crash_recovery_torture_test.cc: arm
+// CrashAfterWrites(k) for k = 0..W-1 to visit every write call of a
+// workload that performs W of them. Faults fire in DoRead/DoWrite, i.e.
+// after the base class's range check and accounting, mirroring a device
+// that fails the transfer itself; stats() therefore counts attempted
+// calls, which is what the enumeration needs.
+//
+// Fault state is latched, so the wrapper is as thread-safe as the wrapped
+// device.
+class ChaosPageDevice final : public PageDevice {
+ public:
+  // Non-owning: `inner` must outlive the wrapper.
+  explicit ChaosPageDevice(PageDevice* inner, uint64_t seed = 0);
+  // Owning.
+  explicit ChaosPageDevice(std::unique_ptr<PageDevice> inner,
+                           uint64_t seed = 0);
+
+  PageDevice* inner() { return inner_; }
+
+  // ---- scheduled I/O errors -----------------------------------------------
+  // Arms a fault that fires after `ops` further successful operations of
+  // the given kind (0 = the very next one). Transient faults clear after
+  // firing once; permanent ones fail every subsequent operation until
+  // Heal().
+  void FailReadsAfter(int ops, bool permanent = false);
+  void FailWritesAfter(int ops, bool permanent = false);
+  void FailAfter(int ops, bool permanent = false);  // reads and writes
+  void FailNextGrow();
+  // Clears every armed error fault. A crash is not healable: the power is
+  // off and the harness must re-open the persisted image.
+  void Heal();
+
+  // The write call `ops` writes from now persists only its first
+  // `keep_pages` pages and returns IOError. One-shot.
+  void TearWriteAfter(int ops, uint32_t keep_pages);
+
+  // Flips `bits` seeded pseudo-random bits in the persisted copy of
+  // `page`, bypassing the fault gates.
+  Status CorruptPage(PageId page, int bits = 1);
+
+  // ---- crash --------------------------------------------------------------
+  void Crash();
+  // Loses power after `writes` further successful write calls; if
+  // `tear_pages` > 0 the fatal write first persists min(tear_pages, n) of
+  // its leading pages before power is lost.
+  void CrashAfterWrites(uint64_t writes, uint32_t tear_pages = 0);
+  bool crashed() const;
+
+  // Snapshot of the persisted bytes as a fresh in-memory device a new
+  // stack can open. Works while crashed — the "disk" survives power loss.
+  StatusOr<std::unique_ptr<MemPageDevice>> CloneImage();
+
+  // Total faults injected so far (errors, tears, corruptions, crashes).
+  uint64_t injected_faults() const;
+
+  Status Grow(uint64_t new_page_count) override;
+  Status Sync() override;
+
+ protected:
+  Status DoRead(PageId first, uint32_t n, uint8_t* out) override;
+  Status DoWrite(PageId first, uint32_t n, const uint8_t* data) override;
+
+ private:
+  struct Fault {
+    int countdown = -1;  // -1 = unarmed; fires when it reaches 0
+    bool permanent = false;
+  };
+
+  // Advances `f` by one operation; returns the injected error if it fires.
+  Status Tick(Fault* f, const char* what);
+
+  std::unique_ptr<PageDevice> owned_;
+  PageDevice* inner_;
+
+  mutable Latch latch_;
+  Random rng_;
+  Fault read_fault_;
+  Fault write_fault_;
+  Fault any_fault_;
+  bool grow_fault_ = false;
+  int tear_countdown_ = -1;  // -1 = unarmed
+  uint32_t tear_keep_pages_ = 0;
+  bool crashed_ = false;
+  int64_t crash_write_budget_ = -1;  // -1 = unarmed
+  uint32_t crash_tear_pages_ = 0;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace eos
+
+#endif  // EOS_IO_CHAOS_DEVICE_H_

@@ -46,14 +46,20 @@ MemPageDevice::MemPageDevice(uint32_t page_size, uint64_t page_count)
     : PageDevice(page_size, page_count),
       mem_(page_size * page_count, 0) {}
 
+MemPageDevice::MemPageDevice(uint32_t page_size, uint64_t page_count,
+                             std::vector<uint8_t> image)
+    : PageDevice(page_size, page_count), mem_(std::move(image)) {
+  mem_.resize(page_size * page_count, 0);
+}
+
 Status MemPageDevice::Grow(uint64_t new_page_count) {
-  if (new_page_count < page_count_) {
+  if (new_page_count < page_count()) {
     return Status::InvalidArgument("Grow cannot shrink the volume");
   }
   // Exclusive: resizing may move the backing buffer under readers.
   mem_latch_.AcquireExclusive();
   mem_.resize(new_page_count * page_size_, 0);
-  page_count_ = new_page_count;
+  SetPageCount(new_page_count);
   mem_latch_.ReleaseExclusive();
   return Status::OK();
 }
@@ -107,13 +113,13 @@ StatusOr<std::unique_ptr<FilePageDevice>> FilePageDevice::Open(
 }
 
 Status FilePageDevice::Grow(uint64_t new_page_count) {
-  if (new_page_count < page_count_) {
+  if (new_page_count < page_count()) {
     return Status::InvalidArgument("Grow cannot shrink the volume");
   }
   if (::ftruncate(fd_, static_cast<off_t>(new_page_count * page_size_)) != 0) {
     return Status::IOError(std::string("ftruncate: ") + std::strerror(errno));
   }
-  page_count_ = new_page_count;
+  SetPageCount(new_page_count);
   return Status::OK();
 }
 

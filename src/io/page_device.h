@@ -82,11 +82,17 @@ class PageDevice {
   virtual Status DoRead(PageId first, uint32_t n, uint8_t* out) = 0;
   virtual Status DoWrite(PageId first, uint32_t n, const uint8_t* data) = 0;
 
+  // Grow paths record the new size only after the backing store has
+  // actually grown; a failed Grow must leave the count untouched, or the
+  // range check would admit I/O beyond the real end of the volume.
+  void SetPageCount(uint64_t n) { page_count_ = n; }
+
   uint32_t page_size_;
-  uint64_t page_count_;
 
  private:
   Status CheckRange(PageId first, uint32_t n) const;
+
+  uint64_t page_count_;
 
   mutable Latch stats_latch_;
   IoStats stats_;
@@ -97,6 +103,12 @@ class PageDevice {
 class MemPageDevice final : public PageDevice {
  public:
   MemPageDevice(uint32_t page_size, uint64_t page_count);
+
+  // Device pre-loaded with `image` (page_count * page_size bytes, shorter
+  // images are zero-padded) — crash simulation re-opens a snapshot of a
+  // ChaosPageDevice's persisted bytes this way.
+  MemPageDevice(uint32_t page_size, uint64_t page_count,
+                std::vector<uint8_t> image);
 
   Status Grow(uint64_t new_page_count) override;
 

@@ -117,7 +117,12 @@ Status Pager::FlushFrame(Frame& f) {
 
 void Pager::MarkFrameDirty(size_t frame) {
   LatchGuard g(latch_);
-  frames_[frame].dirty = true;
+  Frame& f = frames_[frame];
+  f.dirty = true;
+  // Write-through: persist now so this page is durable before any page
+  // that references it is written. On failure the frame stays dirty and
+  // the error surfaces at the next flush.
+  if (write_through_) (void)FlushFrame(f);
 }
 
 StatusOr<PageHandle> Pager::Fetch(PageId id) {

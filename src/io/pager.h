@@ -83,6 +83,16 @@ class Pager {
   // freed). Must not be pinned.
   void Invalidate(PageId id);
 
+  // Write-through mode (crash-safe configuration): MarkDirty persists the
+  // frame to the device immediately instead of deferring to eviction or
+  // FlushAll. The tree layers write children before parents, so with
+  // write-through every durable page only references other durable pages —
+  // the WAL-style ordering recovery depends on. If the immediate write
+  // fails the frame simply stays dirty and the error surfaces at the next
+  // flush; durability is never over-reported.
+  void set_write_through(bool on) { write_through_ = on; }
+  bool write_through() const { return write_through_; }
+
   PageDevice* device() { return device_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -110,6 +120,7 @@ class Pager {
   mutable Latch latch_;
   PageDevice* device_;
   size_t capacity_;
+  bool write_through_ = false;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::unordered_map<PageId, size_t> map_;

@@ -564,4 +564,26 @@ Status LobManager::CheckInvariants(const LobDescriptor& d) {
   return Status::OK();
 }
 
+Status LobManager::WalkCollect(const LobEntry& entry, uint16_t level,
+                               std::vector<Extent>* out) {
+  if (level == 0) {
+    out->push_back(Extent{entry.page, LeafPages(entry.count)});
+    return Status::OK();
+  }
+  out->push_back(Extent{entry.page, 1});
+  EOS_ASSIGN_OR_RETURN(LobNode node, store_.Load(entry.page));
+  for (const LobEntry& e : node.entries) {
+    EOS_RETURN_IF_ERROR(WalkCollect(e, level - 1, out));
+  }
+  return Status::OK();
+}
+
+Status LobManager::CollectExtents(const LobDescriptor& d,
+                                  std::vector<Extent>* out) {
+  for (const LobEntry& e : d.root.entries) {
+    EOS_RETURN_IF_ERROR(WalkCollect(e, d.root.level, out));
+  }
+  return Status::OK();
+}
+
 }  // namespace eos

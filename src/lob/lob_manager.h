@@ -126,6 +126,11 @@ class LobManager {
   // ceil(bytes/page_size) by construction of the traversal.
   Status CheckInvariants(const LobDescriptor& d);
 
+  // Appends every extent the object occupies — index-node pages and leaf
+  // segments — to *out. Crash recovery's reachability scan rebuilds the
+  // allocation maps from the union of these over all recovered roots.
+  Status CollectExtents(const LobDescriptor& d, std::vector<Extent>* out);
+
   // -------------------------------------------------------------------------
 
   uint32_t page_size() const { return store_.page_size(); }
@@ -239,6 +244,8 @@ class LobManager {
 
   Status WalkStats(const LobEntry& entry, uint16_t level, LobStats* stats);
   Status WalkCheck(const LobEntry& entry, uint16_t level, bool is_root_child);
+  Status WalkCollect(const LobEntry& entry, uint16_t level,
+                     std::vector<Extent>* out);
 
   LobConfig config_;
   NodeStore store_;

@@ -48,6 +48,13 @@ inline constexpr char kTxnLogRecords[] = "txn.log.records";
 inline constexpr char kTxnLogBytes[] = "txn.log.bytes";
 inline constexpr char kTxnRedoApplied[] = "txn.recovery.redo";
 inline constexpr char kTxnUndoApplied[] = "txn.recovery.undo";
+inline constexpr char kTxnObjectsRecovered[] = "txn.recovery.objects";
+
+// --- chaos device (fault injection) ----------------------------------------
+inline constexpr char kChaosInjectedFaults[] = "chaos.injected_faults";
+inline constexpr char kChaosTornWrites[] = "chaos.torn_writes";
+inline constexpr char kChaosBitRot[] = "chaos.bit_rot";
+inline constexpr char kChaosCrashes[] = "chaos.crashes";
 
 }  // namespace obs
 }  // namespace eos

@@ -75,7 +75,7 @@ Status LogManager::Emit(LobDescriptor* d, LogRecord&& r) {
       put += static_cast<size_t>(w);
     }
   }
-  d->lsn = r.lsn;
+  if (d != nullptr) d->lsn = r.lsn;
   static obs::Counter* log_records =
       obs::MetricsRegistry::Default().counter(obs::kTxnLogRecords);
   static obs::Counter* log_bytes =
@@ -128,6 +128,13 @@ Status LogManager::LogDestroy(LobDescriptor* d, ByteView old_data) {
   r.offset = 0;
   r.old_data = ToBytes(old_data);
   return Emit(d, std::move(r));
+}
+
+Status LogManager::LogCommit(uint64_t object_id) {
+  set_current_object(object_id);
+  LogRecord r;
+  r.op = LogOp::kCommit;
+  return Emit(nullptr, std::move(r));
 }
 
 }  // namespace eos

@@ -44,6 +44,11 @@ class LogManager {
                     ByteView new_data);
   Status LogDestroy(LobDescriptor* d, ByteView old_data);
 
+  // Commit marker for `object_id`: declares every earlier record of the
+  // object committed (Section 4.5 commit processing). Does not stamp any
+  // descriptor — the marker has no effect on object state.
+  Status LogCommit(uint64_t object_id);
+
   const std::vector<LogRecord>& records() const { return records_; }
   uint64_t last_lsn() const { return next_lsn_ - 1; }
 

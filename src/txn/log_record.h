@@ -19,6 +19,9 @@ enum class LogOp : uint8_t {
   kAppend = 3,   // data appended at the end
   kReplace = 4,  // old_data overwritten by data at offset
   kDestroy = 5,  // whole object (old_data) destroyed
+  kCommit = 6,   // commit marker: every earlier record of the object is
+                 // committed; recovery redoes up to the last one and undoes
+                 // anything after it (no payload)
 };
 
 struct LogRecord {
@@ -44,9 +47,13 @@ struct LogRecord {
     EncodeU64(out + 17, offset);
     EncodeU32(out + 25, static_cast<uint32_t>(data.size()));
     EncodeU32(out + 29, static_cast<uint32_t>(old_data.size()));
-    std::memcpy(out + kHeaderBytes, data.data(), data.size());
-    std::memcpy(out + kHeaderBytes + data.size(), old_data.data(),
-                old_data.size());
+    if (!data.empty()) {
+      std::memcpy(out + kHeaderBytes, data.data(), data.size());
+    }
+    if (!old_data.empty()) {
+      std::memcpy(out + kHeaderBytes + data.size(), old_data.data(),
+                  old_data.size());
+    }
   }
 
   // Parses one record from `in`; advances *consumed by its total size.
@@ -58,7 +65,7 @@ struct LogRecord {
     r.lsn = DecodeU64(in.data());
     r.object_id = DecodeU64(in.data() + 8);
     uint8_t op = in[16];
-    if (op < 1 || op > 5) return Status::Corruption("bad log op code");
+    if (op < 1 || op > 6) return Status::Corruption("bad log op code");
     r.op = static_cast<LogOp>(op);
     r.offset = DecodeU64(in.data() + 17);
     uint32_t dlen = DecodeU32(in.data() + 25);

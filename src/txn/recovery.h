@@ -21,15 +21,36 @@ class Recovery {
   explicit Recovery(LobManager* mgr) : mgr_(mgr) {}
 
   // Reapplies, in log order, every record for `object_id` with
-  // lsn > d->lsn. The object's root LSN advances to the last record.
+  // lsn > d->lsn (and, if `up_to_lsn` is given, lsn <= up_to_lsn). The
+  // object's root LSN advances to the last record applied.
   Status Redo(LobDescriptor* d, uint64_t object_id,
-              const std::vector<LogRecord>& log);
+              const std::vector<LogRecord>& log,
+              uint64_t up_to_lsn = ~uint64_t{0});
 
   // Rolls back, in reverse log order, every record for `object_id` with
   // lsn <= d->lsn and lsn > stop_lsn (pass 0 to undo everything). The
   // root LSN retreats below each undone record.
   Status Undo(LobDescriptor* d, uint64_t object_id,
               const std::vector<LogRecord>& log, uint64_t stop_lsn);
+
+  // Full crash recovery for one object: restores `d` to the object's last
+  // committed state (the state at its newest kCommit record). Redoes the
+  // committed tail first — bringing the root to last-committed coordinates
+  // — then removes any in-flight (post-commit) effects, newest first.
+  //
+  // Structural updates (insert/append/delete/destroy) never modify pages an
+  // older durable root can reach (index shadowing + commit-deferred frees),
+  // so an in-flight record the durable root does not reflect needs no undo.
+  // Replace is the exception: it patches leaf bytes in place, so a crash
+  // mid-replace can leave torn bytes under the committed root even though
+  // the root LSN never advanced — its before-image is therefore restored
+  // unconditionally.
+  Status RecoverObject(LobDescriptor* d, uint64_t object_id,
+                       const std::vector<LogRecord>& log);
+
+  // LSN of the newest kCommit record for `object_id` (0 if none).
+  static uint64_t LastCommitLsn(uint64_t object_id,
+                                const std::vector<LogRecord>& log);
 
  private:
   Status ApplyForward(LobDescriptor* d, const LogRecord& r);

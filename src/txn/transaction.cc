@@ -77,6 +77,9 @@ Status Transaction::DrainParked() {
 
 Status Transaction::Commit() {
   if (!active_) return Status::InvalidArgument("transaction not active");
+  // The commit marker makes every record of this transaction durable as
+  // committed before any of its storage is reused below.
+  EOS_RETURN_IF_ERROR(log_->LogCommit(object_id_));
   Detach();
   // The parked segments are no longer referenced by the object; release
   // the locks and return them to the buddy system.

@@ -1,20 +1,35 @@
-// Randomized differential test: the large object manager against a plain
-// byte-string model, across page sizes and thresholds (parameterized),
-// with structural invariants and a storage-leak check at the end.
+// Randomized differential test: the large object manager against the shared
+// ModelLob oracle, across page sizes and thresholds (parameterized), with
+// structural invariants and a storage-leak check at the end.
+//
+// Every run logs its seed; a failure prints the full op trace and can be
+// reproduced exactly with EOS_TEST_SEED=<seed> (which overrides the
+// parameterized seed — useful for shrinking: re-run, then delete trace
+// entries from the script by lowering kSteps).
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
-#include <tuple>
+#include <vector>
 
 #include "lob/lob_manager.h"
+#include "tests/model_oracle.h"
 #include "tests/test_util.h"
 
 namespace eos {
 namespace {
 
-using testing_util::PatternBytes;
+using testing_util::ApplyToLob;
+using testing_util::ApplyToModel;
+using testing_util::FormatOpTrace;
+using testing_util::LobOp;
+using testing_util::ModelLob;
+using testing_util::RandomOp;
 using testing_util::Stack;
+using testing_util::TestSeed;
+
+constexpr int kSteps = 400;
 
 struct Params {
   uint32_t page_size;
@@ -28,6 +43,7 @@ class LobPropertyTest : public ::testing::TestWithParam<Params> {};
 
 TEST_P(LobPropertyTest, RandomOpsMatchModel) {
   const Params p = GetParam();
+  const uint64_t seed = TestSeed(p.seed);
   LobConfig cfg;
   cfg.threshold_pages = p.threshold;
   cfg.adaptive_threshold = p.adaptive;
@@ -36,65 +52,49 @@ TEST_P(LobPropertyTest, RandomOpsMatchModel) {
   auto initial_free = s.allocator->TotalFreePages();
   ASSERT_TRUE(initial_free.ok());
 
-  Bytes model;
+  ModelLob model;
   LobDescriptor d = s.lob->CreateEmpty();
-  Random rng(p.seed);
+  std::mt19937 rng(static_cast<uint32_t>(seed));
+  std::vector<LobOp> trace;
 
-  for (int step = 0; step < 400; ++step) {
-    int op = static_cast<int>(rng.Uniform(12));
-    if (model.empty()) op = 0;
-    if (op == 11) {  // occasional reorganize (content-neutral), then trim
-      EOS_ASSERT_OK(s.lob->Reorganize(&d));
-      op = 10;
-    }
-    if (op == 10) {  // truncate to a random size
-      uint64_t keep = rng.Uniform(model.size() + 1);
-      EOS_ASSERT_OK(s.lob->Truncate(&d, keep));
-      model.resize(keep);
-      op = -1;
-    }
-    if (op <= 2 && op >= 0) {  // append
-      Bytes data = PatternBytes(p.seed * 1000 + step,
-                                rng.Range(1, p.page_size * 3));
-      EOS_ASSERT_OK(s.lob->Append(&d, data));
-      model.insert(model.end(), data.begin(), data.end());
-    } else if (op <= 5) {  // insert
-      Bytes data = PatternBytes(p.seed * 2000 + step,
-                                rng.Range(1, p.page_size * 2));
-      uint64_t off = rng.Uniform(model.size() + 1);
-      EOS_ASSERT_OK(s.lob->Insert(&d, off, data));
-      model.insert(model.begin() + off, data.begin(), data.end());
-    } else if (op <= 8) {  // delete
-      uint64_t off = rng.Uniform(model.size());
-      uint64_t n = rng.Range(1, std::max<uint64_t>(1, model.size() / 4));
-      n = std::min<uint64_t>(n, model.size() - off);
-      EOS_ASSERT_OK(s.lob->Delete(&d, off, n));
-      model.erase(model.begin() + off, model.begin() + off + n);
-    } else if (op == 9) {  // replace
-      uint64_t off = rng.Uniform(model.size());
-      uint64_t n = rng.Range(1, std::max<uint64_t>(1, model.size() - off));
-      Bytes data = PatternBytes(p.seed * 3000 + step, n);
-      EOS_ASSERT_OK(s.lob->Replace(&d, off, data));
-      std::copy(data.begin(), data.end(), model.begin() + off);
-    }
-    ASSERT_EQ(d.size(), model.size()) << "step " << step;
+  auto repro = [&]() {
+    return "\nseed " + std::to_string(seed) +
+           " — re-run with EOS_TEST_SEED=" + std::to_string(seed) +
+           "\nop trace:\n" + FormatOpTrace(trace);
+  };
+
+  for (int step = 0; step < kSteps; ++step) {
+    LobOp op = RandomOp(&rng, model, p.page_size, seed * 1000 + step);
+    trace.push_back(op);
+    Status st = ApplyToLob(op, s.lob.get(), &d);
+    ASSERT_TRUE(st.ok()) << st.ToString() << repro();
+    ApplyToModel(op, &model);
+    ASSERT_EQ(d.size(), model.size()) << repro();
     if (step % 20 == 19) {
       auto all = s.lob->ReadAll(d);
-      ASSERT_TRUE(all.ok()) << all.status().ToString();
-      ASSERT_EQ(*all, model) << "content diverged at step " << step;
-      EOS_ASSERT_OK(s.lob->CheckInvariants(d));
-      EOS_ASSERT_OK(s.allocator->CheckInvariants());
+      ASSERT_TRUE(all.ok()) << all.status().ToString() << repro();
+      ASSERT_TRUE(model.Matches(*all)) << "content diverged" << repro();
+      Status inv = s.lob->CheckInvariants(d);
+      ASSERT_TRUE(inv.ok()) << inv.ToString() << repro();
+      inv = s.allocator->CheckInvariants();
+      ASSERT_TRUE(inv.ok()) << inv.ToString() << repro();
     }
   }
   // Random reads.
-  for (int i = 0; i < 50 && !model.empty(); ++i) {
-    uint64_t off = rng.Uniform(model.size());
-    uint64_t n = rng.Range(1, p.page_size * 4);
+  for (int i = 0; i < 50 && model.size() > 0; ++i) {
+    uint64_t off = rng() % model.size();
+    uint64_t n = 1 + rng() % (p.page_size * 4);
     Bytes out;
-    EOS_ASSERT_OK(s.lob->Read(d, off, n, &out));
+    Status st = s.lob->Read(d, off, n, &out);
+    ASSERT_TRUE(st.ok()) << st.ToString() << repro();
     size_t want = std::min<size_t>(n, model.size() - off);
-    ASSERT_EQ(out.size(), want);
-    ASSERT_TRUE(std::equal(out.begin(), out.end(), model.begin() + off));
+    ASSERT_EQ(out.size(), want) << repro();
+    ASSERT_TRUE(std::equal(out.begin(), out.end(),
+                           model.bytes().begin() + off,
+                           [](uint8_t a, char b) {
+                             return a == static_cast<uint8_t>(b);
+                           }))
+        << "read at " << off << " diverged" << repro();
   }
   // Storage-leak check: destroying the object returns every page.
   EOS_ASSERT_OK(s.lob->Destroy(&d));
@@ -104,7 +104,7 @@ TEST_P(LobPropertyTest, RandomOpsMatchModel) {
                 uint64_t{s.allocator->num_spaces() - 1} *
                     s.allocator->geometry().space_pages,
             *final_free)
-      << "pages leaked by the workload";
+      << "pages leaked by the workload" << repro();
   EOS_ASSERT_OK(s.allocator->CheckInvariants());
 }
 

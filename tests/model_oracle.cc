@@ -1,0 +1,130 @@
+#include "tests/model_oracle.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace eos {
+namespace testing_util {
+
+namespace {
+
+// Same position-encoding pattern as tests/test_util.h PatternBytes, kept
+// here so the oracle library does not depend on gtest.
+Bytes Pattern(uint64_t seed, size_t n) {
+  Bytes b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<uint8_t>((seed * 131 + i * 7 + (i >> 8)) & 0xFF);
+  }
+  return b;
+}
+
+// Deterministic across standard libraries, unlike
+// std::uniform_int_distribution; the modulo bias is irrelevant here.
+uint64_t Draw(std::mt19937* rng, uint64_t n) {
+  return n == 0 ? 0 : (uint64_t{(*rng)()} << 32 | (*rng)()) % n;
+}
+
+}  // namespace
+
+Bytes PayloadFor(const LobOp& op) {
+  return Pattern(op.payload_seed, static_cast<size_t>(op.len));
+}
+
+void ApplyToModel(const LobOp& op, ModelLob* model) {
+  switch (op.kind) {
+    case LobOp::kAppend:
+      model->Append(PayloadFor(op));
+      return;
+    case LobOp::kInsert:
+      model->Insert(op.offset, PayloadFor(op));
+      return;
+    case LobOp::kDelete:
+      model->Delete(op.offset, op.len);
+      return;
+    case LobOp::kReplace:
+      model->Replace(op.offset, PayloadFor(op));
+      return;
+    case LobOp::kTruncate:
+      model->Truncate(op.len);
+      return;
+    case LobOp::kReorganize:
+      return;  // content-neutral
+    case LobOp::kDestroy:
+      model->Destroy();
+      return;
+  }
+}
+
+Status ApplyToLob(const LobOp& op, LobManager* lob, LobDescriptor* d) {
+  switch (op.kind) {
+    case LobOp::kAppend:
+      return lob->Append(d, PayloadFor(op));
+    case LobOp::kInsert:
+      return lob->Insert(d, op.offset, PayloadFor(op));
+    case LobOp::kDelete:
+      return lob->Delete(d, op.offset, op.len);
+    case LobOp::kReplace:
+      return lob->Replace(d, op.offset, PayloadFor(op));
+    case LobOp::kTruncate:
+      return lob->Truncate(d, op.len);
+    case LobOp::kReorganize:
+      return lob->Reorganize(d);
+    case LobOp::kDestroy:
+      return lob->Destroy(d);
+  }
+  return Status::InvalidArgument("unknown op kind");
+}
+
+LobOp RandomOp(std::mt19937* rng, const ModelLob& model, uint32_t page_size,
+               uint64_t payload_seed, bool logged_only) {
+  LobOp op;
+  op.payload_seed = payload_seed;
+  uint64_t size = model.size();
+  uint64_t roll = Draw(rng, logged_only ? 10 : 12);
+  if (size == 0) roll = 0;  // only append makes sense on an empty object
+  if (roll <= 2) {
+    op.kind = LobOp::kAppend;
+    op.len = 1 + Draw(rng, uint64_t{page_size} * 3);
+  } else if (roll <= 4) {
+    op.kind = LobOp::kInsert;
+    op.offset = Draw(rng, size + 1);
+    op.len = 1 + Draw(rng, uint64_t{page_size} * 2);
+  } else if (roll <= 7) {
+    op.kind = LobOp::kDelete;
+    op.offset = Draw(rng, size);
+    op.len = std::min<uint64_t>(1 + Draw(rng, std::max<uint64_t>(1, size / 4)),
+                                size - op.offset);
+  } else if (roll <= 9) {
+    op.kind = LobOp::kReplace;
+    op.offset = Draw(rng, size);
+    op.len = 1 + Draw(rng, std::max<uint64_t>(1, size - op.offset));
+  } else if (roll == 10) {
+    op.kind = LobOp::kTruncate;
+    op.len = Draw(rng, size + 1);
+  } else {
+    op.kind = LobOp::kReorganize;
+  }
+  return op;
+}
+
+std::string FormatOpTrace(const std::vector<LobOp>& trace) {
+  static const char* kNames[] = {"append",   "insert",     "delete", "replace",
+                                 "truncate", "reorganize", "destroy"};
+  std::ostringstream out;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const LobOp& op = trace[i];
+    out << "  [" << i << "] " << kNames[op.kind] << " offset=" << op.offset
+        << " len=" << op.len << " payload_seed=" << op.payload_seed << "\n";
+  }
+  return out.str();
+}
+
+uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("EOS_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 0);
+}
+
+}  // namespace testing_util
+}  // namespace eos

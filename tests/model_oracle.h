@@ -1,0 +1,102 @@
+#ifndef EOS_TESTS_MODEL_ORACLE_H_
+#define EOS_TESTS_MODEL_ORACLE_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "lob/descriptor.h"
+#include "lob/lob_manager.h"
+
+namespace eos {
+namespace testing_util {
+
+// In-memory byte-string model of one large object — the oracle side of the
+// differential tests. It mirrors the LobManager mutation API with plain
+// std::string semantics, so after replaying the same operations the real
+// object's content must equal `bytes()` exactly.
+class ModelLob {
+ public:
+  void Append(ByteView data) {
+    bytes_.append(reinterpret_cast<const char*>(data.data()), data.size());
+  }
+  void Insert(uint64_t offset, ByteView data) {
+    bytes_.insert(static_cast<size_t>(offset),
+                  reinterpret_cast<const char*>(data.data()), data.size());
+  }
+  // Clamped at the tail like LobManager::Delete.
+  void Delete(uint64_t offset, uint64_t n) {
+    if (offset >= bytes_.size()) return;
+    bytes_.erase(static_cast<size_t>(offset),
+                 static_cast<size_t>(
+                     std::min<uint64_t>(n, bytes_.size() - offset)));
+  }
+  void Replace(uint64_t offset, ByteView data) {
+    bytes_.replace(static_cast<size_t>(offset), data.size(),
+                   reinterpret_cast<const char*>(data.data()), data.size());
+  }
+  void Truncate(uint64_t keep) {
+    if (keep < bytes_.size()) bytes_.resize(static_cast<size_t>(keep));
+  }
+  void Destroy() { bytes_.clear(); }
+
+  uint64_t size() const { return bytes_.size(); }
+  const std::string& bytes() const { return bytes_; }
+  bool Matches(ByteView actual) const {
+    return actual == ByteView(bytes_);
+  }
+
+ private:
+  std::string bytes_;
+};
+
+// One scripted operation against a large object. Coordinates are concrete
+// (generated against the model at script time), so a trace replays
+// identically against model and real stack, and a failing run can be
+// shrunk by hand by dropping trace entries.
+struct LobOp {
+  enum Kind : uint8_t {
+    kAppend,
+    kInsert,
+    kDelete,
+    kReplace,
+    kTruncate,
+    kReorganize,
+    kDestroy,
+  };
+  Kind kind = kAppend;
+  uint64_t offset = 0;
+  uint64_t len = 0;           // payload length; keep-size for kTruncate
+  uint64_t payload_seed = 0;  // payload = PatternBytes(payload_seed, len)
+};
+
+// The deterministic payload an op writes.
+Bytes PayloadFor(const LobOp& op);
+
+// Applies `op` to the oracle.
+void ApplyToModel(const LobOp& op, ModelLob* model);
+
+// Applies `op` to the real object through the manager.
+Status ApplyToLob(const LobOp& op, LobManager* lob, LobDescriptor* d);
+
+// Draws a random operation valid for the model's current size.
+// `logged_only` restricts to the operations the log manager records
+// (append/insert/delete/replace) — what crash recovery can replay.
+LobOp RandomOp(std::mt19937* rng, const ModelLob& model, uint32_t page_size,
+               uint64_t payload_seed, bool logged_only = false);
+
+// Human-readable op trace for failure reports ("re-run with
+// EOS_TEST_SEED=<seed>" shrink workflow).
+std::string FormatOpTrace(const std::vector<LobOp>& trace);
+
+// Seed for randomized tests: the EOS_TEST_SEED environment variable when
+// set (for reproducing a logged failure), `fallback` otherwise.
+uint64_t TestSeed(uint64_t fallback);
+
+}  // namespace testing_util
+}  // namespace eos
+
+#endif  // EOS_TESTS_MODEL_ORACLE_H_

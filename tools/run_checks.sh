@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Two-tier check runner (DESIGN.md "Testing & fault model"):
+#
+#   1. fast + sanitizer-labelled tests under ASan/UBSan (the `asan` preset);
+#   2. the full suite, including the `torture` crash-recovery and stress
+#      tests, in the default RelWithDebInfo build.
+#
+# Usage: tools/run_checks.sh [-j N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== [1/2] sanitizer tier (ASan/UBSan, label: sanitizer) =="
+cmake --preset asan
+cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-asan -L sanitizer --output-on-failure -j "$JOBS"
+
+echo "== [2/2] full suite incl. torture (default build) =="
+cmake --preset default
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "all checks passed"
