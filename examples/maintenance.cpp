@@ -50,6 +50,8 @@ int main() {
   DatabaseOptions options;
   options.page_size = 4096;
   options.lob.threshold_pages = 1;  // editing-era default: cheapest updates
+  options.checksums = true;  // every page self-verifying; enables
+                             // `eos_inspect scrub` / `repair` on the volume
 
   const std::string path = "/tmp/eos_maintenance.vol";
   auto db_or = Database::Create(path, options);

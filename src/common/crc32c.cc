@@ -1,0 +1,75 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+
+namespace eos {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  uint32_t t[8][256];
+
+  constexpr Tables() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+inline uint32_t LoadLE32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap32(v);
+#endif
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = state;
+  // Byte-at-a-time until 4-byte alignment, so the word loads below are
+  // aligned on strict targets (memcpy makes them safe everywhere anyway).
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 3) != 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+  // Slice-by-8: consume two 32-bit words per iteration with eight
+  // independent table lookups.
+  while (n >= 8) {
+    uint32_t lo = LoadLE32(p) ^ crc;
+    uint32_t hi = LoadLE32(p + 4);
+    crc = kTables.t[7][lo & 0xFF] ^ kTables.t[6][(lo >> 8) & 0xFF] ^
+          kTables.t[5][(lo >> 16) & 0xFF] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xFF] ^ kTables.t[2][(hi >> 8) & 0xFF] ^
+          kTables.t[1][(hi >> 16) & 0xFF] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+  return crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cFinalize(Crc32cExtend(Crc32cInit(), data, n));
+}
+
+}  // namespace eos

@@ -1,0 +1,29 @@
+#ifndef EOS_COMMON_CRC32C_H_
+#define EOS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eos {
+
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78), the
+// checksum storage engines use for page and record integrity. Software
+// slice-by-8 kernel: eight table lookups per 8 input bytes, no special
+// instructions required, ~1 byte/cycle — far faster than the page I/O it
+// guards.
+//
+// The value is the "plain" CRC32C (init 0xFFFFFFFF, final xor), matching
+// the common test vector Crc32c("123456789") == 0xE3069283.
+
+// One-shot checksum of `n` bytes.
+uint32_t Crc32c(const void* data, size_t n);
+
+// Incremental form: Extend(Init(), a, na) then Extend(crc, b, nb) equals
+// a one-shot pass over the concatenation; Finalize() produces the value.
+inline uint32_t Crc32cInit() { return 0xFFFFFFFFu; }
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n);
+inline uint32_t Crc32cFinalize(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_CRC32C_H_

@@ -1,0 +1,34 @@
+#include "common/retry.h"
+
+#include <time.h>
+
+namespace eos {
+
+void BackoffSleep(uint32_t us) {
+  if (us == 0) return;
+  struct timespec ts;
+  ts.tv_sec = us / 1000000;
+  ts.tv_nsec = static_cast<long>(us % 1000000) * 1000;
+  ::nanosleep(&ts, nullptr);
+}
+
+uint32_t RetryPolicy::BackoffUs(int retry) const {
+  if (base_backoff_us == 0 || retry <= 0) return 0;
+  uint64_t us = uint64_t{base_backoff_us} << (retry - 1);
+  return static_cast<uint32_t>(us < max_backoff_us ? us : max_backoff_us);
+}
+
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op,
+                    const std::function<void()>& on_retry) {
+  Status s = op();
+  for (int retry = 1; retry < policy.max_attempts; ++retry) {
+    if (s.ok() || !policy.RetriableError(s)) return s;
+    BackoffSleep(policy.BackoffUs(retry));
+    if (on_retry != nullptr) on_retry();
+    s = op();
+  }
+  return s;
+}
+
+}  // namespace eos

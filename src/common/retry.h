@@ -1,0 +1,47 @@
+#ifndef EOS_COMMON_RETRY_H_
+#define EOS_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace eos {
+
+// Bounded exponential-backoff retry for transient faults (the verified
+// device's read/write paths, and anything else that talks to flaky media).
+//
+// Only IOError and Busy are considered transient; every other code —
+// notably Corruption, which retrying cannot fix once re-reads have been
+// tried — propagates immediately. The backoff doubles per attempt from
+// `base_backoff_us` up to `max_backoff_us`; the default base of 0 makes
+// retries immediate, which is what deterministic tests want.
+struct RetryPolicy {
+  int max_attempts = 4;          // total tries, including the first
+  uint32_t base_backoff_us = 0;  // sleep before retry k is base * 2^(k-1)
+  uint32_t max_backoff_us = 10000;
+
+  static RetryPolicy None() { return RetryPolicy{1, 0, 0}; }
+
+  bool RetriableError(const Status& s) const {
+    return s.IsIOError() || s.IsBusy();
+  }
+
+  // Backoff (microseconds) before retry attempt `retry` (1-based).
+  uint32_t BackoffUs(int retry) const;
+};
+
+// Sleeps for `us` microseconds (no-op for 0). Exposed for callers that run
+// their own retry loop but want the same backoff behaviour.
+void BackoffSleep(uint32_t us);
+
+// Runs `op` until it succeeds, fails with a non-retriable code, or
+// `policy.max_attempts` tries are spent; returns the last status. Each
+// retry (not the first attempt) invokes `on_retry` before re-running, which
+// is where callers count metrics.
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op,
+                    const std::function<void()>& on_retry = nullptr);
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_RETRY_H_

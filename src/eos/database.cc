@@ -5,6 +5,8 @@
 
 #include "buddy/geometry.h"
 #include "common/math.h"
+#include "io/verified_device.h"
+#include "obs/metric_names.h"
 #include "obs/op_tracer.h"
 #include "txn/recovery.h"
 
@@ -16,6 +18,24 @@ namespace {
 // comfortably small.
 constexpr uint32_t kDirRootBytes = 256;
 constexpr uint32_t kSuperHeaderBytes = 32;
+
+// Opens the v2 directory serialization; no v1 entry can start with it
+// (object ids are monotone from 1).
+constexpr uint64_t kDirSentinel = ~uint64_t{0};
+constexpr uint32_t kDirFormatV2 = 2;
+
+// Reads the format epoch from the raw (unwrapped) superblock page, so the
+// caller knows whether to stack the integrity layer before anything else
+// touches the device. A non-EOS or empty volume reads as epoch 0 and the
+// regular superblock validation reports it.
+StatusOr<uint16_t> PeekEpoch(PageDevice* dev) {
+  if (dev->page_count() == 0) return uint16_t{0};
+  Bytes page(dev->page_size());
+  EOS_RETURN_IF_ERROR(dev->ReadPages(Database::kSuperblockPage, 1,
+                                     page.data()));
+  if (DecodeU32(page.data()) != Database::kMagic) return uint16_t{0};
+  return DecodeU16(page.data() + 30);
+}
 
 // Directory maintenance is internal bookkeeping: its large-object writes
 // must not appear in the user-visible operation log.
@@ -38,16 +58,12 @@ Database::~Database() { (void)Flush(); }
 
 StatusOr<std::unique_ptr<Database>> Database::Create(
     const std::string& path, const DatabaseOptions& options) {
-  EOS_ASSIGN_OR_RETURN(BuddyGeometry geo,
-                       BuddyGeometry::Make(options.page_size,
-                                           options.space_pages));
-  uint64_t pages =
-      kFirstSpacePage +
-      uint64_t{std::max<uint32_t>(1, options.initial_spaces)} *
-          (geo.space_pages + 1);
+  // Only the superblock page is preallocated: the usable page size (and
+  // with it the space geometry) depends on whether the integrity layer is
+  // stacked, so Init decides and grows the volume from there.
   EOS_ASSIGN_OR_RETURN(
       std::unique_ptr<FilePageDevice> dev,
-      FilePageDevice::Create(path, options.page_size, pages));
+      FilePageDevice::Create(path, options.page_size, /*page_count=*/1));
   return Init(std::move(dev), options, /*fresh=*/true);
 }
 
@@ -60,14 +76,8 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
 
 StatusOr<std::unique_ptr<Database>> Database::CreateInMemory(
     const DatabaseOptions& options) {
-  EOS_ASSIGN_OR_RETURN(BuddyGeometry geo,
-                       BuddyGeometry::Make(options.page_size,
-                                           options.space_pages));
-  uint64_t pages =
-      kFirstSpacePage +
-      uint64_t{std::max<uint32_t>(1, options.initial_spaces)} *
-          (geo.space_pages + 1);
-  auto dev = std::make_unique<MemPageDevice>(options.page_size, pages);
+  auto dev = std::make_unique<MemPageDevice>(options.page_size,
+                                             /*page_count=*/1);
   return Init(std::move(dev), options, /*fresh=*/true);
 }
 
@@ -78,15 +88,8 @@ StatusOr<std::unique_ptr<Database>> Database::CreateOnDevice(
     return Status::InvalidArgument(
         "device page size differs from the configured page size");
   }
-  EOS_ASSIGN_OR_RETURN(BuddyGeometry geo,
-                       BuddyGeometry::Make(options.page_size,
-                                           options.space_pages));
-  uint64_t pages =
-      kFirstSpacePage +
-      uint64_t{std::max<uint32_t>(1, options.initial_spaces)} *
-          (geo.space_pages + 1);
-  if (device->page_count() < pages) {
-    EOS_RETURN_IF_ERROR(device->Grow(pages));
+  if (device->page_count() < 1) {
+    EOS_RETURN_IF_ERROR(device->Grow(1));
   }
   return Init(std::move(device), options, /*fresh=*/true);
 }
@@ -102,6 +105,26 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
     bool fresh) {
   std::unique_ptr<Database> db(new Database());
   db->options_ = options;
+  // Stack the integrity layer under everything else. Fresh volumes opt in
+  // via options (crash_safe implies it: a torn page must fail closed, not
+  // read back as garbage); existing volumes declare it themselves via the
+  // format epoch in the raw superblock.
+  uint16_t epoch = 0;
+  if (fresh) {
+    if (options.checksums || options.crash_safe) epoch = kFormatEpoch;
+  } else {
+    EOS_ASSIGN_OR_RETURN(epoch, PeekEpoch(device.get()));
+  }
+  if (epoch != 0) {
+    if (device->page_size() <= 2 * VerifiedPageDevice::kTrailerBytes) {
+      return Status::InvalidArgument(
+          "page size too small for checksummed pages");
+    }
+    auto verified = std::make_unique<VerifiedPageDevice>(
+        std::move(device), epoch, options.io_retry);
+    db->verified_ = verified.get();
+    device = std::move(verified);
+  }
   db->device_ = std::move(device);
   db->pager_ = std::make_unique<Pager>(db->device_.get(),
                                        std::max<size_t>(8,
@@ -145,6 +168,10 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
   return db;
 }
 
+uint32_t Database::DirRootSlotBytes() const {
+  return std::min(kDirRootBytes, device_->page_size() - kSuperHeaderBytes);
+}
+
 Status Database::WriteSuperblock() {
   EOS_ASSIGN_OR_RETURN(PageHandle h, pager_->Zeroed(kSuperblockPage));
   uint8_t* p = h.data();
@@ -154,8 +181,9 @@ Status Database::WriteSuperblock() {
   EncodeU32(p + 12, allocator_->geometry().space_pages);
   EncodeU32(p + 16, allocator_->num_spaces());
   EncodeU64(p + 20, next_object_id_);
+  EncodeU16(p + 30, verified_ != nullptr ? verified_->epoch() : 0);
   Bytes root = dir_object_.Serialize();
-  if (root.size() > kDirRootBytes) {
+  if (root.size() > DirRootSlotBytes()) {
     return Status::Corruption("directory root outgrew its superblock slot");
   }
   EncodeU16(p + 28, static_cast<uint16_t>(root.size()));
@@ -170,8 +198,10 @@ Status Database::ReadSuperblock(uint32_t* space_pages, uint32_t* num_spaces) {
   if (DecodeU32(p) != kMagic) {
     return Status::Corruption("not an EOS volume (superblock magic)");
   }
-  if (DecodeU32(p + 4) != kVersion) {
-    return Status::Corruption("unsupported EOS volume version");
+  uint32_t version = DecodeU32(p + 4);
+  if (version < 1 || version > kVersion) {
+    return Status::Corruption("unsupported EOS volume version " +
+                              std::to_string(version));
   }
   if (DecodeU32(p + 8) != device_->page_size()) {
     return Status::InvalidArgument(
@@ -182,6 +212,9 @@ Status Database::ReadSuperblock(uint32_t* space_pages, uint32_t* num_spaces) {
   next_object_id_ = DecodeU64(p + 20);
   uint16_t root_len = DecodeU16(p + 28);
   if (root_len > 0) {
+    if (root_len > DirRootSlotBytes()) {
+      return Status::Corruption("directory root overflows its slot");
+    }
     EOS_ASSIGN_OR_RETURN(
         dir_object_,
         LobDescriptor::Deserialize(ByteView(p + kSuperHeaderBytes, root_len)));
@@ -191,21 +224,41 @@ Status Database::ReadSuperblock(uint32_t* space_pages, uint32_t* num_spaces) {
 
 Status Database::LoadDirectory() {
   directory_.clear();
+  holes_.clear();
   if (dir_object_.empty()) return Status::OK();
   EOS_ASSIGN_OR_RETURN(Bytes all, lob_->ReadAll(dir_object_));
   size_t pos = 0;
+  bool v2 = false;
+  if (all.size() >= 12 && DecodeU64(all.data()) == kDirSentinel) {
+    if (DecodeU32(all.data() + 8) != kDirFormatV2) {
+      return Status::Corruption("unknown object directory format");
+    }
+    v2 = true;
+    pos = 12;
+  }
   while (pos < all.size()) {
-    if (pos + 12 > all.size()) {
+    size_t header = v2 ? 16 : 12;
+    if (pos + header > all.size()) {
       return Status::Corruption("truncated object directory entry");
     }
     uint64_t id = DecodeU64(all.data() + pos);
     uint32_t len = DecodeU32(all.data() + pos + 8);
-    if (pos + 12 + len > all.size()) {
+    uint32_t hole_count = v2 ? DecodeU32(all.data() + pos + 12) : 0;
+    if (pos + header + len + uint64_t{hole_count} * 16 > all.size()) {
       return Status::Corruption("truncated object directory root");
     }
-    directory_.emplace_back(
-        id, Bytes(all.begin() + pos + 12, all.begin() + pos + 12 + len));
-    pos += 12 + len;
+    directory_.emplace_back(id, Bytes(all.begin() + pos + header,
+                                      all.begin() + pos + header + len));
+    pos += header + len;
+    if (hole_count > 0) {
+      std::vector<HoleRange>& h = holes_[id];
+      h.reserve(hole_count);
+      for (uint32_t i = 0; i < hole_count; ++i) {
+        h.push_back(HoleRange{DecodeU64(all.data() + pos),
+                              DecodeU64(all.data() + pos + 8)});
+        pos += 16;
+      }
+    }
   }
   return Status::OK();
 }
@@ -213,12 +266,27 @@ Status Database::LoadDirectory() {
 Status Database::SaveDirectory() {
   ScopedDirLogSuspend suspend(lob_.get());
   Bytes all;
+  if (!directory_.empty()) {
+    all.resize(12);
+    EncodeU64(all.data(), kDirSentinel);
+    EncodeU32(all.data() + 8, kDirFormatV2);
+  }
   for (const auto& [id, root] : directory_) {
+    auto hit = holes_.find(id);
+    const std::vector<HoleRange>* h =
+        hit == holes_.end() || hit->second.empty() ? nullptr : &hit->second;
+    size_t nholes = h == nullptr ? 0 : h->size();
     size_t at = all.size();
-    all.resize(at + 12 + root.size());
+    all.resize(at + 16 + root.size() + nholes * 16);
     EncodeU64(all.data() + at, id);
     EncodeU32(all.data() + at + 8, static_cast<uint32_t>(root.size()));
-    std::memcpy(all.data() + at + 12, root.data(), root.size());
+    EncodeU32(all.data() + at + 12, static_cast<uint32_t>(nholes));
+    std::memcpy(all.data() + at + 16, root.data(), root.size());
+    for (size_t i = 0; i < nholes; ++i) {
+      size_t ho = at + 16 + root.size() + i * 16;
+      EncodeU64(all.data() + ho, (*h)[i].offset);
+      EncodeU64(all.data() + ho + 8, (*h)[i].length);
+    }
   }
   // Rewrite the directory object wholesale. Its root must stay within the
   // superblock slot, so cap it explicitly.
@@ -231,7 +299,7 @@ Status Database::SaveDirectory() {
     // capacity of lob_ applies, so verify it fits the superblock slot.
     (void)cfg;
     EOS_ASSIGN_OR_RETURN(dir_object_, lob_->CreateFrom(all));
-    if (dir_object_.SerializedBytes() > kDirRootBytes) {
+    if (dir_object_.SerializedBytes() > DirRootSlotBytes()) {
       return Status::Corruption(
           "object directory root exceeds its superblock slot; lower "
           "max_root_bytes or raise kDirRootBytes");
@@ -325,6 +393,7 @@ Status Database::DropObject(uint64_t id) {
       Status s = lob_->Destroy(&d);
       if (!s.ok()) return span.Close(std::move(s));
       directory_.erase(directory_.begin() + i);
+      holes_.erase(id);
       return span.Close(SaveDirectory());
     }
   }
@@ -494,6 +563,106 @@ Status Database::CheckIntegrity() {
     EOS_RETURN_IF_ERROR(lob_->CheckInvariants(dir_object_));
   }
   return Status::OK();
+}
+
+Status Database::Scrub(ScrubReport* report) {
+  obs::ScopedOp span("db.scrub", 0, device_.get());
+  // Scrub reads the device directly; make it current first.
+  Status s = Flush();
+  if (!s.ok()) return span.Close(std::move(s));
+  static obs::Counter* verified_counter =
+      obs::MetricsRegistry::Default().counter(obs::kScrubPagesVerified);
+  static obs::Counter* corrupt_counter =
+      obs::MetricsRegistry::Default().counter(obs::kScrubCorruptPages);
+  Bytes buf(device_->page_size());
+  auto probe = [&](PageId page, PageRole role) {
+    Status ps = device_->ReadPages(page, 1, buf.data());
+    if (ps.ok()) {
+      ++report->pages_verified;
+      verified_counter->Inc();
+    } else {
+      report->issues.push_back(
+          ScrubIssue{0, role, page, ps.message()});
+      corrupt_counter->Inc();
+    }
+  };
+  probe(kSuperblockPage, PageRole::kSuperblock);
+  for (uint32_t sp = 0; sp < allocator_->num_spaces(); ++sp) {
+    probe(allocator_->DirPage(sp), PageRole::kAllocatorMap);
+  }
+  if (!dir_object_.empty()) {
+    size_t before = report->issues.size();
+    s = lob_->ScrubObject(dir_object_, 0, report);
+    if (!s.ok()) return span.Close(std::move(s));
+    for (size_t i = before; i < report->issues.size(); ++i) {
+      report->issues[i].role = PageRole::kDirectory;
+    }
+  }
+  for (const auto& [id, root] : directory_) {
+    EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(root));
+    s = lob_->ScrubObject(d, id, report);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  return span.Close(Status::OK());
+}
+
+Status Database::RepairObject(uint64_t id) {
+  obs::ScopedOp span("db.repair_object", id, device_.get());
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  std::vector<HoleRange> holes;
+  auto salvaged = lob_->Salvage(d, &holes);
+  if (!salvaged.ok()) return span.Close(salvaged.status());
+  Bytes content = std::move(salvaged).value();
+
+  // Rewrite into fresh storage. Directory bookkeeping is internal, and so
+  // is the salvage rewrite — neither belongs in the operation log.
+  ScopedDirLogSuspend suspend(lob_.get());
+  EOS_ASSIGN_OR_RETURN(LobDescriptor repaired, lob_->CreateFrom(content));
+  Status s = Status::OK();
+  for (auto& [oid, root] : directory_) {
+    if (oid == id) {
+      root = repaired.Serialize();
+      break;
+    }
+  }
+  if (holes.empty()) {
+    holes_.erase(id);
+  } else {
+    holes_[id] = std::move(holes);
+  }
+  s = SaveDirectory();
+  if (!s.ok()) return span.Close(std::move(s));
+
+  // The old tree cannot be freed *through* — its corrupt pages are exactly
+  // why we are here — so reclaim by rebuilding the allocation maps from
+  // reachability, as crash recovery does. Parked deferred frees describe
+  // extents by the same unreachable trees; drop them (WipeAndRebuild
+  // frees everything unreachable anyway, and the roots become durable at
+  // the Flush below, so early reuse is safe).
+  if (deferred_frees_ != nullptr) (void)deferred_frees_->TakeAll();
+  std::vector<Extent> live;
+  if (!dir_object_.empty()) {
+    s = lob_->CollectExtents(dir_object_, &live);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  for (const auto& [oid, root] : directory_) {
+    EOS_ASSIGN_OR_RETURN(LobDescriptor od, LobDescriptor::Deserialize(root));
+    s = lob_->CollectExtents(od, &live);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  s = allocator_->WipeAndRebuild(live);
+  if (!s.ok()) return span.Close(std::move(s));
+  s = Flush();
+  if (!s.ok()) return span.Close(std::move(s));
+  static obs::Counter* repaired_counter =
+      obs::MetricsRegistry::Default().counter(obs::kScrubRepairedObjects);
+  repaired_counter->Inc();
+  return span.Close(Status::OK());
+}
+
+std::vector<HoleRange> Database::GetHoles(uint64_t id) const {
+  auto it = holes_.find(id);
+  return it == holes_.end() ? std::vector<HoleRange>{} : it->second;
 }
 
 void Database::AttachLog(LogManager* log) {

@@ -9,6 +9,7 @@
 
 #include "buddy/segment_allocator.h"
 #include "common/bytes.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "io/page_device.h"
 #include "io/pager.h"
@@ -16,6 +17,8 @@
 #include "txn/log_manager.h"
 
 namespace eos {
+
+class VerifiedPageDevice;
 
 // Top-level EOS storage facade: one volume (file-backed or in-memory)
 // containing a superblock, a sequence of buddy segment spaces, and a
@@ -38,6 +41,20 @@ struct DatabaseOptions {
   // recovery via Recover() then restores exactly the committed state after
   // a crash at any write boundary.
   bool crash_safe = false;
+
+  // Integrity layer (DESIGN.md "Integrity & degraded operation"): the
+  // device is wrapped in a VerifiedPageDevice, so every page carries a
+  // 16-byte CRC32C trailer sealed on write and verified on read — the
+  // usable page size becomes page_size - 16. Implied by crash_safe: a torn
+  // or rotted page must fail closed, never read back as silent garbage.
+  // Volumes remember the choice via the superblock's format epoch, so
+  // Open()/OpenOnDevice() stack the layer automatically.
+  bool checksums = false;
+
+  // Bounds re-reads of transiently failing transfers (and re-tries of
+  // failing writes) under the verified device. Defaults retry immediately;
+  // set base_backoff_us for real hardware.
+  RetryPolicy io_retry;
 };
 
 // FreeInterceptor that parks every freed extent until the next
@@ -64,7 +81,13 @@ class CheckpointFreeList final : public FreeInterceptor {
 class Database {
  public:
   static constexpr uint32_t kMagic = 0x454F5356;  // "EOSV"
-  static constexpr uint32_t kVersion = 1;
+  // v2 adds the format epoch to the superblock and hole maps to the
+  // directory; v1 volumes (epoch 0, no checksums) still open.
+  static constexpr uint32_t kVersion = 2;
+  // Epoch stamped into every page trailer of a checksummed volume. 0 in
+  // the superblock means the volume predates checksums (or opted out) and
+  // the device is used unwrapped.
+  static constexpr uint16_t kFormatEpoch = 1;
   static constexpr PageId kSuperblockPage = 0;
   static constexpr PageId kFirstSpacePage = 1;
 
@@ -151,6 +174,33 @@ class Database {
   // Buddy invariants of every space plus tree invariants of every object.
   Status CheckIntegrity();
 
+  // ----- scrub / quarantine / repair ----------------------------------------
+
+  // Flushes, then verifies every reachable page by reading it back through
+  // the device: superblock, each space's allocation map, the directory
+  // object, and every object tree. Appends one issue per unreadable page;
+  // on a verified device those pages end up quarantined as a side effect.
+  Status Scrub(ScrubReport* report);
+
+  // Rebuilds a damaged object from whatever Salvage can still read: the
+  // unrecoverable byte ranges are zero-filled and recorded as the object's
+  // hole map (persisted in the directory), the content is rewritten into
+  // fresh storage, and the allocation maps are rebuilt from reachability —
+  // the corrupt subtrees cannot be freed through, so the old pages are
+  // reclaimed by rebuilding instead. Reads of the repaired object work
+  // normally; GetHoles() says which bytes are fabricated zeroes.
+  Status RepairObject(uint64_t id);
+
+  // The object's persisted hole map (empty if never repaired, or repaired
+  // losslessly). Ranges are advisory: they describe the bytes at repair
+  // time and are not maintained through later updates.
+  std::vector<HoleRange> GetHoles(uint64_t id) const;
+
+  // Non-null iff the volume runs with the integrity layer stacked.
+  VerifiedPageDevice* verified_device() { return verified_; }
+
+  const LobDescriptor& dir_object() const { return dir_object_; }
+
   LobManager* lob() { return lob_.get(); }
   SegmentAllocator* allocator() { return allocator_.get(); }
   Pager* pager() { return pager_.get(); }
@@ -170,12 +220,20 @@ class Database {
   Status WriteSuperblock();
   Status ReadSuperblock(uint32_t* space_pages, uint32_t* num_spaces);
 
-  // The directory is serialized as [id u64][len u32][root bytes]...
+  // Largest directory root the superblock can hold.
+  uint32_t DirRootSlotBytes() const;
+
+  // v2 directory streams open with an 8-byte sentinel no v1 entry can
+  // produce (object ids are monotone from 1), then a format version:
+  // [sentinel u64 = ~0][version u32]
+  // [id u64][root_len u32][hole_count u32][root][(off u64, len u64)...]...
+  // v1 streams ([id u64][len u32][root]...) still parse.
   Status LoadDirectory();
   Status SaveDirectory();
 
   DatabaseOptions options_;
   std::unique_ptr<PageDevice> device_;
+  VerifiedPageDevice* verified_ = nullptr;  // aliases device_ when stacked
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<SegmentAllocator> allocator_;
   std::unique_ptr<LobManager> lob_;
@@ -186,6 +244,7 @@ class Database {
   std::map<uint64_t, uint32_t> threshold_hints_;
   LobDescriptor dir_object_;  // the directory's own root
   std::vector<std::pair<uint64_t, Bytes>> directory_;  // id -> root image
+  std::map<uint64_t, std::vector<HoleRange>> holes_;   // id -> hole map
 };
 
 }  // namespace eos

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace eos {
@@ -78,6 +79,13 @@ Status MemPageDevice::DoWrite(PageId first, uint32_t n, const uint8_t* data) {
   return Status::OK();
 }
 
+FilePageDevice::FilePageDevice(int fd, uint32_t page_size,
+                               uint64_t page_count)
+    : PageDevice(page_size, page_count), fd_(fd) {
+  const char* env = std::getenv("EOS_FULL_SYNC");
+  full_sync_ = env != nullptr && env[0] == '1';
+}
+
 FilePageDevice::~FilePageDevice() {
   if (fd_ >= 0) ::close(fd_);
 }
@@ -124,8 +132,14 @@ Status FilePageDevice::Grow(uint64_t new_page_count) {
 }
 
 Status FilePageDevice::Sync() {
-  if (::fsync(fd_) != 0) {
-    return Status::IOError(std::string("fsync: ") + std::strerror(errno));
+  if (full_sync_) {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(std::string("fsync: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(std::string("fdatasync: ") + std::strerror(errno));
   }
   return Status::OK();
 }
@@ -155,6 +169,12 @@ Status FilePageDevice::DoWrite(PageId first, uint32_t n, const uint8_t* data) {
     if (r < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      // A 0 return makes no progress; looping on it would spin forever.
+      return Status::IOError("pwrite: wrote 0 of the remaining " +
+                             std::to_string(want - put) + " bytes at offset " +
+                             std::to_string(off + static_cast<off_t>(put)));
     }
     put += static_cast<size_t>(r);
   }

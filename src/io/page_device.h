@@ -139,17 +139,26 @@ class FilePageDevice final : public PageDevice {
       const std::string& path, uint32_t page_size);
 
   Status Grow(uint64_t new_page_count) override;
+
+  // Durability barrier. Page writes never change file metadata the data
+  // depends on (the size only moves at Grow, whose ftruncate the next
+  // barrier covers), so the default is the cheaper fdatasync. Full fsync
+  // can be forced per device with set_full_sync(true) or process-wide with
+  // EOS_FULL_SYNC=1 in the environment (read once per device at creation).
   Status Sync() override;
+
+  void set_full_sync(bool on) { full_sync_ = on; }
+  bool full_sync() const { return full_sync_; }
 
  protected:
   Status DoRead(PageId first, uint32_t n, uint8_t* out) override;
   Status DoWrite(PageId first, uint32_t n, const uint8_t* data) override;
 
  private:
-  FilePageDevice(int fd, uint32_t page_size, uint64_t page_count)
-      : PageDevice(page_size, page_count), fd_(fd) {}
+  FilePageDevice(int fd, uint32_t page_size, uint64_t page_count);
 
   int fd_ = -1;
+  bool full_sync_ = false;
 };
 
 }  // namespace eos

@@ -80,7 +80,15 @@ StatusOr<size_t> Pager::GetFrame(PageId id, bool read, bool* was_hit) {
   f.pins = 0;
   f.dirty = false;
   if (read) {
-    EOS_RETURN_IF_ERROR(device_->ReadPages(id, 1, f.data.data()));
+    Status s = device_->ReadPages(id, 1, f.data.data());
+    if (!s.ok()) {
+      // Return the frame: it is in neither map_ nor free_frames_ here, and
+      // leaking it on every failed read would bleed the pager dry into
+      // Busy once corrupt pages make read errors routine.
+      f.id = kInvalidPage;
+      free_frames_.push_back(idx);
+      return s;
+    }
   } else {
     std::memset(f.data.data(), 0, f.data.size());
   }

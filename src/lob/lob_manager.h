@@ -2,6 +2,7 @@
 #define EOS_LOB_LOB_MANAGER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "buddy/segment_allocator.h"
@@ -38,6 +39,47 @@ struct LobStats {
   // size / ((leaf_pages + index_pages) * page_size): utilization including
   // index overhead.
   double total_utilization = 0.0;
+};
+
+// Byte range of an object that repair could not recover. Reads of a
+// repaired object return zeroes for these bytes; the Database layer
+// persists the ranges alongside the object's root so clients can tell
+// degraded data from real zeroes.
+struct HoleRange {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+inline bool operator==(const HoleRange& a, const HoleRange& b) {
+  return a.offset == b.offset && a.length == b.length;
+}
+
+// What a scrubbed page was serving as when it failed verification.
+enum class PageRole : uint8_t {
+  kUnknown = 0,
+  kSuperblock,
+  kAllocatorMap,  // a buddy space's directory page
+  kDirectory,     // index or leaf page of the object directory
+  kIndexNode,     // index node of a user object
+  kLeaf,          // leaf segment page of a user object
+  kLog,           // write-ahead log storage
+};
+
+const char* PageRoleName(PageRole role);
+
+// One page scrub could not read back clean.
+struct ScrubIssue {
+  uint64_t object_id = 0;  // 0: not object-scoped (superblock, amap, dir)
+  PageRole role = PageRole::kUnknown;
+  PageId page = kInvalidPage;
+  std::string message;
+};
+
+struct ScrubReport {
+  uint64_t pages_verified = 0;
+  std::vector<ScrubIssue> issues;
+
+  bool clean() const { return issues.empty(); }
 };
 
 // The EOS large object manager (Section 4).
@@ -130,6 +172,26 @@ class LobManager {
   // segments — to *out. Crash recovery's reachability scan rebuilds the
   // allocation maps from the union of these over all recovered roots.
   Status CollectExtents(const LobDescriptor& d, std::vector<Extent>* out);
+
+  // ----- scrub / salvage (integrity layer) ---------------------------------
+
+  // Verifies every page the object occupies by reading it back through the
+  // *device* — deliberately bypassing the pager, whose cached copies would
+  // mask on-media rot (callers flush first). On a verified device each read
+  // is checksum-checked; structurally invalid index nodes are reported even
+  // when the checksum passes. Every unreadable page becomes one issue
+  // tagged `object_id` (roles kIndexNode/kLeaf); intact subtrees keep being
+  // scanned, so the report names exactly the corrupt pages.
+  Status ScrubObject(const LobDescriptor& d, uint64_t object_id,
+                     ScrubReport* report);
+
+  // Best-effort device-direct extraction of the object's content for
+  // repair: unreadable leaf pages are zero-filled and recorded in *holes;
+  // an unreadable index node drops its whole byte range (the parent entry
+  // says how long it is) into one hole. The result is always exactly
+  // d.size() bytes, with *holes sorted and coalesced.
+  StatusOr<Bytes> Salvage(const LobDescriptor& d,
+                          std::vector<HoleRange>* holes);
 
   // -------------------------------------------------------------------------
 
@@ -241,6 +303,12 @@ class LobManager {
   // [Bili91a]: when the leaf-parent is about to split, coalesce runs of
   // adjacent unsafe segments into single larger segments.
   Status CompactUnsafeRuns(LobNode* leaf_parent);
+
+  // Device-direct tree walks of the integrity layer; see scrub.cc.
+  Status WalkScrub(const LobEntry& entry, uint16_t level, uint64_t object_id,
+                   ScrubReport* report);
+  Status WalkSalvage(const LobEntry& entry, uint16_t level, uint64_t offset,
+                     uint8_t* out, std::vector<HoleRange>* holes);
 
   Status WalkStats(const LobEntry& entry, uint16_t level, LobStats* stats);
   Status WalkCheck(const LobEntry& entry, uint16_t level, bool is_root_child);

@@ -50,6 +50,17 @@ inline constexpr char kTxnRedoApplied[] = "txn.recovery.redo";
 inline constexpr char kTxnUndoApplied[] = "txn.recovery.undo";
 inline constexpr char kTxnObjectsRecovered[] = "txn.recovery.objects";
 
+// --- verified I/O (page integrity layer) -----------------------------------
+inline constexpr char kIoChecksumFail[] = "io.checksum_fail";
+inline constexpr char kIoReadRetry[] = "io.read_retry";
+inline constexpr char kIoWriteRetry[] = "io.write_retry";
+inline constexpr char kIoQuarantinedPages[] = "io.quarantined_pages";
+
+// --- scrub / repair ---------------------------------------------------------
+inline constexpr char kScrubPagesVerified[] = "scrub.pages_verified";
+inline constexpr char kScrubCorruptPages[] = "scrub.corrupt_pages";
+inline constexpr char kScrubRepairedObjects[] = "scrub.repaired_objects";
+
 // --- chaos device (fault injection) ----------------------------------------
 inline constexpr char kChaosInjectedFaults[] = "chaos.injected_faults";
 inline constexpr char kChaosTornWrites[] = "chaos.torn_writes";

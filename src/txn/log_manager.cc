@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
@@ -41,16 +42,30 @@ StatusOr<std::vector<LogRecord>> LogManager::ReadLogFile(
   if (r < 0) {
     return Status::IOError(std::string("read: ") + std::strerror(errno));
   }
+  // Each frame is [payload_len u32][crc32c u32][payload]. The first frame
+  // that is torn (truncated) or fails its CRC marks the end of the log:
+  // a crash mid-append leaves exactly such a tail, and everything before
+  // it is intact by construction of the append-only write, so the parsed
+  // prefix is returned rather than an error.
   std::vector<LogRecord> records;
   size_t pos = 0;
-  while (pos < all.size()) {
+  while (pos + kFrameHeaderBytes <= all.size()) {
+    uint32_t len = DecodeU32(all.data() + pos);
+    uint32_t crc = DecodeU32(all.data() + pos + 4);
+    const uint8_t* payload = all.data() + pos + kFrameHeaderBytes;
+    if (pos + kFrameHeaderBytes + uint64_t{len} > all.size()) break;
+    if (Crc32c(payload, len) != crc) break;
     size_t consumed = 0;
-    EOS_ASSIGN_OR_RETURN(
-        LogRecord rec,
-        LogRecord::Parse(ByteView(all.data() + pos, all.size() - pos),
-                         &consumed));
-    records.push_back(std::move(rec));
-    pos += consumed;
+    StatusOr<LogRecord> rec =
+        LogRecord::Parse(ByteView(payload, len), &consumed);
+    if (!rec.ok() || consumed != len) {
+      // The CRC held but the payload does not parse: the file was written
+      // by something else entirely. That is corruption, not a torn tail.
+      return Status::Corruption(path + ": log record with valid CRC fails "
+                                "to parse");
+    }
+    records.push_back(std::move(rec).value());
+    pos += kFrameHeaderBytes + len;
   }
   return records;
 }
@@ -62,8 +77,11 @@ Status LogManager::Emit(LobDescriptor* d, LogRecord&& r) {
   // Write-ahead: the record is durable (appended) before the update is
   // applied; the LSN is placed in the root for idempotence (Section 4.5).
   if (fd_ >= 0) {
-    Bytes buf(r.SerializedBytes());
-    r.SerializeTo(buf.data());
+    Bytes buf(kFrameHeaderBytes + r.SerializedBytes());
+    r.SerializeTo(buf.data() + kFrameHeaderBytes);
+    EncodeU32(buf.data(), static_cast<uint32_t>(r.SerializedBytes()));
+    EncodeU32(buf.data() + 4, Crc32c(buf.data() + kFrameHeaderBytes,
+                                     r.SerializedBytes()));
     size_t put = 0;
     while (put < buf.size()) {
       ssize_t w = ::write(fd_, buf.data() + put, buf.size() - put);

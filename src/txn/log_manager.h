@@ -20,15 +20,25 @@ namespace eos {
 // object's root; recovery compares the root LSN against the log to decide
 // idempotently which records to redo or undo. The log lives in memory and
 // is optionally mirrored to an append-only file for crash simulation.
+//
+// On-file framing: every record is wrapped as [payload_len u32]
+// [crc32c u32][payload], so a record torn by a crash mid-append — or
+// rotted on media afterwards — is detectable on read-back.
 class LogManager {
  public:
+  static constexpr size_t kFrameHeaderBytes = 8;
+
   LogManager() = default;
 
   // Mirrors records to `path` (created/truncated).
   static StatusOr<std::unique_ptr<LogManager>> CreateFileBacked(
       const std::string& path);
 
-  // Reads back every record of a file written by a file-backed manager.
+  // Reads back the records of a file written by a file-backed manager.
+  // The first frame that is truncated or fails its CRC is treated as the
+  // end of the log (a crash tears exactly the tail), and the intact prefix
+  // is returned — recovery then restores the last consistent state the
+  // surviving records describe.
   static StatusOr<std::vector<LogRecord>> ReadLogFile(
       const std::string& path);
 

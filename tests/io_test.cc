@@ -2,6 +2,7 @@
 // paper's cost claims rest on.
 
 #include <gtest/gtest.h>
+#include <stdlib.h>
 
 #include <cstdio>
 
@@ -84,6 +85,36 @@ TEST(FileDeviceTest, CreateWriteReopenRead) {
     Bytes r(2 * 256);
     EOS_ASSERT_OK((*dev)->ReadPages(3, 2, r.data()));
     EXPECT_EQ(w, r);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDeviceTest, SyncBarrierKnob) {
+  std::string path = ::testing::TempDir() + "/eos_file_dev_sync_test.vol";
+  {
+    auto dev = FilePageDevice::Create(path, 256, 4);
+    ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+    // Default barrier is the cheaper fdatasync; both flavours must work.
+    EXPECT_FALSE((*dev)->full_sync());
+    EOS_EXPECT_OK((*dev)->Sync());
+    (*dev)->set_full_sync(true);
+    EXPECT_TRUE((*dev)->full_sync());
+    EOS_EXPECT_OK((*dev)->Sync());
+  }
+  {
+    // EOS_FULL_SYNC=1 flips the default for devices created while it is
+    // set (read once per device at creation).
+    ASSERT_EQ(setenv("EOS_FULL_SYNC", "1", 1), 0);
+    auto dev = FilePageDevice::Open(path, 256);
+    ASSERT_EQ(unsetenv("EOS_FULL_SYNC"), 0);
+    ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+    EXPECT_TRUE((*dev)->full_sync());
+    EOS_EXPECT_OK((*dev)->Sync());
+  }
+  {
+    auto dev = FilePageDevice::Open(path, 256);
+    ASSERT_TRUE(dev.ok());
+    EXPECT_FALSE((*dev)->full_sync());
   }
   std::remove(path.c_str());
 }

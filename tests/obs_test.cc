@@ -126,6 +126,26 @@ TEST(MetricsTest, RegistryPointersAreStableAndNamed) {
   EXPECT_NE(reg.counter(obs::kBuddyAlloc), nullptr);
 }
 
+TEST(MetricsTest, IntegrityMetricNamesArePinned) {
+  // eos_inspect and external dashboards key on these exact strings; a
+  // rename is a breaking change and must show up here.
+  EXPECT_STREQ(obs::kIoChecksumFail, "io.checksum_fail");
+  EXPECT_STREQ(obs::kIoReadRetry, "io.read_retry");
+  EXPECT_STREQ(obs::kIoWriteRetry, "io.write_retry");
+  EXPECT_STREQ(obs::kIoQuarantinedPages, "io.quarantined_pages");
+  EXPECT_STREQ(obs::kScrubPagesVerified, "scrub.pages_verified");
+  EXPECT_STREQ(obs::kScrubCorruptPages, "scrub.corrupt_pages");
+  EXPECT_STREQ(obs::kScrubRepairedObjects, "scrub.repaired_objects");
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  for (const char* name :
+       {obs::kIoChecksumFail, obs::kIoReadRetry, obs::kIoWriteRetry,
+        obs::kIoQuarantinedPages, obs::kScrubPagesVerified,
+        obs::kScrubCorruptPages, obs::kScrubRepairedObjects}) {
+    ASSERT_NE(reg.counter(name), nullptr) << name;
+    EXPECT_EQ(reg.counter(name), reg.counter(name)) << name;
+  }
+}
+
 TEST(MetricsTest, JsonExportRoundTripsThroughParser) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   reg.counter("test.obs.json_counter")->Inc(5);

@@ -7,6 +7,9 @@
 //   eos_inspect <volume> --spaces               buddy free-list report
 //   eos_inspect <volume> stats                  metrics snapshot summary
 //   eos_inspect <volume> trace                  recent operation spans
+//   eos_inspect <volume> scrub                  checksum-verify every page
+//   eos_inspect <volume> repair                 scrub, then rebuild damaged
+//                                               objects (lossy: see holes)
 //
 // `stats` and `trace` read the "<volume>.obs.json" sidecar written by
 // instrumented processes (see src/obs/snapshot.h); they do not open the
@@ -35,7 +38,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: eos_inspect <volume> [--page-size N] "
                "[--object ID | --check | verify | --spaces | stats | "
-               "trace]\n");
+               "trace | scrub | repair]\n");
   return 2;
 }
 
@@ -268,6 +271,81 @@ void PrintTrace(const std::string& volume) {
   }
 }
 
+void PrintScrubReport(const eos::ScrubReport& report) {
+  std::printf("scrub: %llu pages verified, %zu issue(s)\n",
+              static_cast<unsigned long long>(report.pages_verified),
+              report.issues.size());
+  for (const eos::ScrubIssue& i : report.issues) {
+    std::printf("  [%s] object %llu page %llu: %s\n",
+                eos::PageRoleName(i.role),
+                static_cast<unsigned long long>(i.object_id),
+                static_cast<unsigned long long>(i.page), i.message.c_str());
+  }
+}
+
+void Scrub(Database* db) {
+  eos::ScrubReport report;
+  Status s = db->Scrub(&report);
+  if (!s.ok()) Fail(s, "scrub");
+  PrintScrubReport(report);
+  if (!report.clean()) std::exit(1);
+}
+
+// Scrub, then rebuild every damaged object in place. Unreadable byte
+// ranges come back as zeroes and are reported (and persisted) as the
+// object's hole map. Damage outside object trees (superblock, allocation
+// maps, the directory itself) is beyond object-level repair and exits 1.
+void Repair(Database* db) {
+  eos::ScrubReport report;
+  Status s = db->Scrub(&report);
+  if (!s.ok()) Fail(s, "scrub");
+  PrintScrubReport(report);
+  if (report.clean()) {
+    std::printf("repair: nothing to do\n");
+    return;
+  }
+  bool unrepairable = false;
+  std::vector<uint64_t> damaged;
+  for (const eos::ScrubIssue& i : report.issues) {
+    if (i.role == eos::PageRole::kLeaf ||
+        i.role == eos::PageRole::kIndexNode) {
+      if (damaged.empty() || damaged.back() != i.object_id) {
+        damaged.push_back(i.object_id);
+      }
+    } else {
+      std::fprintf(stderr, "repair: %s damage is not object-repairable\n",
+                   eos::PageRoleName(i.role));
+      unrepairable = true;
+    }
+  }
+  for (uint64_t id : damaged) {
+    Status r = db->RepairObject(id);
+    if (!r.ok()) Fail(r, "repair");
+    auto holes = db->GetHoles(id);
+    uint64_t lost = 0;
+    for (const eos::HoleRange& h : holes) lost += h.length;
+    std::printf("repair: object %llu rebuilt, %zu hole(s), %llu bytes "
+                "zero-filled\n",
+                static_cast<unsigned long long>(id), holes.size(),
+                static_cast<unsigned long long>(lost));
+    for (const eos::HoleRange& h : holes) {
+      std::printf("    hole [%llu, %llu)\n",
+                  static_cast<unsigned long long>(h.offset),
+                  static_cast<unsigned long long>(h.offset + h.length));
+    }
+  }
+  if (unrepairable) std::exit(1);
+  eos::ScrubReport again;
+  s = db->Scrub(&again);
+  if (!s.ok()) Fail(s, "re-scrub");
+  if (!again.clean()) {
+    PrintScrubReport(again);
+    std::fprintf(stderr, "repair: volume still has issues\n");
+    std::exit(1);
+  }
+  std::printf("repair: volume clean\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,6 +371,10 @@ int main(int argc, char** argv) {
       mode = "stats";
     } else if (arg == "trace" || arg == "--trace") {
       mode = "trace";
+    } else if (arg == "scrub" || arg == "--scrub") {
+      mode = "scrub";
+    } else if (arg == "repair" || arg == "--repair") {
+      mode = "repair";
     } else {
       return Usage();
     }
@@ -320,6 +402,10 @@ int main(int argc, char** argv) {
     std::printf("integrity OK\n");
   } else if (mode == "verify") {
     Verify(db->get());
+  } else if (mode == "scrub") {
+    Scrub(db->get());
+  } else if (mode == "repair") {
+    Repair(db->get());
   }
   return 0;
 }

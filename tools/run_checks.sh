@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Two-tier check runner (DESIGN.md "Testing & fault model"):
+# Three-tier check runner (DESIGN.md "Testing & fault model"):
 #
 #   1. fast + sanitizer-labelled tests under ASan/UBSan (the `asan` preset);
-#   2. the full suite, including the `torture` crash-recovery and stress
-#      tests, in the default RelWithDebInfo build.
+#   2. the `tsan`-labelled concurrency suites (concurrent scrub + readers,
+#      parallel allocator use) under ThreadSanitizer (the `tsan` preset);
+#   3. the full suite, including the `torture` crash-recovery, bit-rot and
+#      stress tests, in the default RelWithDebInfo build.
 #
 # Usage: tools/run_checks.sh [-j N]
 set -euo pipefail
@@ -17,14 +19,20 @@ while getopts "j:" opt; do
   esac
 done
 
-echo "== [1/2] sanitizer tier (ASan/UBSan, label: sanitizer) =="
+echo "== [1/3] sanitizer tier (ASan/UBSan, label: sanitizer) =="
 cmake --preset asan
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 \
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
   ctest --test-dir build-asan -L sanitizer --output-on-failure -j "$JOBS"
 
-echo "== [2/2] full suite incl. torture (default build) =="
+echo "== [2/3] concurrency tier (TSan, label: tsan) =="
+cmake --preset tsan
+cmake --build build-tsan -j "$JOBS"
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
+
+echo "== [3/3] full suite incl. torture (default build) =="
 cmake --preset default
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
