@@ -1,6 +1,24 @@
 #include "common/crc32c.h"
 
+#include <cstdlib>
 #include <cstring>
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define EOS_CRC32C_HW_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && defined(__GNUC__)
+#define EOS_CRC32C_HW_ARM 1
+#pragma GCC push_options
+#pragma GCC target("+crc")
+#include <arm_acle.h>
+#pragma GCC pop_options
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+#endif
 
 namespace eos {
 
@@ -40,7 +58,7 @@ inline uint32_t LoadLE32(const uint8_t* p) {
 
 }  // namespace
 
-uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n) {
+uint32_t Crc32cExtendSoftware(uint32_t state, const void* data, size_t n) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   uint32_t crc = state;
   // Byte-at-a-time until 4-byte alignment, so the word loads below are
@@ -67,6 +85,132 @@ uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n) {
   }
   return crc;
 }
+
+// ---- hardware kernels -------------------------------------------------------
+
+#if defined(EOS_CRC32C_HW_X86)
+
+namespace {
+
+// SSE4.2 CRC32 instruction: 8 bytes per issue, 3-cycle latency. Three
+// independent streams would go faster still, but the single-stream form is
+// already ~10x slice-by-8 and keeps the combine logic trivial.
+__attribute__((target("sse4.2"))) uint32_t ExtendHw(uint32_t state,
+                                                    const void* data,
+                                                    size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+#if defined(__x86_64__)
+  uint64_t crc = state;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(static_cast<uint32_t>(crc), *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    crc = _mm_crc32_u64(crc, v);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t crc32 = static_cast<uint32_t>(crc);
+#else
+  uint32_t crc32 = state;
+  while (n >= 4) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    crc32 = _mm_crc32_u32(crc32, v);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n > 0) {
+    crc32 = _mm_crc32_u8(crc32, *p++);
+    --n;
+  }
+  return crc32;
+}
+
+bool HwAvailable() { return __builtin_cpu_supports("sse4.2") != 0; }
+constexpr const char* kHwName = "sse4.2";
+
+}  // namespace
+
+#elif defined(EOS_CRC32C_HW_ARM)
+
+namespace {
+
+__attribute__((target("+crc"))) uint32_t ExtendHw(uint32_t state,
+                                                  const void* data,
+                                                  size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = state;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    crc = __crc32cd(crc, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  return crc;
+}
+
+bool HwAvailable() {
+#if defined(__linux__)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  return false;
+#endif
+}
+constexpr const char* kHwName = "armv8-crc";
+
+}  // namespace
+
+#endif  // hardware kernels
+
+// ---- runtime dispatch -------------------------------------------------------
+
+namespace {
+
+using ExtendFn = uint32_t (*)(uint32_t, const void*, size_t);
+
+struct Dispatch {
+  ExtendFn fn;
+  const char* name;
+};
+
+Dispatch Resolve() {
+  // EOS_CRC32C=software pins the portable kernel even when hardware CRC is
+  // available — used by benchmarks to A/B the two paths end to end, and as
+  // an escape hatch should a platform's instruction prove unreliable.
+  const char* force = std::getenv("EOS_CRC32C");
+  if (force != nullptr && std::strcmp(force, "software") == 0) {
+    return {&Crc32cExtendSoftware, "slice-by-8 (forced)"};
+  }
+#if defined(EOS_CRC32C_HW_X86) || defined(EOS_CRC32C_HW_ARM)
+  if (HwAvailable()) return {&ExtendHw, kHwName};
+#endif
+  return {&Crc32cExtendSoftware, "slice-by-8"};
+}
+
+// Resolved during static initialization: a plain load on every call, no
+// atomics or branches beyond the indirect jump.
+const Dispatch kDispatch = Resolve();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n) {
+  return kDispatch.fn(state, data, n);
+}
+
+const char* Crc32cBackend() { return kDispatch.name; }
 
 uint32_t Crc32c(const void* data, size_t n) {
   return Crc32cFinalize(Crc32cExtend(Crc32cInit(), data, n));

@@ -155,6 +155,9 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
   }
   db->lob_ = std::make_unique<LobManager>(db->pager_.get(),
                                           db->allocator_.get(), options.lob);
+  if (options.parallel_io) {
+    db->lob_->set_io_executor(IoExecutor::Default());
+  }
   if (options.crash_safe) {
     db->lob_->set_shadowing(true);
     db->deferred_frees_ = std::make_unique<CheckpointFreeList>();

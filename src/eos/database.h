@@ -55,6 +55,14 @@ struct DatabaseOptions {
   // failing writes) under the verified device. Defaults retry immediately;
   // set base_backoff_us for real hardware.
   RetryPolicy io_retry;
+
+  // Parallel I/O (DESIGN.md "Parallel I/O and zero-copy paths"): attach
+  // the process-wide IoExecutor so multi-segment reads fan their device
+  // transfers out to worker threads. Off by default — inline transfers
+  // keep the device's seek/transfer accounting deterministic, which the
+  // cost-model benches and tests measure. The pool size follows
+  // EOS_IO_THREADS (default min(4, hardware concurrency)).
+  bool parallel_io = false;
 };
 
 // FreeInterceptor that parks every freed extent until the next

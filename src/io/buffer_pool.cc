@@ -1,0 +1,121 @@
+#include "io/buffer_pool.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/metric_names.h"
+
+namespace eos {
+
+namespace {
+
+constexpr size_t kAlignment = 4096;
+
+uint8_t* AlignedAlloc(size_t bytes) {
+  return static_cast<uint8_t*>(
+      ::operator new(bytes, std::align_val_t{kAlignment}));
+}
+
+void AlignedFree(uint8_t* p) {
+  ::operator delete(p, std::align_val_t{kAlignment});
+}
+
+}  // namespace
+
+BufferPool::Buffer& BufferPool::Buffer::operator=(Buffer&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    data_ = o.data_;
+    size_ = o.size_;
+    size_class_ = o.size_class_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.size_class_ = -1;
+  }
+  return *this;
+}
+
+void BufferPool::Buffer::Release() {
+  if (data_ == nullptr) return;
+  if (size_class_ >= 0 && pool_ != nullptr) {
+    pool_->Return(data_, size_class_);
+  } else {
+    AlignedFree(data_);
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  size_class_ = -1;
+}
+
+BufferPool::BufferPool(size_t max_per_class)
+    : max_per_class_(max_per_class) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  m_reused_ = reg.counter(obs::kPoolBuffersReused);
+  m_allocated_ = reg.counter(obs::kPoolBuffersAllocated);
+}
+
+BufferPool::~BufferPool() {
+  for (auto& cls : free_) {
+    for (uint8_t* p : cls) AlignedFree(p);
+  }
+}
+
+int BufferPool::SizeClass(size_t n) {
+  if (n > kMaxPooledBytes) return -1;
+  int c = 0;
+  size_t bytes = kMinClassBytes;
+  while (bytes < n) {
+    bytes <<= 1;
+    ++c;
+  }
+  return c;
+}
+
+BufferPool::Buffer BufferPool::Acquire(size_t n) {
+  if (n == 0) n = 1;
+  int c = SizeClass(n);
+  if (c < 0) {
+    // Too large to recycle; plain aligned allocation, freed on release.
+    m_allocated_->Inc();
+    return Buffer(this, AlignedAlloc(n), n, -1);
+  }
+  {
+    LatchGuard g(latch_);
+    if (!free_[c].empty()) {
+      uint8_t* p = free_[c].back();
+      free_[c].pop_back();
+      m_reused_->Inc();
+      return Buffer(this, p, n, c);
+    }
+  }
+  m_allocated_->Inc();
+  return Buffer(this, AlignedAlloc(ClassBytes(c)), n, c);
+}
+
+void BufferPool::Return(uint8_t* data, int size_class) {
+  {
+    LatchGuard g(latch_);
+    if (free_[size_class].size() < max_per_class_) {
+      free_[size_class].push_back(data);
+      return;
+    }
+  }
+  AlignedFree(data);
+}
+
+size_t BufferPool::idle_buffers() const {
+  LatchGuard g(latch_);
+  size_t n = 0;
+  for (const auto& cls : free_) n += cls.size();
+  return n;
+}
+
+BufferPool* BufferPool::Default() {
+  static BufferPool* pool = new BufferPool();  // intentionally immortal
+  return pool;
+}
+
+}  // namespace eos

@@ -1,0 +1,103 @@
+#ifndef EOS_IO_BUFFER_POOL_H_
+#define EOS_IO_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/latch.h"
+#include "obs/metrics.h"
+
+namespace eos {
+
+// Recycled, page-aligned staging buffers for the data path (DESIGN.md
+// "Parallel I/O and zero-copy paths").
+//
+// Every hot read/write path needs a transient buffer: the verified device
+// stages physical pages, leaf I/O stages multi-page runs, the appender pads
+// the trailing partial page. Allocating a fresh heap block per call puts an
+// allocator round-trip (and a page-fault storm for large runs) on every
+// I/O; the pool instead recycles power-of-two size classes so steady-state
+// traffic performs zero per-I/O heap allocations — visible as a
+// pool.buffers_reused hit rate of ~100% after warmup.
+//
+// Buffers are aligned to 4 KiB regardless of the volume page size, which
+// keeps them compatible with O_DIRECT-style transfer alignment and avoids
+// straddling cache lines on CRC sweeps.
+//
+// Ownership rules:
+//   * Buffer is a move-only RAII handle; destruction returns the block to
+//     the pool (or frees it when the class free list is full).
+//   * A Buffer may be handed to another thread (the executor workers do
+//     this); the pool itself is latched and thread-safe.
+//   * The pool must outlive its Buffers. Default() lives for the process.
+class BufferPool {
+ public:
+  class Buffer {
+   public:
+    Buffer() = default;
+    Buffer(Buffer&& o) noexcept { *this = std::move(o); }
+    Buffer& operator=(Buffer&& o) noexcept;
+    ~Buffer() { Release(); }
+
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+
+    bool valid() const { return data_ != nullptr; }
+    uint8_t* data() { return data_; }
+    const uint8_t* data() const { return data_; }
+    // The requested size (<= the class capacity actually reserved).
+    size_t size() const { return size_; }
+
+    // Returns the block to the pool early.
+    void Release();
+
+   private:
+    friend class BufferPool;
+    Buffer(BufferPool* pool, uint8_t* data, size_t size, int size_class)
+        : pool_(pool), data_(data), size_(size), size_class_(size_class) {}
+
+    BufferPool* pool_ = nullptr;
+    uint8_t* data_ = nullptr;
+    size_t size_ = 0;
+    int size_class_ = -1;  // -1: unpooled (too large), freed on release
+  };
+
+  // Retains at most `max_per_class` idle buffers in each size class.
+  explicit BufferPool(size_t max_per_class = 16);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // A buffer of at least `n` bytes (n > 0). Never fails: allocation errors
+  // propagate as std::bad_alloc like any other allocation in the library.
+  Buffer Acquire(size_t n);
+
+  // Idle (recyclable) buffers currently held, across all classes.
+  size_t idle_buffers() const;
+
+  // Process-wide pool shared by the I/O stack.
+  static BufferPool* Default();
+
+ private:
+  static constexpr size_t kMinClassBytes = 4096;          // smallest class
+  static constexpr size_t kMaxPooledBytes = 16u << 20;    // beyond: malloc
+  static constexpr int kNumClasses = 13;                  // 4 KiB .. 16 MiB
+
+  static int SizeClass(size_t n);
+  static size_t ClassBytes(int c) { return kMinClassBytes << c; }
+
+  void Return(uint8_t* data, int size_class);
+
+  const size_t max_per_class_;
+  mutable Latch latch_;
+  std::vector<uint8_t*> free_[kNumClasses];
+
+  obs::Counter* m_reused_;
+  obs::Counter* m_allocated_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_IO_BUFFER_POOL_H_

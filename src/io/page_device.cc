@@ -1,11 +1,16 @@
 #include "io/page_device.h"
 
 #include <fcntl.h>
+#include <limits.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace eos {
 
@@ -19,28 +24,76 @@ Status PageDevice::CheckRange(PageId first, uint32_t n) const {
   return Status::OK();
 }
 
+void PageDevice::Account(bool is_read, PageId first, uint32_t n) {
+  if (is_read) {
+    read_calls_.fetch_add(1, std::memory_order_relaxed);
+    pages_read_.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    write_calls_.fetch_add(1, std::memory_order_relaxed);
+    pages_written_.fetch_add(n, std::memory_order_relaxed);
+  }
+  PageId prev = head_pos_.exchange(first + n, std::memory_order_relaxed);
+  if (prev != first) seeks_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Status PageDevice::ReadPages(PageId first, uint32_t n, uint8_t* out) {
   EOS_RETURN_IF_ERROR(CheckRange(first, n));
-  {
-    LatchGuard g(stats_latch_);
-    ++stats_.read_calls;
-    stats_.pages_read += n;
-    if (first != head_pos_) ++stats_.seeks;
-    head_pos_ = first + n;
-  }
+  Account(/*is_read=*/true, first, n);
   return DoRead(first, n, out);
 }
 
 Status PageDevice::WritePages(PageId first, uint32_t n, const uint8_t* data) {
   EOS_RETURN_IF_ERROR(CheckRange(first, n));
-  {
-    LatchGuard g(stats_latch_);
-    ++stats_.write_calls;
-    stats_.pages_written += n;
-    if (first != head_pos_) ++stats_.seeks;
-    head_pos_ = first + n;
-  }
+  Account(/*is_read=*/false, first, n);
   return DoWrite(first, n, data);
+}
+
+namespace {
+
+obs::Counter* BatchRunsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().counter(obs::kIoBatchRuns);
+  return c;
+}
+
+}  // namespace
+
+Status PageDevice::ReadRuns(const PageRun* runs, size_t n) {
+  if (n == 0) return Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    EOS_RETURN_IF_ERROR(CheckRange(runs[i].first, runs[i].pages));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Account(/*is_read=*/true, runs[i].first, runs[i].pages);
+  }
+  BatchRunsCounter()->Inc(n);
+  return DoReadRuns(runs, n);
+}
+
+Status PageDevice::WriteRuns(const ConstPageRun* runs, size_t n) {
+  if (n == 0) return Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    EOS_RETURN_IF_ERROR(CheckRange(runs[i].first, runs[i].pages));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Account(/*is_read=*/false, runs[i].first, runs[i].pages);
+  }
+  BatchRunsCounter()->Inc(n);
+  return DoWriteRuns(runs, n);
+}
+
+Status PageDevice::DoReadRuns(const PageRun* runs, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    EOS_RETURN_IF_ERROR(DoRead(runs[i].first, runs[i].pages, runs[i].data));
+  }
+  return Status::OK();
+}
+
+Status PageDevice::DoWriteRuns(const ConstPageRun* runs, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    EOS_RETURN_IF_ERROR(DoWrite(runs[i].first, runs[i].pages, runs[i].data));
+  }
+  return Status::OK();
 }
 
 MemPageDevice::MemPageDevice(uint32_t page_size, uint64_t page_count)
@@ -156,6 +209,92 @@ Status FilePageDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
     }
     if (r == 0) return Status::IOError("pread: unexpected EOF");
     got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+#if defined(IOV_MAX)
+constexpr size_t kMaxIov = IOV_MAX;
+#else
+constexpr size_t kMaxIov = 1024;
+#endif
+
+// Loops preadv/pwritev until every iovec is fully transferred, advancing
+// the array across partial transfers (short counts are legal for both).
+Status VectoredIo(int fd, bool is_read, struct iovec* iov, int cnt,
+                  off_t off) {
+  while (cnt > 0) {
+    ssize_t r = is_read ? ::preadv(fd, iov, cnt, off)
+                        : ::pwritev(fd, iov, cnt, off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string(is_read ? "preadv: " : "pwritev: ") +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      // Zero progress; looping on it would spin forever.
+      return Status::IOError(is_read ? "preadv: unexpected EOF"
+                                     : "pwritev: wrote 0 bytes");
+    }
+    off += r;
+    size_t left = static_cast<size_t>(r);
+    while (cnt > 0 && left >= iov->iov_len) {
+      left -= iov->iov_len;
+      ++iov;
+      --cnt;
+    }
+    if (cnt > 0 && left > 0) {
+      iov->iov_base = static_cast<char*>(iov->iov_base) + left;
+      iov->iov_len -= left;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FilePageDevice::DoReadRuns(const PageRun* runs, size_t n) {
+  std::vector<struct iovec> iov;
+  size_t i = 0;
+  while (i < n) {
+    // Group maximal sequences of file-adjacent runs into one preadv.
+    iov.clear();
+    off_t off = static_cast<off_t>(runs[i].first * page_size_);
+    PageId next = runs[i].first;
+    size_t j = i;
+    while (j < n && runs[j].first == next && iov.size() < kMaxIov) {
+      iov.push_back({runs[j].data, size_t{runs[j].pages} * page_size_});
+      next = runs[j].first + runs[j].pages;
+      ++j;
+    }
+    EOS_RETURN_IF_ERROR(VectoredIo(fd_, /*is_read=*/true, iov.data(),
+                                   static_cast<int>(iov.size()), off));
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status FilePageDevice::DoWriteRuns(const ConstPageRun* runs, size_t n) {
+  std::vector<struct iovec> iov;
+  size_t i = 0;
+  while (i < n) {
+    iov.clear();
+    off_t off = static_cast<off_t>(runs[i].first * page_size_);
+    PageId next = runs[i].first;
+    size_t j = i;
+    while (j < n && runs[j].first == next && iov.size() < kMaxIov) {
+      // pwritev never writes through iov_base; the const_cast is the
+      // standard POSIX interface seam.
+      iov.push_back({const_cast<uint8_t*>(runs[j].data),
+                     size_t{runs[j].pages} * page_size_});
+      next = runs[j].first + runs[j].pages;
+      ++j;
+    }
+    EOS_RETURN_IF_ERROR(VectoredIo(fd_, /*is_read=*/false, iov.data(),
+                                   static_cast<int>(iov.size()), off));
+    i = j;
   }
   return Status::OK();
 }

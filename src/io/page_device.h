@@ -1,6 +1,7 @@
 #ifndef EOS_IO_PAGE_DEVICE_H_
 #define EOS_IO_PAGE_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -30,13 +31,31 @@ inline bool operator==(const Extent& a, const Extent& b) {
   return a.first == b.first && a.pages == b.pages;
 }
 
+// One scatter-gather element of a batch transfer: `pages` physically
+// adjacent pages starting at `first`, moved to/from `data`
+// (pages * page_size bytes). Runs in a batch need not be sorted or
+// disjoint; each is charged like one ReadPages/WritePages call.
+struct PageRun {
+  PageId first = kInvalidPage;
+  uint32_t pages = 0;
+  uint8_t* data = nullptr;
+};
+
+struct ConstPageRun {
+  PageId first = kInvalidPage;
+  uint32_t pages = 0;
+  const uint8_t* data = nullptr;
+};
+
 // Random-access array of fixed-size pages with physical-contiguity-aware
 // I/O accounting. Subclasses provide the backing store; seek/transfer
 // accounting lives here so every backend charges identically.
 //
-// Thread-safe: accounting is latched, and both backends perform the data
-// transfer itself safely under concurrency (pread/pwrite for files; the
-// in-memory backend serializes transfers against Grow).
+// Thread-safe: accounting is lock-free (relaxed atomic counters plus one
+// atomic exchange for the head position, so it never serializes parallel
+// transfers), and both backends perform the data transfer itself safely
+// under concurrency (pread/pwrite for files; the in-memory backend
+// serializes transfers against Grow).
 class PageDevice {
  public:
   PageDevice(uint32_t page_size, uint64_t page_count)
@@ -56,6 +75,14 @@ class PageDevice {
   // Writes `n` physically adjacent pages starting at `first`.
   Status WritePages(PageId first, uint32_t n, const uint8_t* data);
 
+  // Scatter-gather batch: transfers every run, charging each run like one
+  // ReadPages/WritePages call. The default implementation loops over the
+  // runs; FilePageDevice combines file-adjacent runs into single
+  // preadv/pwritev submissions. All runs are range-checked up front, so a
+  // failed batch has transferred only whole runs.
+  Status ReadRuns(const PageRun* runs, size_t n);
+  Status WriteRuns(const ConstPageRun* runs, size_t n);
+
   // Extends the volume to `new_page_count` pages of zeroes.
   virtual Status Grow(uint64_t new_page_count) = 0;
 
@@ -63,24 +90,33 @@ class PageDevice {
   virtual Status Sync() { return Status::OK(); }
 
   IoStats stats() const {
-    LatchGuard g(stats_latch_);
-    return stats_;
+    IoStats s;
+    s.read_calls = read_calls_.load(std::memory_order_relaxed);
+    s.write_calls = write_calls_.load(std::memory_order_relaxed);
+    s.pages_read = pages_read_.load(std::memory_order_relaxed);
+    s.pages_written = pages_written_.load(std::memory_order_relaxed);
+    s.seeks = seeks_.load(std::memory_order_relaxed);
+    return s;
   }
   void ResetStats() {
-    LatchGuard g(stats_latch_);
-    stats_ = IoStats();
+    read_calls_.store(0, std::memory_order_relaxed);
+    write_calls_.store(0, std::memory_order_relaxed);
+    pages_read_.store(0, std::memory_order_relaxed);
+    pages_written_.store(0, std::memory_order_relaxed);
+    seeks_.store(0, std::memory_order_relaxed);
   }
 
   // Forgets the head position so the next access is charged a seek;
   // benches call this to measure cold costs.
   void ForgetHeadPosition() {
-    LatchGuard g(stats_latch_);
-    head_pos_ = kInvalidPage;
+    head_pos_.store(kInvalidPage, std::memory_order_relaxed);
   }
 
  protected:
   virtual Status DoRead(PageId first, uint32_t n, uint8_t* out) = 0;
   virtual Status DoWrite(PageId first, uint32_t n, const uint8_t* data) = 0;
+  virtual Status DoReadRuns(const PageRun* runs, size_t n);
+  virtual Status DoWriteRuns(const ConstPageRun* runs, size_t n);
 
   // Grow paths record the new size only after the backing store has
   // actually grown; a failed Grow must leave the count untouched, or the
@@ -92,11 +128,23 @@ class PageDevice {
  private:
   Status CheckRange(PageId first, uint32_t n) const;
 
+  // One access worth of accounting: a call, n transferred pages, and a
+  // seek when the access does not continue from the previous head
+  // position. The head update is a single atomic exchange (the CAS-style
+  // serialization point), so concurrent accesses from the worker pool
+  // never queue behind a stats mutex; each still observes *some*
+  // interleaving's head position, which is exactly what a shared disk arm
+  // would serve.
+  void Account(bool is_read, PageId first, uint32_t n);
+
   uint64_t page_count_;
 
-  mutable Latch stats_latch_;
-  IoStats stats_;
-  PageId head_pos_ = kInvalidPage;  // page the head would read next
+  std::atomic<uint64_t> read_calls_{0};
+  std::atomic<uint64_t> write_calls_{0};
+  std::atomic<uint64_t> pages_read_{0};
+  std::atomic<uint64_t> pages_written_{0};
+  std::atomic<uint64_t> seeks_{0};
+  std::atomic<PageId> head_pos_{kInvalidPage};  // page the head reads next
 };
 
 // Volatile vector-backed device for tests and simulation benches.
@@ -153,6 +201,10 @@ class FilePageDevice final : public PageDevice {
  protected:
   Status DoRead(PageId first, uint32_t n, uint8_t* out) override;
   Status DoWrite(PageId first, uint32_t n, const uint8_t* data) override;
+  // File-adjacent runs are combined into single preadv/pwritev
+  // submissions: one syscall moves many scattered buffers.
+  Status DoReadRuns(const PageRun* runs, size_t n) override;
+  Status DoWriteRuns(const ConstPageRun* runs, size_t n) override;
 
  private:
   FilePageDevice(int fd, uint32_t page_size, uint64_t page_count);

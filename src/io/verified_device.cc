@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/crc32c.h"
+#include "io/buffer_pool.h"
 #include "obs/metric_names.h"
 
 namespace eos {
@@ -146,7 +147,9 @@ Status VerifiedPageDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
                                 " is quarantined");
     }
   }
-  Bytes staging(size_t{n} * physical_page_size());
+  // Pooled staging: steady-state reads perform no heap allocation.
+  BufferPool::Buffer staging =
+      BufferPool::Default()->Acquire(size_t{n} * physical_page_size());
   PageId bad_page = kInvalidPage;
   Status s;
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
@@ -185,7 +188,10 @@ Status VerifiedPageDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
 Status VerifiedPageDevice::DoWrite(PageId first, uint32_t n,
                                    const uint8_t* data) {
   uint32_t phys = physical_page_size();
-  Bytes staging(size_t{n} * phys, 0);
+  // Payload and trailer together cover every staged byte, so the pooled
+  // (uninitialized) buffer never leaks stale bits to the device.
+  BufferPool::Buffer staging =
+      BufferPool::Default()->Acquire(size_t{n} * phys);
   for (uint32_t i = 0; i < n; ++i) {
     std::memcpy(staging.data() + size_t{i} * phys,
                 data + size_t{i} * page_size_, page_size_);
@@ -203,6 +209,38 @@ Status VerifiedPageDevice::DoWrite(PageId first, uint32_t n,
     for (uint32_t i = 0; i < n; ++i) lifted += quarantined_.erase(first + i);
   }
   (void)lifted;
+  return Status::OK();
+}
+
+Status VerifiedPageDevice::DoWriteRuns(const ConstPageRun* runs, size_t n) {
+  uint32_t phys = physical_page_size();
+  size_t total_pages = 0;
+  for (size_t i = 0; i < n; ++i) total_pages += runs[i].pages;
+  BufferPool::Buffer staging =
+      BufferPool::Default()->Acquire(total_pages * phys);
+  std::vector<ConstPageRun> inner_runs(n);
+  uint8_t* dst = staging.data();
+  for (size_t i = 0; i < n; ++i) {
+    inner_runs[i] = ConstPageRun{runs[i].first, runs[i].pages, dst};
+    for (uint32_t p = 0; p < runs[i].pages; ++p) {
+      std::memcpy(dst, runs[i].data + size_t{p} * page_size_, page_size_);
+      SealPage(dst, phys, runs[i].first + p, epoch_);
+      dst += phys;
+    }
+  }
+  Status s = RunWithRetry(
+      retry_,
+      [&] { return inner_->WriteRuns(inner_runs.data(), n); },
+      [&] { m_write_retry_->Inc(); });
+  if (!s.ok()) return s;
+  {
+    LatchGuard g(quarantine_latch_);
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t p = 0; p < runs[i].pages; ++p) {
+        quarantined_.erase(runs[i].first + p);
+      }
+    }
+  }
   return Status::OK();
 }
 

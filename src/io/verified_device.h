@@ -88,6 +88,11 @@ class VerifiedPageDevice final : public PageDevice {
  protected:
   Status DoRead(PageId first, uint32_t n, uint8_t* out) override;
   Status DoWrite(PageId first, uint32_t n, const uint8_t* data) override;
+  // Batch writes seal every page into one pooled staging buffer and
+  // forward a single vectored batch to the wrapped device. Batch reads use
+  // the default per-run loop so each run keeps its own retry/quarantine
+  // handling — and is verified on whichever executor worker read it.
+  Status DoWriteRuns(const ConstPageRun* runs, size_t n) override;
 
  private:
   uint32_t physical_page_size() const { return inner_->page_size(); }

@@ -54,10 +54,16 @@ Status LobAppender::OpenSegment(uint64_t want_bytes) {
 Status LobAppender::FlushPageBuffer() {
   const uint32_t ps = mgr_->page_size();
   if (page_buf_.empty()) return Status::OK();
-  Bytes padded(ps, 0);
-  std::memcpy(padded.data(), page_buf_.data(), page_buf_.size());
-  EOS_RETURN_IF_ERROR(mgr_->device()->WritePages(
-      cur_.first + cur_pages_used_, 1, padded.data()));
+  // Queue the padded page instead of writing it now: an immediately
+  // following bulk run is file-adjacent and the two coalesce into one
+  // vectored submit. Staging comes from the pool; the raw block pointer
+  // stays stable however pending_bufs_ reallocates.
+  pending_bufs_.push_back(BufferPool::Default()->Acquire(ps));
+  uint8_t* staged = pending_bufs_.back().data();
+  std::memcpy(staged, page_buf_.data(), page_buf_.size());
+  std::memset(staged + page_buf_.size(), 0, ps - page_buf_.size());
+  pending_runs_.push_back(
+      ConstPageRun{cur_.first + cur_pages_used_, 1, staged});
   if (page_buf_.size() == ps) {
     ++cur_pages_used_;
     page_buf_.clear();
@@ -65,9 +71,27 @@ Status LobAppender::FlushPageBuffer() {
   return Status::OK();
 }
 
+Status LobAppender::SubmitPending() {
+  if (pending_runs_.empty()) return Status::OK();
+  Status s;
+  if (pending_runs_.size() == 1) {
+    const ConstPageRun& r = pending_runs_[0];
+    s = mgr_->device()->WritePages(r.first, r.pages, r.data);
+  } else {
+    s = mgr_->device()->WriteRuns(pending_runs_.data(),
+                                  pending_runs_.size());
+  }
+  pending_runs_.clear();
+  pending_bufs_.clear();
+  return s;
+}
+
 Status LobAppender::CloseSegment() {
   if (!cur_.valid()) return Status::OK();
   EOS_RETURN_IF_ERROR(FlushPageBuffer());
+  // Leaf data must be durable before the index references it (the same
+  // data-before-index order the crash-consistency design relies on).
+  EOS_RETURN_IF_ERROR(SubmitPending());
   uint64_t bytes = uint64_t{cur_pages_used_} * mgr_->page_size() +
                    page_buf_.size();
   page_buf_.clear();
@@ -147,11 +171,12 @@ Status LobAppender::Append(ByteView data) {
       continue;
     }
     if (page_buf_.empty() && data.size() - pos >= ps && seg_space >= ps) {
-      // Bulk path: write whole pages straight through.
+      // Bulk path: queue whole pages zero-copy, straight from the caller's
+      // data (drained before Append returns).
       uint32_t whole = static_cast<uint32_t>(
           std::min<uint64_t>((data.size() - pos) / ps, seg_space / ps));
-      EOS_RETURN_IF_ERROR(mgr_->device()->WritePages(
-          cur_.first + cur_pages_used_, whole, data.data() + pos));
+      pending_runs_.push_back(ConstPageRun{cur_.first + cur_pages_used_,
+                                           whole, data.data() + pos});
       cur_pages_used_ += whole;
       pos += uint64_t{whole} * ps;
       continue;
@@ -166,6 +191,7 @@ Status LobAppender::Append(ByteView data) {
       EOS_RETURN_IF_ERROR(FlushPageBuffer());
     }
   }
+  EOS_RETURN_IF_ERROR(SubmitPending());
   appended_ += data.size();
   static obs::Counter* chunks =
       obs::MetricsRegistry::Default().counter(obs::kLobAppenderChunks);

@@ -1,22 +1,26 @@
 #include "lob/leaf_io.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+
+#include "io/buffer_pool.h"
 
 namespace eos {
 namespace lob_internal {
 
 Status ReadLeafRuns(PageDevice* device, uint32_t page_size, PageId leaf_first,
                     const std::vector<std::pair<uint64_t, uint64_t>>& ranges,
-                    std::vector<Bytes>* out) {
+                    std::vector<Bytes>* out, IoExecutor* exec) {
   out->assign(ranges.size(), Bytes());
 
   struct Run {
     uint64_t p0;
     uint64_t p1;  // inclusive
-    Bytes data;
+    BufferPool::Buffer data;
   };
   std::vector<Run> runs;
+  runs.reserve(ranges.size());
   for (const auto& [lo, hi] : ranges) {
     if (lo == hi) continue;
     assert(lo < hi);
@@ -28,23 +32,38 @@ Status ReadLeafRuns(PageDevice* device, uint32_t page_size, PageId leaf_first,
       runs.push_back(Run{p0, p1, {}});
     }
   }
-  for (Run& r : runs) {
+
+  auto read_run = [&](Run& r) -> Status {
     uint32_t n = static_cast<uint32_t>(r.p1 - r.p0 + 1);
-    r.data.resize(size_t{n} * page_size);
-    EOS_RETURN_IF_ERROR(
-        device->ReadPages(leaf_first + r.p0, n, r.data.data()));
+    r.data = BufferPool::Default()->Acquire(size_t{n} * page_size);
+    return device->ReadPages(leaf_first + r.p0, n, r.data.data());
+  };
+  if (exec != nullptr && runs.size() >= 2) {
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(runs.size());
+    for (Run& r : runs) {
+      tasks.push_back([&read_run, &r] { return read_run(r); });
+    }
+    EOS_RETURN_IF_ERROR(exec->RunBatch(std::move(tasks)));
+  } else {
+    for (Run& r : runs) EOS_RETURN_IF_ERROR(read_run(r));
   }
+
   for (size_t i = 0; i < ranges.size(); ++i) {
     auto [lo, hi] = ranges[i];
     if (lo == hi) continue;
     uint64_t p0 = lo / page_size;
-    for (const Run& r : runs) {
-      if (p0 >= r.p0 && p0 <= r.p1) {
-        (*out)[i].assign(r.data.begin() + (lo - r.p0 * page_size),
-                         r.data.begin() + (hi - r.p0 * page_size));
-        break;
-      }
-    }
+    // Runs are sorted by construction; binary-search the covering run
+    // instead of rescanning the whole list per range.
+    auto it = std::upper_bound(
+        runs.begin(), runs.end(), p0,
+        [](uint64_t page, const Run& r) { return page < r.p0; });
+    assert(it != runs.begin());
+    const Run& r = *std::prev(it);
+    assert(p0 >= r.p0 && p0 <= r.p1);
+    const uint8_t* base = r.data.data();
+    (*out)[i].assign(base + (lo - r.p0 * page_size),
+                     base + (hi - r.p0 * page_size));
     assert((*out)[i].size() == hi - lo);
   }
   return Status::OK();

@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "io/io_executor.h"
 #include "io/page_device.h"
 
 namespace eos {
@@ -17,9 +18,15 @@ namespace lob_internal {
 // cost matches the paper's "read one or two (physically adjacent) pages"
 // accounting. `ranges` must be sorted by offset and non-overlapping; empty
 // ranges are allowed and yield empty buffers.
+//
+// With a non-null `exec` the merged runs are read concurrently on the
+// executor's workers (one task per run) and joined before return; device
+// stats accounting is identical either way, only the wall-clock ordering
+// changes. Run staging comes from the shared BufferPool, so steady-state
+// reads allocate only the caller-visible output buffers.
 Status ReadLeafRuns(PageDevice* device, uint32_t page_size, PageId leaf_first,
                     const std::vector<std::pair<uint64_t, uint64_t>>& ranges,
-                    std::vector<Bytes>* out);
+                    std::vector<Bytes>* out, IoExecutor* exec = nullptr);
 
 }  // namespace lob_internal
 }  // namespace eos

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/math.h"
+#include "io/buffer_pool.h"
 #include "lob/walker.h"
 #include "obs/metric_names.h"
 #include "obs/op_tracer.h"
@@ -99,7 +100,12 @@ Status LobManager::ReadLeafBytes(const LeafRef& leaf, uint64_t lo, uint64_t hi,
   uint64_t p0 = lo / ps;
   uint64_t p1 = (hi - 1) / ps;
   uint32_t n = static_cast<uint32_t>(p1 - p0 + 1);
-  Bytes buf(size_t{n} * ps);
+  if (lo % ps == 0 && (hi - lo) % ps == 0) {
+    // Page-aligned range: transfer straight into the caller's buffer,
+    // no staging copy at all.
+    return device()->ReadPages(leaf.extent.first + p0, n, out);
+  }
+  BufferPool::Buffer buf = BufferPool::Default()->Acquire(size_t{n} * ps);
   EOS_RETURN_IF_ERROR(
       device()->ReadPages(leaf.extent.first + p0, n, buf.data()));
   std::memcpy(out, buf.data() + (lo - p0 * ps), hi - lo);
@@ -113,9 +119,11 @@ Status LobManager::WriteLeafPages(PageId first, ByteView data) {
   if (data.size() % ps == 0) {
     return device()->WritePages(first, n, data.data());
   }
-  // Pad the trailing partial page with zeroes.
-  Bytes buf(size_t{n} * ps, 0);
+  // Pad the trailing partial page with zeroes. The pooled buffer arrives
+  // uninitialized, so the tail must be zeroed explicitly.
+  BufferPool::Buffer buf = BufferPool::Default()->Acquire(size_t{n} * ps);
   std::memcpy(buf.data(), data.data(), data.size());
+  std::memset(buf.data() + data.size(), 0, size_t{n} * ps - data.size());
   return device()->WritePages(first, n, buf.data());
 }
 
@@ -321,6 +329,43 @@ Status LobManager::ReadImpl(const LobDescriptor& d, uint64_t offset,
   EOS_RETURN_IF_ERROR(walker.Seek(offset));
   uint64_t done = 0;
   uint64_t local = walker.local();
+  if (exec_ != nullptr) {
+    // Parallel plan: first walk the index collecting every leaf chunk the
+    // range touches (pager-cached descent, cheap), then fan the device
+    // transfers out to the executor workers and join. Each chunk lands in
+    // its own disjoint slice of *out, so the tasks share nothing.
+    struct LeafChunk {
+      LeafRef leaf;
+      uint64_t lo, hi, out_off;
+    };
+    std::vector<LeafChunk> chunks;
+    while (done < n) {
+      uint64_t chunk = std::min(n - done, walker.leaf_bytes() - local);
+      chunks.push_back(LeafChunk{walker.leaf_, local, local + chunk, done});
+      done += chunk;
+      local = 0;
+      if (done < n) {
+        EOS_ASSIGN_OR_RETURN(bool more, walker.Next());
+        if (!more) return Status::Corruption("object ended before its size");
+      }
+    }
+    if (chunks.size() < 2) {
+      for (const LeafChunk& c : chunks) {
+        EOS_RETURN_IF_ERROR(
+            ReadLeafBytes(c.leaf, c.lo, c.hi, out->data() + c.out_off));
+      }
+      return Status::OK();
+    }
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(chunks.size());
+    uint8_t* base = out->data();
+    for (const LeafChunk& c : chunks) {
+      tasks.push_back([this, &c, base] {
+        return ReadLeafBytes(c.leaf, c.lo, c.hi, base + c.out_off);
+      });
+    }
+    return exec_->RunBatch(std::move(tasks));
+  }
   while (done < n) {
     uint64_t chunk = std::min(n - done, walker.leaf_bytes() - local);
     EOS_RETURN_IF_ERROR(
@@ -370,7 +415,8 @@ Status LobManager::ReplaceImpl(LobDescriptor* d, uint64_t offset,
     uint64_t p0 = local / ps;
     uint64_t p1 = (local + chunk - 1) / ps;
     uint32_t npages = static_cast<uint32_t>(p1 - p0 + 1);
-    Bytes buf(size_t{npages} * ps);
+    BufferPool::Buffer buf =
+        BufferPool::Default()->Acquire(size_t{npages} * ps);
     // Replace updates leaf pages in place (the only operation that does;
     // it is protected by logging rather than shadowing, Section 4.5).
     EOS_RETURN_IF_ERROR(

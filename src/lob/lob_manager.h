@@ -8,6 +8,8 @@
 #include "buddy/segment_allocator.h"
 #include "common/bytes.h"
 #include "common/status.h"
+#include "io/buffer_pool.h"
+#include "io/io_executor.h"
 #include "io/pager.h"
 #include "lob/descriptor.h"
 #include "lob/lob_config.h"
@@ -208,6 +210,15 @@ class LobManager {
   LogManager* log_manager() const { return log_; }
   void set_shadowing(bool on) { store_.set_shadowing(on); }
 
+  // Parallel leaf I/O: with a non-null executor, multi-segment reads fan
+  // their device transfers out to the executor's workers and join before
+  // returning. Off (nullptr, the default) every transfer is issued inline
+  // in tree order, which keeps the device's seek accounting deterministic —
+  // the cost-model tests rely on that. The executor must outlive the
+  // manager.
+  void set_io_executor(IoExecutor* exec) { exec_ = exec; }
+  IoExecutor* io_executor() const { return exec_; }
+
  private:
   friend class LobAppender;
   friend class LeafWalker;
@@ -320,6 +331,7 @@ class LobManager {
   uint32_t max_segment_pages_;
   uint32_t root_capacity_;
   LogManager* log_ = nullptr;
+  IoExecutor* exec_ = nullptr;
 };
 
 // Multi-append session (Section 4.1): when the eventual size is unknown,
@@ -345,6 +357,12 @@ class LobAppender {
   Status OpenSegment(uint64_t want_bytes);
   Status CloseSegment();  // trim + attach entry to the tree
   Status FlushPageBuffer();
+  // Hands the queued page runs to the device as one vectored batch. Runs
+  // into the open segment are queued rather than written immediately, so a
+  // page-buffer flush followed by a bulk append lands in a single
+  // scatter-gather submit; every Append/CloseSegment drains the queue
+  // before returning because bulk runs alias the caller's data.
+  Status SubmitPending();
 
   LobManager* mgr_;
   LobDescriptor* d_;
@@ -357,6 +375,8 @@ class LobAppender {
   uint32_t cur_pages_used_ = 0;  // full pages already written
   uint32_t next_pages_ = 1;    // doubling growth state
   Bytes page_buf_;             // partial trailing page
+  std::vector<ConstPageRun> pending_runs_;
+  std::vector<BufferPool::Buffer> pending_bufs_;  // staging for padded pages
 };
 
 }  // namespace eos

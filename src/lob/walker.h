@@ -5,7 +5,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/buffer_pool.h"
+#include "io/io_executor.h"
 #include "lob/lob_manager.h"
+#include "obs/metrics.h"
 
 namespace eos {
 
@@ -27,6 +30,12 @@ class LeafWalker {
 
   // Advances to the next leaf; returns false at the end of the object.
   StatusOr<bool> Next();
+
+  // Looks one leaf ahead without moving: fills *next with the segment
+  // Next() would land on, or returns false at the end. Works on a copy of
+  // the ancestor stack, so the walker itself is untouched. Read-ahead uses
+  // this to start fetching segment k+1 while k is being consumed.
+  StatusOr<bool> PeekNextLeaf(Extent* extent, uint64_t* bytes);
 
   // Advances the intra-leaf position by n consumed bytes.
   void ConsumeLocal(uint64_t n) { local_ += n; }
@@ -56,6 +65,8 @@ class LobReader {
   LobReader(LobManager* mgr, const LobDescriptor& d)
       : mgr_(mgr), d_(d), walker_(mgr, d) {}
 
+  ~LobReader();
+
   uint64_t size() const { return d_.size(); }
   uint64_t position() const { return pos_; }
   bool AtEnd() const { return pos_ >= d_.size(); }
@@ -72,12 +83,45 @@ class LobReader {
     return out;
   }
 
+  // Sequential-scan read-ahead: while leaf segment k is being consumed,
+  // segment k+1 is fetched on `exec` into a pooled buffer; if the scan
+  // reaches it the bytes are served from memory (io.prefetch_hit) instead
+  // of waiting on the device. A Seek or destruction drains the in-flight
+  // fetch (io.prefetch_cancelled if unused). Off by default — prefetching
+  // reads pages the caller never asked for, which would skew the
+  // seek/transfer accounting the cost-model tests pin down.
+  void EnableReadAhead(IoExecutor* exec);
+
  private:
+  // Serves [lo, hi) of the current leaf, from the prefetched buffer when
+  // it covers the current segment, from the device otherwise.
+  Status ReadCurrentLeaf(uint64_t lo, uint64_t hi, uint8_t* out);
+
+  // Starts fetching the leaf after the current one, if any and not
+  // already in flight.
+  void ArmPrefetch();
+
+  // Called after walker_.Next() succeeded: promotes a matching in-flight
+  // fetch to "serving" or discards a stale one.
+  void SettlePrefetch();
+
+  void DropPrefetch(bool cancelled);
+
   LobManager* mgr_;
   const LobDescriptor& d_;
   LeafWalker walker_;
   uint64_t pos_ = 0;
   bool positioned_ = false;
+
+  IoExecutor* prefetch_exec_ = nullptr;
+  IoExecutor::Ticket prefetch_ticket_;
+  BufferPool::Buffer prefetch_buf_;
+  Extent prefetch_extent_;       // segment the in-flight fetch targets
+  bool prefetch_armed_ = false;  // a fetch is in flight
+  bool serving_ = false;         // current leaf is served from prefetch_buf_
+  obs::Counter* m_issued_ = nullptr;
+  obs::Counter* m_hit_ = nullptr;
+  obs::Counter* m_cancelled_ = nullptr;
 };
 
 }  // namespace eos

@@ -56,6 +56,16 @@ inline constexpr char kIoReadRetry[] = "io.read_retry";
 inline constexpr char kIoWriteRetry[] = "io.write_retry";
 inline constexpr char kIoQuarantinedPages[] = "io.quarantined_pages";
 
+// --- parallel I/O engine (executor, batch API, read-ahead) ------------------
+inline constexpr char kIoBatchRuns[] = "io.batch_runs";
+inline constexpr char kIoPrefetchIssued[] = "io.prefetch_issued";
+inline constexpr char kIoPrefetchHit[] = "io.prefetch_hit";
+inline constexpr char kIoPrefetchCancelled[] = "io.prefetch_cancelled";
+
+// --- buffer pool (zero-copy staging) ----------------------------------------
+inline constexpr char kPoolBuffersReused[] = "pool.buffers_reused";
+inline constexpr char kPoolBuffersAllocated[] = "pool.buffers_allocated";
+
 // --- scrub / repair ---------------------------------------------------------
 inline constexpr char kScrubPagesVerified[] = "scrub.pages_verified";
 inline constexpr char kScrubCorruptPages[] = "scrub.corrupt_pages";

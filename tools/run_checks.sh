@@ -8,16 +8,80 @@
 #      stress tests, in the default RelWithDebInfo build.
 #
 # Usage: tools/run_checks.sh [-j N]
+#        tools/run_checks.sh perf-smoke [-j N]
+#
+# perf-smoke builds the default preset, runs the micro and throughput
+# benches, and prints each throughput metric against the committed
+# BENCH_4.json baseline (the throughput bench runs twice: once with the
+# dispatched CRC32C kernel, once forced to software via EOS_CRC32C).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE=checks
+if [[ "${1:-}" == "perf-smoke" ]]; then
+  MODE=perf
+  shift
+fi
 
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 while getopts "j:" opt; do
   case "$opt" in
     j) JOBS="$OPTARG" ;;
-    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [perf-smoke] [-j N]" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$MODE" == "perf" ]]; then
+  echo "== perf-smoke: default build =="
+  cmake --preset default
+  cmake --build build -j "$JOBS" --target bench_micro bench_throughput
+
+  echo "== perf-smoke: bench_micro (smoke pass) =="
+  ./build/bench/bench_micro --benchmark_min_time=0.05
+
+  echo "== perf-smoke: bench_throughput (dispatched + forced-software CRC) =="
+  OUT=build/bench_throughput.jsonl
+  ./build/bench/bench_throughput | tee /dev/stderr | grep '^{"bench"' > "$OUT"
+  EOS_CRC32C=software ./build/bench/bench_throughput | grep '^{"bench"' >> "$OUT"
+
+  echo "== perf-smoke: deltas vs BENCH_4.json =="
+  python3 - "$OUT" BENCH_4.json <<'PY'
+import json, sys
+
+def load(path):
+    out = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if "metric" in rec:
+                out[rec["metric"]] = rec["value"]
+    return out
+
+now, base = load(sys.argv[1]), load(sys.argv[2])
+width = max(len(m) for m in now)
+regressed = []
+for metric in sorted(now):
+    cur = now[metric]
+    ref = base.get(metric)
+    if ref is None or ref == 0:
+        print(f"  {metric:<{width}}  {cur:12.1f}  (no baseline)")
+        continue
+    delta = (cur - ref) / ref * 100.0
+    print(f"  {metric:<{width}}  {cur:12.1f}  vs {ref:12.1f}  {delta:+7.1f}%")
+    if metric.endswith("_mbps") and delta < -30.0:
+        regressed.append((metric, delta))
+if regressed:
+    print("perf-smoke: regressions beyond the 30% noise floor:")
+    for metric, delta in regressed:
+        print(f"  {metric}: {delta:+.1f}%")
+    sys.exit(1)
+print("perf-smoke: within noise floor of baseline")
+PY
+  exit 0
+fi
 
 echo "== [1/3] sanitizer tier (ASan/UBSan, label: sanitizer) =="
 cmake --preset asan
