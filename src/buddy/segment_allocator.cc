@@ -1,6 +1,7 @@
 #include "buddy/segment_allocator.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "obs/metric_names.h"
 
@@ -16,11 +17,13 @@ SegmentAllocator::SegmentAllocator(Pager* pager, const BuddyGeometry& geo,
       options_(options),
       // Optimistic initial hints: each space may hold a maximal segment.
       hints_(num_spaces, static_cast<int8_t>(geo.max_type)) {
+  emergency_reserve_pages_ = options.emergency_reserve_pages;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   m_alloc_ = reg.counter(obs::kBuddyAlloc);
   m_free_ = reg.counter(obs::kBuddyFree);
   m_free_deferred_ = reg.counter(obs::kBuddyFreeDeferred);
   m_space_added_ = reg.counter(obs::kBuddySpaceAdded);
+  m_refused_ = reg.counter(obs::kSpaceRefused);
   m_dir_visit_ = reg.counter(obs::kBuddyDirectoryVisit);
   m_alloc_pages_ = reg.histogram(obs::kBuddyAllocPages);
   m_free_pages_ = reg.gauge(obs::kBuddyFreePages);
@@ -58,6 +61,7 @@ StatusOr<std::unique_ptr<SegmentAllocator>> SegmentAllocator::Attach(
     }
     alloc->m_managed_pages_->Add(geo.space_pages);
     alloc->m_free_pages_->Add(free_pages);
+    alloc->free_pages_fast_.fetch_add(free_pages, std::memory_order_relaxed);
   }
   return alloc;
 }
@@ -77,6 +81,7 @@ Status SegmentAllocator::AddSpace() {
   m_space_added_->Inc();
   m_managed_pages_->Add(geo_.space_pages);
   m_free_pages_->Add(geo_.space_pages);
+  free_pages_fast_.fetch_add(geo_.space_pages, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -109,13 +114,51 @@ StatusOr<Extent> SegmentAllocator::TryAllocate(uint32_t npages) {
       m_alloc_->Inc();
       m_alloc_pages_->Record(npages);
       m_free_pages_->Add(-int64_t{npages});
-      return Extent{DirPage(i) + 1 + r.value(), npages};
+      free_pages_fast_.fetch_sub(npages, std::memory_order_relaxed);
+      Extent e{DirPage(i) + 1 + r.value(), npages};
+      if (SpaceReservation* res = SpaceReservation::ActiveFor(this)) {
+        res->TrackAllocation(e);
+      }
+      return e;
     }
     if (!r.status().IsNoSpace()) return r.status();
     EOS_RETURN_IF_ERROR(RefreshHint(i));  // first wrong guess corrects it
   }
   return Status::NoSpace("no space can satisfy " + std::to_string(npages) +
                          " contiguous pages");
+}
+
+Status SegmentAllocator::TickAllocFault() {
+  alloc_calls_.fetch_add(1, std::memory_order_relaxed);
+  int64_t k = alloc_fault_countdown_.load(std::memory_order_relaxed);
+  if (k < 0) return Status::OK();
+  alloc_fault_countdown_.store(k - 1, std::memory_order_relaxed);
+  if (k == 0) return Status::NoSpace("injected allocation fault");
+  return Status::OK();
+}
+
+// Refuses the request (typed NoSpace) if satisfying it would leave fewer
+// than the emergency reserve free, growing the volume first when allowed.
+// Threads inside an EmergencyScope may consume the reserve.
+Status SegmentAllocator::EnforceReserve(uint32_t npages) {
+  if (emergency_reserve_pages_ == 0 || EmergencyScope::active()) {
+    return Status::OK();
+  }
+  int64_t need = int64_t{npages} + emergency_reserve_pages_;
+  if (free_pages_fast_.load(std::memory_order_relaxed) >= need) {
+    return Status::OK();
+  }
+  if (options_.auto_grow) {
+    (void)AddSpace();  // a grow failure just means the floor check decides
+    if (free_pages_fast_.load(std::memory_order_relaxed) >= need) {
+      return Status::OK();
+    }
+  }
+  m_refused_->Inc();
+  return Status::NoSpace(
+      "allocation of " + std::to_string(npages) +
+      " pages would breach the emergency reserve (" +
+      std::to_string(emergency_reserve_pages_) + " pages held back)");
 }
 
 StatusOr<Extent> SegmentAllocator::Allocate(uint32_t npages) {
@@ -125,6 +168,8 @@ StatusOr<Extent> SegmentAllocator::Allocate(uint32_t npages) {
         std::to_string(geo_.max_segment_pages()) + "] pages");
   }
   LatchGuard g(op_latch_);
+  EOS_RETURN_IF_ERROR(TickAllocFault());
+  EOS_RETURN_IF_ERROR(EnforceReserve(npages));
   auto r = TryAllocate(npages);
   if (r.ok() || !r.status().IsNoSpace() || !options_.auto_grow) return r;
   EOS_RETURN_IF_ERROR(AddSpace());
@@ -135,6 +180,8 @@ StatusOr<Extent> SegmentAllocator::AllocateAtMost(uint32_t npages) {
   if (npages == 0) return Status::InvalidArgument("zero-page allocation");
   if (npages > geo_.max_segment_pages()) npages = geo_.max_segment_pages();
   LatchGuard g(op_latch_);
+  EOS_RETURN_IF_ERROR(TickAllocFault());
+  EOS_RETURN_IF_ERROR(EnforceReserve(1));
   auto exact = TryAllocate(npages);
   if (exact.ok() || !exact.status().IsNoSpace()) return exact;
   // Find the space with the largest free segment and take that.
@@ -167,6 +214,14 @@ Status SegmentAllocator::Locate(PageId page, uint32_t* space,
 
 Status SegmentAllocator::Free(const Extent& extent) {
   if (!extent.valid()) return Status::InvalidArgument("invalid extent");
+  if (SpaceReservation* res = SpaceReservation::ActiveFor(this)) {
+    // Parked: the extent stays allocated until the guarded operation
+    // commits (the free then replays through this path) or unwinds (the
+    // free is dropped — the pre-op tree still references these pages).
+    res->ParkFree(extent);
+    m_free_deferred_->Inc();
+    return Status::OK();
+  }
   if (free_interceptor_ != nullptr &&
       free_interceptor_->InterceptFree(extent)) {
     // Deferred: the segment stays allocated under a release lock until the
@@ -174,6 +229,27 @@ Status SegmentAllocator::Free(const Extent& extent) {
     m_free_deferred_->Inc();
     return Status::OK();
   }
+  return FreeInternal(extent);
+}
+
+Status SegmentAllocator::FreeForUnwind(const Extent& extent) {
+  if (!extent.valid()) return Status::InvalidArgument("invalid extent");
+  // Drop cached frames first: a stale dirty frame flushed later would
+  // trample whatever next reuses these pages.
+  for (uint32_t i = 0; i < extent.pages; ++i) {
+    pager_->Invalidate(extent.first + i);
+  }
+  return FreeInternal(extent);
+}
+
+void SegmentAllocator::RestorePageImage(PageId page, const Bytes& image) {
+  auto h = pager_->Zeroed(page);
+  if (!h.ok()) return;  // unwind is best-effort on I/O failure
+  std::memcpy(h.value().data(), image.data(), image.size());
+  h.value().MarkDirty();
+}
+
+Status SegmentAllocator::FreeInternal(const Extent& extent) {
   LatchGuard g(op_latch_);
   uint32_t space, local;
   EOS_RETURN_IF_ERROR(Locate(extent.first, &space, &local));
@@ -186,7 +262,50 @@ Status SegmentAllocator::Free(const Extent& extent) {
   EOS_RETURN_IF_ERROR(Space(space).Free(local, extent.pages));
   m_free_->Inc();
   m_free_pages_->Add(extent.pages);
+  free_pages_fast_.fetch_add(extent.pages, std::memory_order_relaxed);
   return RefreshHint(space);
+}
+
+uint64_t SegmentAllocator::free_pages_fast() const {
+  int64_t v = free_pages_fast_.load(std::memory_order_relaxed);
+  return v < 0 ? 0 : static_cast<uint64_t>(v);
+}
+
+uint32_t SegmentAllocator::emergency_reserve_pages() const {
+  return emergency_reserve_pages_;
+}
+
+void SegmentAllocator::set_emergency_reserve_pages(uint32_t pages) {
+  emergency_reserve_pages_ = pages;
+}
+
+Status SegmentAllocator::AdmitMutation(uint32_t headroom) {
+  if (emergency_reserve_pages_ == 0) return Status::OK();
+  int64_t need = int64_t{emergency_reserve_pages_} + headroom;
+  if (free_pages_fast_.load(std::memory_order_relaxed) >= need) {
+    return Status::OK();
+  }
+  if (options_.auto_grow) {
+    LatchGuard g(op_latch_);
+    if (free_pages_fast_.load(std::memory_order_relaxed) < need) {
+      (void)AddSpace();
+    }
+  }
+  if (free_pages_fast_.load(std::memory_order_relaxed) >= need) {
+    return Status::OK();
+  }
+  m_refused_->Inc();
+  return Status::NoSpace(
+      "volume exhausted: free pages at or below the emergency reserve (" +
+      std::to_string(emergency_reserve_pages_) + ")");
+}
+
+void SegmentAllocator::set_alloc_fault_countdown(int64_t k) {
+  alloc_fault_countdown_.store(k, std::memory_order_relaxed);
+}
+
+uint64_t SegmentAllocator::alloc_calls() const {
+  return alloc_calls_.load(std::memory_order_relaxed);
 }
 
 StatusOr<uint64_t> SegmentAllocator::TotalFreePages() {
@@ -271,6 +390,10 @@ Status SegmentAllocator::WipeAndRebuild(const std::vector<Extent>& live) {
                            allocated));
   m_managed_pages_->Set(
       static_cast<int64_t>(uint64_t{num_spaces_} * geo_.space_pages));
+  free_pages_fast_.store(
+      static_cast<int64_t>(uint64_t{num_spaces_} * geo_.space_pages -
+                           allocated),
+      std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -1,12 +1,15 @@
 #ifndef EOS_BUDDY_SEGMENT_ALLOCATOR_H_
 #define EOS_BUDDY_SEGMENT_ALLOCATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "buddy/buddy_space.h"
 #include "buddy/geometry.h"
+#include "buddy/space_reservation.h"
+#include "common/bytes.h"
 #include "common/latch.h"
 #include "common/status.h"
 #include "io/pager.h"
@@ -49,6 +52,30 @@ class SegmentAllocator {
     // When true, Allocate() appends a new space to the volume instead of
     // failing with NoSpace.
     bool auto_grow = true;
+    // Pages held back from ordinary allocations so maintenance work (WAL
+    // append, directory save, checkpoint) can always complete on a full
+    // volume. Ordinary Allocate() calls refuse with NoSpace rather than
+    // dip below this floor; an EmergencyScope on the calling thread may
+    // consume the reserve. 0 disables the floor.
+    uint32_t emergency_reserve_pages = 0;
+  };
+
+  // While one of these is live on the current thread, allocations may dip
+  // into the emergency reserve. Used by the maintenance paths that must
+  // make progress precisely when user mutations are being refused.
+  class EmergencyScope {
+   public:
+    EmergencyScope() { ++Depth(); }
+    ~EmergencyScope() { --Depth(); }
+    EmergencyScope(const EmergencyScope&) = delete;
+    EmergencyScope& operator=(const EmergencyScope&) = delete;
+    static bool active() { return Depth() > 0; }
+
+   private:
+    static int& Depth() {
+      thread_local int depth = 0;
+      return depth;
+    }
   };
 
   // Formats `options.initial_spaces` fresh spaces (growing the device as
@@ -86,6 +113,31 @@ class SegmentAllocator {
   StatusOr<uint64_t> TotalFreePages();
   Status CheckInvariants();
 
+  // Free pages from the in-memory counter — no directory I/O, safe on the
+  // admission-control hot path. Tracks TryAllocate/Free exactly; parked
+  // (reservation/interceptor) frees count as allocated until applied.
+  uint64_t free_pages_fast() const;
+
+  // The emergency floor (Options::emergency_reserve_pages, adjustable at
+  // runtime). Admission control refuses ordinary mutations once
+  // free_pages_fast() can no longer stay above it.
+  uint32_t emergency_reserve_pages() const;
+  void set_emergency_reserve_pages(uint32_t pages);
+
+  // Admission probe for new mutations: OK while at least `headroom` pages
+  // beyond the emergency reserve are free (growing the volume if allowed
+  // and needed), typed NoSpace otherwise.
+  Status AdmitMutation(uint32_t headroom = 1);
+
+  // ---- test hooks (exhaustion torture) -------------------------------------
+
+  // Fails the k-th subsequent Allocate/AllocateAtMost call (0 = the next)
+  // with typed NoSpace, then disarms. -1 disarms immediately. The torture
+  // harness enumerates k over a workload's alloc_calls() to visit every
+  // allocation site.
+  void set_alloc_fault_countdown(int64_t k);
+  uint64_t alloc_calls() const;
+
   // Crash-recovery rebuild: reformats every space (all pages free) and
   // re-allocates exactly the extents in `live`. After a crash the on-disk
   // allocation maps may be torn or stale, but the object trees — walked
@@ -116,7 +168,28 @@ class SegmentAllocator {
   // for the ablation bench.
   void set_use_superdirectory(bool use) { use_superdirectory_ = use; }
 
+  Pager* pager() { return pager_; }
+
  private:
+  friend class SpaceReservation;
+
+  // Unwind path of SpaceReservation: frees an extent immediately, skipping
+  // the reservation and any interceptor (no durable root ever referenced
+  // it), and drops stale cached frames of its pages.
+  Status FreeForUnwind(const Extent& extent);
+
+  // Unwind path of SpaceReservation: rewrites a page from its saved image.
+  void RestorePageImage(PageId page, const Bytes& image);
+
+  // The latched buddy free shared by Free() and FreeForUnwind().
+  Status FreeInternal(const Extent& extent);
+
+  // Counts the call and fires the armed test fault, if any (under op_latch_).
+  Status TickAllocFault();
+
+  // Typed NoSpace when granting `npages` would dip below the emergency
+  // reserve and the volume cannot grow (under op_latch_).
+  Status EnforceReserve(uint32_t npages);
   SegmentAllocator(Pager* pager, const BuddyGeometry& geo,
                    PageId first_space_page, uint32_t num_spaces,
                    const Options& options);
@@ -146,12 +219,19 @@ class SegmentAllocator {
   uint64_t directory_visits_ = 0;
   Latch op_latch_;  // serializes allocator operations
   FreeInterceptor* free_interceptor_ = nullptr;
+  // Atomics so the const accessors need no latch; mutations happen under
+  // op_latch_ (or before the allocator is shared).
+  std::atomic<int64_t> free_pages_fast_{0};
+  uint32_t emergency_reserve_pages_ = 0;
+  std::atomic<int64_t> alloc_fault_countdown_{-1};  // -1 = disarmed
+  std::atomic<uint64_t> alloc_calls_{0};
 
   // Process-wide metric mirrors (stable registry pointers, looked up once).
   obs::Counter* m_alloc_;
   obs::Counter* m_free_;
   obs::Counter* m_free_deferred_;
   obs::Counter* m_space_added_;
+  obs::Counter* m_refused_;
   obs::Counter* m_dir_visit_;
   obs::Histogram* m_alloc_pages_;
   obs::Gauge* m_free_pages_;

@@ -1,0 +1,150 @@
+#ifndef EOS_COMMON_DEADLINE_H_
+#define EOS_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace eos {
+
+// Wall-clock bound on one operation (DESIGN.md "Degraded operation under
+// resource exhaustion"). Deadlines are absolute points on the steady clock,
+// so they compose across layers: a caller arms one and every layer below —
+// chunk loops, executor tasks, injected device latency — measures against
+// the same instant.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // No bound: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline After(std::chrono::nanoseconds budget) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + budget;
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  // Time left before expiry; zero once expired, an effectively unbounded
+  // value when infinite.
+  std::chrono::nanoseconds remaining() const {
+    if (infinite_) return std::chrono::nanoseconds::max();
+    Clock::time_point now = Clock::now();
+    if (now >= at_) return std::chrono::nanoseconds::zero();
+    return at_ - now;
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+// Shared cancellation flag: cheap to copy into task closures, checked
+// cooperatively at operation boundaries. A default-constructed token is
+// never cancelled.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  static CancelToken Make() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  bool valid() const { return flag_ != nullptr; }
+
+  void Cancel() {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// Deadline + cancellation carried by one logical operation. Checked at
+// chunk boundaries of the data paths and before each queued executor task
+// runs; copyable by value into task closures so worker threads observe the
+// submitting operation's bound.
+struct OpContext {
+  Deadline deadline;
+  CancelToken cancel;
+
+  bool bounded() const { return !deadline.infinite() || cancel.valid(); }
+
+  // OK while the operation may continue; a typed error once it may not.
+  Status Check(const char* what) const {
+    if (cancel.cancelled()) {
+      return Status::DeadlineExceeded(std::string("cancelled during ") +
+                                      what);
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(std::string("deadline exceeded in ") +
+                                      what);
+    }
+    return Status::OK();
+  }
+};
+
+// Ambient (thread-local) operation context: installing one puts every call
+// made on this thread — and every executor task submitted from it — under
+// the bound, without threading a parameter through each signature. Scopes
+// nest; the innermost wins.
+class ScopedOpContext {
+ public:
+  explicit ScopedOpContext(OpContext ctx) : prev_(Slot()) {
+    owned_ = std::move(ctx);
+    Slot() = &owned_;
+  }
+  ~ScopedOpContext() { Slot() = prev_; }
+
+  ScopedOpContext(const ScopedOpContext&) = delete;
+  ScopedOpContext& operator=(const ScopedOpContext&) = delete;
+
+  // The innermost context installed on this thread, or nullptr.
+  static const OpContext* Current() { return Slot(); }
+
+  // Checks the ambient context if any; OK when none is installed.
+  static Status CheckCurrent(const char* what) {
+    const OpContext* ctx = Slot();
+    return ctx == nullptr ? Status::OK() : ctx->Check(what);
+  }
+
+ private:
+  static const OpContext*& Slot() {
+    thread_local const OpContext* slot = nullptr;
+    return slot;
+  }
+
+  OpContext owned_;
+  const OpContext* prev_;
+};
+
+// Convenience: bound every operation in the enclosing scope by `budget`.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(std::chrono::nanoseconds budget)
+      : scope_(OpContext{Deadline::After(budget), CancelToken()}) {}
+
+ private:
+  ScopedOpContext scope_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_DEADLINE_H_

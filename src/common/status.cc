@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kBusy:
       return "Busy";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

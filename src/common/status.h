@@ -25,6 +25,7 @@ class Status {
     kOutOfRange = 6,
     kNotSupported = 7,
     kBusy = 8,
+    kDeadlineExceeded = 9,
   };
 
   Status() = default;  // OK
@@ -52,6 +53,9 @@ class Status {
     return Status(Code::kNotSupported, msg);
   }
   static Status Busy(std::string_view msg) { return Status(Code::kBusy, msg); }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(Code::kDeadlineExceeded, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -62,6 +66,9 @@ class Status {
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

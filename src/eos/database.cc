@@ -143,6 +143,7 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
   SegmentAllocator::Options aopt;
   aopt.initial_spaces = num_spaces;
   aopt.auto_grow = true;
+  aopt.emergency_reserve_pages = options.emergency_reserve_pages;
   if (fresh) {
     EOS_ASSIGN_OR_RETURN(db->allocator_,
                          SegmentAllocator::Format(db->pager_.get(), geo,
@@ -267,6 +268,10 @@ Status Database::LoadDirectory() {
 }
 
 Status Database::SaveDirectory() {
+  // The directory rewrite is maintenance, not a user mutation: it must
+  // complete even on a full volume (a refused delete could otherwise never
+  // durably leave the directory), so it may consume the emergency reserve.
+  SegmentAllocator::EmergencyScope emergency;
   ScopedDirLogSuspend suspend(lob_.get());
   Bytes all;
   if (!directory_.empty()) {
@@ -319,6 +324,8 @@ Status Database::SaveDirectory() {
 
 StatusOr<uint64_t> Database::CreateObject() {
   obs::ScopedOp span("db.create_object", 0, device_.get());
+  Status adm = allocator_->AdmitMutation();
+  if (!adm.ok()) return span.Close(std::move(adm));
   uint64_t id = next_object_id_++;
   LobDescriptor d = lob_->CreateEmpty();
   directory_.emplace_back(id, d.Serialize());
@@ -363,6 +370,8 @@ void Database::SetObjectThreshold(uint64_t id, uint32_t threshold_pages) {
 
 Status Database::ReorganizeObject(uint64_t id) {
   obs::ScopedOp span("db.reorganize", id, device_.get());
+  Status adm = allocator_->AdmitMutation();
+  if (!adm.ok()) return span.Close(std::move(adm));
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   Status s = lob_->Reorganize(&d);
   if (!s.ok()) return span.Close(std::move(s));
@@ -393,6 +402,9 @@ Status Database::DropObject(uint64_t id) {
       EOS_ASSIGN_OR_RETURN(
           LobDescriptor d, LobDescriptor::Deserialize(directory_[i].second));
       if (log_ != nullptr) log_->set_current_object(id);
+      // Destroy only frees, but the scope keeps any transient allocation
+      // (and the follow-up directory save) working on a full volume.
+      SegmentAllocator::EmergencyScope emergency;
       Status s = lob_->Destroy(&d);
       if (!s.ok()) return span.Close(std::move(s));
       directory_.erase(directory_.begin() + i);
@@ -419,6 +431,8 @@ StatusOr<Bytes> Database::Read(uint64_t id, uint64_t offset, uint64_t n) {
 
 Status Database::Append(uint64_t id, ByteView data) {
   obs::ScopedOp span("db.append", id, device_.get());
+  Status adm = allocator_->AdmitMutation();
+  if (!adm.ok()) return span.Close(std::move(adm));
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   if (log_ != nullptr) log_->set_current_object(id);
   Status s = lob_->Append(&d, data);
@@ -428,6 +442,8 @@ Status Database::Append(uint64_t id, ByteView data) {
 
 Status Database::Insert(uint64_t id, uint64_t offset, ByteView data) {
   obs::ScopedOp span("db.insert", id, device_.get());
+  Status adm = allocator_->AdmitMutation();
+  if (!adm.ok()) return span.Close(std::move(adm));
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   if (log_ != nullptr) log_->set_current_object(id);
   Status s = lob_->Insert(&d, offset, data);
@@ -439,6 +455,11 @@ Status Database::Delete(uint64_t id, uint64_t offset, uint64_t n) {
   obs::ScopedOp span("db.delete", id, device_.get());
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   if (log_ != nullptr) log_->set_current_object(id);
+  // Deletes net-free storage, so they are always admitted — and their
+  // transient allocations (subtree rebuilds, node shadows) may draw on the
+  // emergency reserve: refusing the one operation that reclaims space
+  // would wedge a full volume.
+  SegmentAllocator::EmergencyScope emergency;
   Status s = lob_->Delete(&d, offset, n);
   if (!s.ok()) return span.Close(std::move(s));
   return span.Close(PutRoot(id, d));
@@ -446,6 +467,10 @@ Status Database::Delete(uint64_t id, uint64_t offset, uint64_t n) {
 
 Status Database::Replace(uint64_t id, uint64_t offset, ByteView data) {
   obs::ScopedOp span("db.replace", id, device_.get());
+  // Replace rewrites bytes in place and allocates nothing, but it is still
+  // a logged user mutation; only reads and deletes stay admitted when full.
+  Status adm = allocator_->AdmitMutation();
+  if (!adm.ok()) return span.Close(std::move(adm));
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
   if (log_ != nullptr) log_->set_current_object(id);
   Status s = lob_->Replace(&d, offset, data);
@@ -467,6 +492,8 @@ Status Database::Flush() {
 }
 
 Status Database::Checkpoint() {
+  // Checkpointing *releases* space; it must never be refused for lack of it.
+  SegmentAllocator::EmergencyScope emergency;
   EOS_RETURN_IF_ERROR(Flush());
   if (deferred_frees_ == nullptr) return Status::OK();
   // Every root that could reach the parked segments is durably superseded
@@ -564,6 +591,72 @@ Status Database::CheckIntegrity() {
   }
   if (!dir_object_.empty()) {
     EOS_RETURN_IF_ERROR(lob_->CheckInvariants(dir_object_));
+  }
+  return Status::OK();
+}
+
+Status Database::LeakCheck(LeakCheckReport* report) {
+  *report = LeakCheckReport{};
+  // 1. Everything a root can reach, plus checkpoint-parked frees (those
+  //    are allocated on purpose until the next Checkpoint drains them).
+  std::vector<Extent> refs;
+  if (!dir_object_.empty()) {
+    EOS_RETURN_IF_ERROR(lob_->CollectExtents(dir_object_, &refs));
+  }
+  for (const auto& [id, root] : directory_) {
+    EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(root));
+    EOS_RETURN_IF_ERROR(lob_->CollectExtents(d, &refs));
+  }
+  if (deferred_frees_ != nullptr) {
+    for (const Extent& e : deferred_frees_->parked_extents()) {
+      refs.push_back(e);
+    }
+  }
+  // 2. Overlaps between references: two trees claiming the same storage.
+  std::sort(refs.begin(), refs.end(), [](const Extent& a, const Extent& b) {
+    return a.first < b.first;
+  });
+  for (size_t i = 0; i + 1 < refs.size(); ++i) {
+    PageId end = refs[i].first + refs[i].pages;
+    if (refs[i + 1].first < end) {
+      PageId lo = refs[i + 1].first;
+      PageId hi = std::min(end, refs[i + 1].first + refs[i + 1].pages);
+      report->doubly_referenced.push_back(
+          Extent{lo, static_cast<uint32_t>(hi - lo)});
+    }
+  }
+  for (const Extent& e : refs) report->reachable_pages += e.pages;
+  // 3. Per-page sweep of every space: a page the maps consider allocated
+  //    must be covered by some reference, else it leaked. Runs of leaked
+  //    pages coalesce into extents for readable reports.
+  size_t ri = 0;  // refs cursor (sorted; extents never span spaces)
+  Extent run{};
+  for (uint32_t s = 0; s < allocator_->num_spaces(); ++s) {
+    PageId first = allocator_->DirPage(s) + 1;
+    for (PageId p = first; p < first + allocator_->geometry().space_pages;
+         ++p) {
+      EOS_ASSIGN_OR_RETURN(bool alloc, allocator_->IsAllocated(Extent{p, 1}));
+      if (alloc) ++report->allocated_pages;
+      while (ri < refs.size() && refs[ri].first + refs[ri].pages <= p) ++ri;
+      bool referenced = ri < refs.size() && refs[ri].first <= p &&
+                        p < refs[ri].first + refs[ri].pages;
+      if (alloc && !referenced) {
+        if (run.pages > 0 && run.first + run.pages == p) {
+          ++run.pages;
+        } else {
+          if (run.pages > 0) report->leaked.push_back(run);
+          run = Extent{p, 1};
+        }
+      }
+    }
+  }
+  if (run.pages > 0) report->leaked.push_back(run);
+  if (!report->leaked.empty() || !report->doubly_referenced.empty()) {
+    return Status::Corruption(
+        "leak check failed: " + std::to_string(report->leaked.size()) +
+        " leaked extent run(s), " +
+        std::to_string(report->doubly_referenced.size()) +
+        " doubly-referenced extent(s)");
   }
   return Status::OK();
 }

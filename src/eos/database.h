@@ -56,6 +56,14 @@ struct DatabaseOptions {
   // set base_backoff_us for real hardware.
   RetryPolicy io_retry;
 
+  // Degraded operation (DESIGN.md "Degraded operation under resource
+  // exhaustion"): pages held back from user allocations so directory
+  // saves, WAL appends and Checkpoint() still complete on a full volume.
+  // New mutations are refused with typed NoSpace once the free-page count
+  // can no longer stay above this floor; reads and deletes are always
+  // admitted. 0 disables admission control.
+  uint32_t emergency_reserve_pages = 0;
+
   // Parallel I/O (DESIGN.md "Parallel I/O and zero-copy paths"): attach
   // the process-wide IoExecutor so multi-segment reads fan their device
   // transfers out to worker threads. Off by default — inline transfers
@@ -81,9 +89,23 @@ class CheckpointFreeList final : public FreeInterceptor {
     return out;
   }
   size_t parked() const { return parked_.size(); }
+  // Read-only view for the leak checker: parked extents are allocated but
+  // intentionally unreachable until the next checkpoint.
+  const std::vector<Extent>& parked_extents() const { return parked_; }
 
  private:
   std::vector<Extent> parked_;
+};
+
+// Result of Database::LeakCheck — the allocation maps cross-checked
+// against object reachability.
+struct LeakCheckReport {
+  uint64_t allocated_pages = 0;  // pages the buddy maps consider live
+  uint64_t reachable_pages = 0;  // pages some root (or parked free) covers
+  // Allocated but referenced by nothing: storage lost to a bug.
+  std::vector<Extent> leaked;
+  // Covered by more than one reference: two trees claim the same storage.
+  std::vector<Extent> doubly_referenced;
 };
 
 class Database {
@@ -181,6 +203,13 @@ class Database {
 
   // Buddy invariants of every space plus tree invariants of every object.
   Status CheckIntegrity();
+
+  // Read-only audit: walks every reachable extent (directory object, all
+  // object trees, checkpoint-parked frees) and compares the union against
+  // the buddy allocation maps, reporting leaked and doubly-referenced
+  // storage. OK with an empty report on a healthy volume; Corruption if
+  // anything leaks or overlaps.
+  Status LeakCheck(LeakCheckReport* report);
 
   // ----- scrub / quarantine / repair ----------------------------------------
 

@@ -1,9 +1,12 @@
 #include "io/chaos_device.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
@@ -69,12 +72,50 @@ void ChaosPageDevice::FailNextGrow() {
   grow_fault_ = true;
 }
 
+void ChaosPageDevice::FailGrowsAfter(int ops, bool permanent) {
+  LatchGuard g(latch_);
+  grow_nospace_ = {ops, permanent};
+}
+
+void ChaosPageDevice::InjectLatency(uint64_t read_us, uint64_t write_us,
+                                    uint64_t jitter_us) {
+  LatchGuard g(latch_);
+  latency_read_us_ = read_us;
+  latency_write_us_ = write_us;
+  latency_jitter_us_ = jitter_us;
+}
+
+Status ChaosPageDevice::MaybeDelay(uint64_t base_us, const char* what) {
+  uint64_t jitter = 0;
+  {
+    LatchGuard g(latch_);
+    if (base_us == 0 && latency_jitter_us_ == 0) return Status::OK();
+    if (latency_jitter_us_ > 0) jitter = rng_.Uniform(latency_jitter_us_ + 1);
+  }
+  auto delay = std::chrono::microseconds(base_us + jitter);
+  if (delay.count() == 0) return Status::OK();
+  if (const OpContext* ctx = ScopedOpContext::Current()) {
+    EOS_RETURN_IF_ERROR(ctx->Check(what));
+    std::chrono::nanoseconds remaining = ctx->deadline.remaining();
+    if (std::chrono::nanoseconds(delay) >= remaining) {
+      // The injected service time outlives the operation's budget: wake at
+      // the deadline and refuse the transfer.
+      std::this_thread::sleep_for(remaining);
+      return Status::DeadlineExceeded(
+          std::string("injected latency outlived deadline in ") + what);
+    }
+  }
+  std::this_thread::sleep_for(delay);
+  return Status::OK();
+}
+
 void ChaosPageDevice::Heal() {
   LatchGuard g(latch_);
   read_fault_ = Fault{};
   write_fault_ = Fault{};
   any_fault_ = Fault{};
   grow_fault_ = false;
+  grow_nospace_ = Fault{};
   tear_countdown_ = -1;
 }
 
@@ -153,6 +194,15 @@ Status ChaosPageDevice::Grow(uint64_t new_page_count) {
       FaultCounter()->Inc();
       return Status::IOError("injected grow fault");
     }
+    if (grow_nospace_.countdown >= 0) {
+      if (grow_nospace_.countdown == 0) {
+        if (!grow_nospace_.permanent) grow_nospace_.countdown = -1;
+        ++injected_;
+        FaultCounter()->Inc();
+        return Status::NoSpace("injected disk-full: volume cannot grow");
+      }
+      --grow_nospace_.countdown;
+    }
   }
   EOS_RETURN_IF_ERROR(inner_->Grow(new_page_count));
   SetPageCount(inner_->page_count());
@@ -186,6 +236,7 @@ Status ChaosPageDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
     EOS_RETURN_IF_ERROR(Tick(&any_fault_, "I/O"));
     EOS_RETURN_IF_ERROR(Tick(&read_fault_, "read"));
   }
+  EOS_RETURN_IF_ERROR(MaybeDelay(latency_read_us_, "chaos read"));
   return inner_->ReadPages(first, n, out);
 }
 
@@ -240,6 +291,7 @@ Status ChaosPageDevice::DoWrite(PageId first, uint32_t n,
                            std::to_string(torn_keep) + " of " +
                            std::to_string(n) + " pages persisted");
   }
+  EOS_RETURN_IF_ERROR(MaybeDelay(latency_write_us_, "chaos write"));
   return inner_->WritePages(first, n, data);
 }
 

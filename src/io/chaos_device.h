@@ -53,6 +53,19 @@ class ChaosPageDevice final : public PageDevice {
   void FailWritesAfter(int ops, bool permanent = false);
   void FailAfter(int ops, bool permanent = false);  // reads and writes
   void FailNextGrow();
+  // Disk-full schedule: after `ops` further successful Grow calls the next
+  // Grow fails with typed NoSpace (permanent = every subsequent Grow, i.e.
+  // the volume has reached its physical end). Distinct from FailNextGrow,
+  // which models an I/O error during the grow itself.
+  void FailGrowsAfter(int ops, bool permanent = false);
+
+  // ---- latency injection ----------------------------------------------------
+  // Delays every read/write by the given base plus a seeded uniform jitter
+  // in [0, jitter_us]. Deadline-aware: a delayed call whose ambient
+  // OpContext expires mid-sleep wakes at the deadline and returns
+  // DeadlineExceeded instead of transferring. Zeros disable.
+  void InjectLatency(uint64_t read_us, uint64_t write_us,
+                     uint64_t jitter_us = 0);
   // Clears every armed error fault. A crash is not healable: the power is
   // off and the harness must re-open the persisted image.
   void Heal();
@@ -96,6 +109,9 @@ class ChaosPageDevice final : public PageDevice {
   // Advances `f` by one operation; returns the injected error if it fires.
   Status Tick(Fault* f, const char* what);
 
+  // Sleeps the configured injected latency, honouring the ambient deadline.
+  Status MaybeDelay(uint64_t base_us, const char* what);
+
   std::unique_ptr<PageDevice> owned_;
   PageDevice* inner_;
 
@@ -105,6 +121,10 @@ class ChaosPageDevice final : public PageDevice {
   Fault write_fault_;
   Fault any_fault_;
   bool grow_fault_ = false;
+  Fault grow_nospace_;  // disk-full schedule (typed NoSpace on Grow)
+  uint64_t latency_read_us_ = 0;
+  uint64_t latency_write_us_ = 0;
+  uint64_t latency_jitter_us_ = 0;
   int tear_countdown_ = -1;  // -1 = unarmed
   uint32_t tear_keep_pages_ = 0;
   bool crashed_ = false;

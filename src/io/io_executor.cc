@@ -40,7 +40,16 @@ IoExecutor::~IoExecutor() {
 }
 
 void IoExecutor::RunTask(TaskState* t) {
-  Status s = t->fn();
+  Status s;
+  if (t->has_ctx) {
+    s = t->ctx.Check("io_executor task");
+    if (s.ok()) {
+      ScopedOpContext scope(t->ctx);
+      s = t->fn();
+    }
+  } else {
+    s = t->fn();
+  }
   t->fn = nullptr;  // release captured buffers promptly
   {
     std::lock_guard<std::mutex> lock(t->mu);
@@ -69,6 +78,10 @@ void IoExecutor::WorkerLoop() {
 IoExecutor::Ticket IoExecutor::Submit(std::function<Status()> fn) {
   auto state = std::make_shared<TaskState>();
   state->fn = std::move(fn);
+  if (const OpContext* ctx = ScopedOpContext::Current()) {
+    state->ctx = *ctx;
+    state->has_ctx = true;
+  }
   if (workers_.empty()) {
     RunTask(state.get());
     return Ticket(std::move(state));
@@ -87,11 +100,13 @@ Status IoExecutor::RunBatch(std::vector<std::function<Status()>> tasks) {
     // Inline fallback: serial execution, still first-error-in-order.
     Status first;
     for (auto& fn : tasks) {
-      Status s = fn();
+      Status s = ScopedOpContext::CheckCurrent("io_executor batch");
+      if (s.ok()) s = fn();
       if (first.ok() && !s.ok()) first = std::move(s);
     }
     return first;
   }
+  const OpContext* ctx = ScopedOpContext::Current();
   std::vector<std::shared_ptr<TaskState>> states;
   states.reserve(tasks.size());
   {
@@ -99,6 +114,10 @@ Status IoExecutor::RunBatch(std::vector<std::function<Status()>> tasks) {
     for (auto& fn : tasks) {
       auto state = std::make_shared<TaskState>();
       state->fn = std::move(fn);
+      if (ctx != nullptr) {
+        state->ctx = *ctx;
+        state->has_ctx = true;
+      }
       queue_.push_back(state);
       states.push_back(std::move(state));
     }

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 
 namespace eos {
@@ -96,6 +97,12 @@ class IoExecutor {
     bool done = false;
     Status status;
     std::function<Status()> fn;
+    // Submitter's ambient deadline/cancellation, captured by value because
+    // thread-locals do not cross into the worker pool. Checked before the
+    // task runs (queued work is skipped once the bound has passed) and
+    // re-installed around fn so device-level checks see it too.
+    OpContext ctx;
+    bool has_ctx = false;
   };
   using TaskState = Ticket::TaskState;
 

@@ -23,6 +23,7 @@ Status LobManager::CompactUnsafeRuns(LobNode* leaf_parent) {
   out.reserve(leaf_parent->entries.size());
   size_t i = 0;
   while (i < leaf_parent->entries.size()) {
+    EOS_RETURN_IF_ERROR(ScopedOpContext::CheckCurrent("lob.compact_runs"));
     if (LeafPages(leaf_parent->entries[i].count) >= t) {
       out.push_back(leaf_parent->entries[i]);
       ++i;

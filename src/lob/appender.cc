@@ -123,11 +123,37 @@ Status LobAppender::CloseSegment() {
   return mgr_->ReplaceInPath(d_, &path, std::move(repl));
 }
 
+LobAppender::SessionState LobAppender::SaveState() const {
+  return SessionState{appended_, cur_,        cur_bytes_,
+                      cur_pages_used_, next_pages_, page_buf_};
+}
+
+void LobAppender::RestoreState(SessionState&& s) {
+  appended_ = s.appended;
+  cur_ = s.cur;
+  cur_bytes_ = s.cur_bytes;
+  cur_pages_used_ = s.cur_pages_used;
+  next_pages_ = s.next_pages;
+  page_buf_ = std::move(s.page_buf);
+  pending_runs_.clear();
+  pending_bufs_.clear();
+}
+
 Status LobAppender::Append(ByteView data) {
   if (finished_) {
     return Status::InvalidArgument("appender already finished");
   }
   if (data.empty()) return Status::OK();
+  SessionState before = SaveState();
+  Status s =
+      mgr_->RunGuarded(d_, "lob.appender_append", [&] { return AppendBody(data); });
+  // The guard put the tree and the allocation maps back; put the session
+  // back too so the caller may retry (or Finish with what was appended).
+  if (!s.ok()) RestoreState(std::move(before));
+  return s;
+}
+
+Status LobAppender::AppendBody(ByteView data) {
   const uint32_t ps = mgr_->page_size();
   if (appended_ == 0 && !d_->empty() && !cur_.valid() && page_buf_.empty()) {
     // First append to an existing object: absorb the partial tail page so
@@ -160,6 +186,7 @@ Status LobAppender::Append(ByteView data) {
   }
   size_t pos = 0;
   while (pos < data.size()) {
+    EOS_RETURN_IF_ERROR(ScopedOpContext::CheckCurrent("lob.appender"));
     if (!cur_.valid()) {
       EOS_RETURN_IF_ERROR(
           OpenSegment(page_buf_.size() + (data.size() - pos)));
@@ -203,14 +230,27 @@ Status LobAppender::Finish() {
   if (finished_) return Status::OK();
   finished_ = true;
   obs::ScopedOp span("lob.appender_finish", 0, mgr_->device());
-  if (!cur_.valid() && !page_buf_.empty()) {
-    // Only an absorbed tail remains; give it its own (1-page) segment.
-    Status s = OpenSegment(page_buf_.size());
-    if (!s.ok()) return span.Close(std::move(s));
+  Extent open = cur_;  // segment carried in from earlier calls, if any
+  Status s = mgr_->RunGuarded(d_, "lob.appender_finish", [&]() -> Status {
+    if (!cur_.valid() && !page_buf_.empty()) {
+      // Only an absorbed tail remains; give it its own (1-page) segment.
+      EOS_RETURN_IF_ERROR(OpenSegment(page_buf_.size()));
+    }
+    EOS_RETURN_IF_ERROR(CloseSegment());
+    return mgr_->FitRoot(d_);
+  });
+  if (!s.ok()) {
+    // The session is over either way. The guard unwound this call's own
+    // allocations; the still-open segment predates it and is referenced by
+    // nothing, so return it (a nested guard parks this free and resolves
+    // it with the outer scope).
+    page_buf_.clear();
+    pending_runs_.clear();
+    pending_bufs_.clear();
+    cur_ = Extent{};
+    if (open.valid()) (void)mgr_->allocator()->Free(open);
   }
-  Status s = CloseSegment();
-  if (!s.ok()) return span.Close(std::move(s));
-  return span.Close(mgr_->FitRoot(d_));
+  return span.Close(std::move(s));
 }
 
 }  // namespace eos

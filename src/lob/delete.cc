@@ -285,7 +285,8 @@ StatusOr<LobNode> LobManager::DeleteInNode(LobNode node, uint64_t lo,
 
 Status LobManager::Delete(LobDescriptor* d, uint64_t offset, uint64_t n) {
   obs::ScopedOp span("lob.delete", 0, device());
-  return span.Close(DeleteImpl(d, offset, n));
+  return span.Close(
+      RunGuarded(d, "lob.delete", [&] { return DeleteImpl(d, offset, n); }));
 }
 
 Status LobManager::DeleteImpl(LobDescriptor* d, uint64_t offset, uint64_t n) {

@@ -16,7 +16,8 @@ namespace eos {
 
 Status LobManager::Insert(LobDescriptor* d, uint64_t offset, ByteView data) {
   obs::ScopedOp span("lob.insert", 0, device());
-  return span.Close(InsertImpl(d, offset, data));
+  return span.Close(
+      RunGuarded(d, "lob.insert", [&] { return InsertImpl(d, offset, data); }));
 }
 
 Status LobManager::InsertImpl(LobDescriptor* d, uint64_t offset,
@@ -103,7 +104,8 @@ Status LobManager::InsertImpl(LobDescriptor* d, uint64_t offset,
 
 Status LobManager::Append(LobDescriptor* d, ByteView data) {
   obs::ScopedOp span("lob.append", 0, device());
-  return span.Close(AppendImpl(d, data));
+  return span.Close(
+      RunGuarded(d, "lob.append", [&] { return AppendImpl(d, data); }));
 }
 
 Status LobManager::AppendImpl(LobDescriptor* d, ByteView data) {

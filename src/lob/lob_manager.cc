@@ -136,6 +136,7 @@ StatusOr<std::vector<LobEntry>> LobManager::WriteSegments(ByteView data) {
   uint64_t pos = 0;
   uint64_t max_bytes = uint64_t{max_segment_pages_} * page_size();
   while (pos < data.size()) {
+    EOS_RETURN_IF_ERROR(ScopedOpContext::CheckCurrent("lob.write_segments"));
     uint64_t chunk = std::min<uint64_t>(data.size() - pos, max_bytes);
     EOS_ASSIGN_OR_RETURN(Extent e,
                          allocator()->Allocate(LeafPages(chunk)));
@@ -263,13 +264,35 @@ Status LobManager::CollapseRoot(LobDescriptor* d) {
   return Status::OK();
 }
 
+// ----- guarded execution -----------------------------------------------------
+
+Status LobManager::RunGuarded(LobDescriptor* d, const char* what,
+                              const std::function<Status()>& body) {
+  EOS_RETURN_IF_ERROR(ScopedOpContext::CheckCurrent(what));
+  SpaceReservation res(allocator());
+  if (!res.active()) return body();  // nested: the outer guard unwinds
+  LobDescriptor before;
+  if (d != nullptr) before = *d;
+  Status s = body();
+  if (s.ok()) return res.Commit();
+  // Unwind happens in ~SpaceReservation; put the descriptor back so the
+  // caller's handle matches the restored on-disk state.
+  if (d != nullptr) *d = before;
+  return s;
+}
+
 // ----- lifecycle -------------------------------------------------------------
 
 StatusOr<LobDescriptor> LobManager::CreateFrom(ByteView data) {
   obs::ScopedOp span("lob.create_from", 0, device());
-  StatusOr<LobDescriptor> r = CreateFromImpl(data);
-  span.set_ok(r.ok());
-  return r;
+  LobDescriptor out;
+  Status s = RunGuarded(nullptr, "lob.create_from", [&]() -> Status {
+    EOS_ASSIGN_OR_RETURN(out, CreateFromImpl(data));
+    return Status::OK();
+  });
+  span.set_ok(s.ok());
+  if (!s.ok()) return s;
+  return out;
 }
 
 StatusOr<LobDescriptor> LobManager::CreateFromImpl(ByteView data) {
@@ -293,7 +316,8 @@ Status LobManager::FreeSubtree(const LobEntry& entry, uint16_t level) {
 
 Status LobManager::Destroy(LobDescriptor* d) {
   obs::ScopedOp span("lob.destroy", 0, device());
-  return span.Close(DestroyImpl(d));
+  return span.Close(
+      RunGuarded(d, "lob.destroy", [&] { return DestroyImpl(d); }));
 }
 
 Status LobManager::DestroyImpl(LobDescriptor* d) {
@@ -314,6 +338,7 @@ Status LobManager::DestroyImpl(LobDescriptor* d) {
 Status LobManager::Read(const LobDescriptor& d, uint64_t offset, uint64_t n,
                         Bytes* out) {
   obs::ScopedOp span("lob.read", 0, device());
+  EOS_RETURN_IF_ERROR(span.Close(ScopedOpContext::CheckCurrent("lob.read")));
   return span.Close(ReadImpl(d, offset, n, out));
 }
 
@@ -367,6 +392,7 @@ Status LobManager::ReadImpl(const LobDescriptor& d, uint64_t offset,
     return exec_->RunBatch(std::move(tasks));
   }
   while (done < n) {
+    EOS_RETURN_IF_ERROR(ScopedOpContext::CheckCurrent("lob.read"));
     uint64_t chunk = std::min(n - done, walker.leaf_bytes() - local);
     EOS_RETURN_IF_ERROR(
         walker.ReadLeafBytes(local, local + chunk, out->data() + done));
@@ -390,6 +416,11 @@ StatusOr<Bytes> LobManager::ReadAll(const LobDescriptor& d) {
 
 Status LobManager::Replace(LobDescriptor* d, uint64_t offset, ByteView data) {
   obs::ScopedOp span("lob.replace", 0, device());
+  // Replace mutates leaf pages in place under write-ahead logging, so a
+  // partial run is repaired by recovery, not by unwind — only the entry
+  // deadline gate applies (a mid-loop expiry would leave half-new bytes).
+  EOS_RETURN_IF_ERROR(
+      span.Close(ScopedOpContext::CheckCurrent("lob.replace")));
   return span.Close(ReplaceImpl(d, offset, data));
 }
 
@@ -437,7 +468,8 @@ Status LobManager::ReplaceImpl(LobDescriptor* d, uint64_t offset,
 
 Status LobManager::Reorganize(LobDescriptor* d) {
   obs::ScopedOp span("lob.reorganize", 0, device());
-  return span.Close(ReorganizeImpl(d));
+  return span.Close(
+      RunGuarded(d, "lob.reorganize", [&] { return ReorganizeImpl(d); }));
 }
 
 Status LobManager::ReorganizeImpl(LobDescriptor* d) {

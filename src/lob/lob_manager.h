@@ -2,10 +2,13 @@
 #define EOS_LOB_LOB_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "buddy/segment_allocator.h"
+#include "buddy/space_reservation.h"
+#include "common/deadline.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "io/buffer_pool.h"
@@ -223,6 +226,15 @@ class LobManager {
   friend class LobAppender;
   friend class LeafWalker;
 
+  // Runs `body` under a SpaceReservation so a mid-operation failure —
+  // injected NoSpace, I/O error, expired deadline — unwinds every page the
+  // operation touched and restores *d to its pre-op value. Nested calls
+  // (Insert delegating to Append, Write composing Replace+Append) are
+  // pass-throughs: the outermost guard owns the unwind. `d` may be null
+  // (CreateFrom has no prior descriptor to restore).
+  Status RunGuarded(LobDescriptor* d, const char* what,
+                    const std::function<Status()>& body);
+
   // The public operations above are thin obs::ScopedOp span wrappers (see
   // src/obs/op_tracer.h) around these bodies.
   StatusOr<LobDescriptor> CreateFromImpl(ByteView data);
@@ -354,6 +366,22 @@ class LobAppender {
   Status Finish();
 
  private:
+  // Session state snapshot for per-call unwind: a failed Append() puts the
+  // appender (and, via the enclosing SpaceReservation, the tree and the
+  // allocation maps) back exactly as they were before the call.
+  struct SessionState {
+    uint64_t appended;
+    Extent cur;
+    uint64_t cur_bytes;
+    uint32_t cur_pages_used;
+    uint32_t next_pages;
+    Bytes page_buf;
+  };
+  SessionState SaveState() const;
+  void RestoreState(SessionState&& s);
+
+  Status AppendBody(ByteView data);  // Append() minus the guard
+
   Status OpenSegment(uint64_t want_bytes);
   Status CloseSegment();  // trim + attach entry to the tree
   Status FlushPageBuffer();

@@ -84,6 +84,12 @@ Status NodeStore::Write(PageId* page, const LobNode& node) {
     *page = fresh;
     return Status::OK();
   }
+  // In-place overwrite: under a reservation, save the pre-op image first so
+  // a mid-operation failure can put the spine back exactly.
+  if (SpaceReservation* res = SpaceReservation::ActiveFor(allocator_)) {
+    EOS_ASSIGN_OR_RETURN(PageHandle old, pager_->Fetch(*page));
+    res->RecordPageImage(*page, old.data(), page_size_);
+  }
   EOS_ASSIGN_OR_RETURN(PageHandle h, pager_->Zeroed(*page));
   NodeFormat::Serialize(node, h.data(), page_size_);
   h.MarkDirty();
@@ -99,6 +105,15 @@ StatusOr<PageId> NodeStore::WriteNew(const LobNode& node) {
 }
 
 Status NodeStore::FreePage(PageId page) {
+  // Under a reservation the free below is merely parked, so an unwind
+  // brings this page back live — but Invalidate may drop a not-yet-flushed
+  // frame. Save the current image so unwind can rewrite it.
+  if (SpaceReservation* res = SpaceReservation::ActiveFor(allocator_)) {
+    auto old = pager_->Fetch(page);
+    if (old.ok()) {
+      res->RecordPageImage(page, old.value().data(), page_size_);
+    }
+  }
   pager_->Invalidate(page);
   return allocator_->Free(Extent{page, 1});
 }

@@ -85,6 +85,10 @@ void LobReader::EnableReadAhead(IoExecutor* exec) {
 
 void LobReader::DropPrefetch(bool count_cancelled) {
   if (prefetch_armed_) {
+    // A still-queued task observes the token and skips its transfer; one
+    // already running finishes into a buffer nobody will read. Either way
+    // the join below keeps the buffer-lifetime contract.
+    prefetch_cancel_.Cancel();
     (void)prefetch_ticket_.Wait();
     prefetch_armed_ = false;
     if (count_cancelled && m_cancelled_ != nullptr) m_cancelled_->Inc();
@@ -111,8 +115,14 @@ void LobReader::ArmPrefetch() {
   prefetch_extent_ = next;
   uint8_t* dst = prefetch_buf_.data();
   PageDevice* dev = mgr_->device();
-  prefetch_ticket_ = prefetch_exec_->Submit(
-      [dev, next, dst] { return dev->ReadPages(next.first, next.pages, dst); });
+  prefetch_cancel_ = CancelToken::Make();
+  CancelToken cancel = prefetch_cancel_;
+  prefetch_ticket_ = prefetch_exec_->Submit([dev, next, dst, cancel] {
+    if (cancel.cancelled()) {
+      return Status::DeadlineExceeded("prefetch cancelled");
+    }
+    return dev->ReadPages(next.first, next.pages, dst);
+  });
   prefetch_armed_ = true;
   m_issued_->Inc();
 }

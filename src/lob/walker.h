@@ -115,6 +115,7 @@ class LobReader {
 
   IoExecutor* prefetch_exec_ = nullptr;
   IoExecutor::Ticket prefetch_ticket_;
+  CancelToken prefetch_cancel_;  // flags the in-flight fetch as abandoned
   BufferPool::Buffer prefetch_buf_;
   Extent prefetch_extent_;       // segment the in-flight fetch targets
   bool prefetch_armed_ = false;  // a fetch is in flight

@@ -71,6 +71,11 @@ inline constexpr char kScrubPagesVerified[] = "scrub.pages_verified";
 inline constexpr char kScrubCorruptPages[] = "scrub.corrupt_pages";
 inline constexpr char kScrubRepairedObjects[] = "scrub.repaired_objects";
 
+// --- space reservation / admission control ---------------------------------
+inline constexpr char kSpaceReserved[] = "space.reserved";
+inline constexpr char kSpaceRefused[] = "space.refused";
+inline constexpr char kSpaceUnwoundExtents[] = "space.unwound_extents";
+
 // --- chaos device (fault injection) ----------------------------------------
 inline constexpr char kChaosInjectedFaults[] = "chaos.injected_faults";
 inline constexpr char kChaosTornWrites[] = "chaos.torn_writes";

@@ -10,6 +10,8 @@
 //   eos_inspect <volume> scrub                  checksum-verify every page
 //   eos_inspect <volume> repair                 scrub, then rebuild damaged
 //                                               objects (lossy: see holes)
+//   eos_inspect <volume> leak-check             allocation maps vs object
+//                                               reachability
 //
 // `stats` and `trace` read the "<volume>.obs.json" sidecar written by
 // instrumented processes (see src/obs/snapshot.h); they do not open the
@@ -38,7 +40,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: eos_inspect <volume> [--page-size N] "
                "[--object ID | --check | verify | --spaces | stats | "
-               "trace | scrub | repair]\n");
+               "trace | scrub | repair | leak-check]\n");
   return 2;
 }
 
@@ -346,6 +348,30 @@ void Repair(Database* db) {
   std::printf("repair: volume clean\n");
 }
 
+// Cross-checks the buddy allocation maps against the union of every
+// reachable extent: pages held by no reference are leaked storage, pages
+// held by more than one are a double allocation. Read-only; exit 1 when
+// the volume lost (or double-booked) any storage.
+void LeakCheck(Database* db) {
+  eos::LeakCheckReport report;
+  Status s = db->LeakCheck(&report);
+  std::printf("leak-check: %llu pages allocated, %llu reachable\n",
+              static_cast<unsigned long long>(report.allocated_pages),
+              static_cast<unsigned long long>(report.reachable_pages));
+  for (const eos::Extent& e : report.leaked) {
+    std::printf("  leaked: pages [%llu, %llu) (%u pages)\n",
+                static_cast<unsigned long long>(e.first),
+                static_cast<unsigned long long>(e.first + e.pages), e.pages);
+  }
+  for (const eos::Extent& e : report.doubly_referenced) {
+    std::printf("  doubly referenced: pages [%llu, %llu) (%u pages)\n",
+                static_cast<unsigned long long>(e.first),
+                static_cast<unsigned long long>(e.first + e.pages), e.pages);
+  }
+  if (!s.ok()) Fail(s, "leak-check");
+  std::printf("leak-check OK: no leaked or doubly-referenced storage\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -375,6 +401,8 @@ int main(int argc, char** argv) {
       mode = "scrub";
     } else if (arg == "repair" || arg == "--repair") {
       mode = "repair";
+    } else if (arg == "leak-check" || arg == "--leak-check") {
+      mode = "leak-check";
     } else {
       return Usage();
     }
@@ -406,6 +434,8 @@ int main(int argc, char** argv) {
     Scrub(db->get());
   } else if (mode == "repair") {
     Repair(db->get());
+  } else if (mode == "leak-check") {
+    LeakCheck(db->get());
   }
   return 0;
 }

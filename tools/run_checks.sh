@@ -7,6 +7,10 @@
 #   3. the full suite, including the `torture` crash-recovery, bit-rot and
 #      stress tests, in the default RelWithDebInfo build.
 #
+# The `exhaustion` label (resource-exhaustion/deadline suites, DESIGN.md
+# §11) rides in tiers 1 and 2 via its sanitizer/tsan labels and can be
+# run alone with `ctest --test-dir build -L exhaustion`.
+#
 # Usage: tools/run_checks.sh [-j N]
 #        tools/run_checks.sh perf-smoke [-j N]
 #
