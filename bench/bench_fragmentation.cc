@@ -75,6 +75,37 @@ void FragmentationUnderChurn() {
       "large free segments available despite churn)\n");
 }
 
+// Conformance gate (DESIGN.md §6): on a fresh, unfragmented volume every
+// operation's measured I/O must track the paper's formulas; the churn run
+// above is reported but not gated — its ratio drift *is* the fragmentation
+// signal this bench exists to show.
+void FreshConformance() {
+  PrintHeader(
+      "E14b: fresh-volume cost conformance (the ungated churn ratios above "
+      "drift up as clustering decays)");
+  obs::MetricsRegistry::Default().ResetAll();
+  LobConfig cfg;
+  cfg.threshold_pages = 8;
+  Stack s = Stack::Make(4096, cfg, 8192);
+  Random rng(6021);
+  LobDescriptor d =
+      Stack::Unwrap(s.lob->CreateFrom(RandomBytes(&rng, 2 << 20)), "create");
+  Bytes out;
+  for (int i = 0; i < 32; ++i) {
+    s.Cold();
+    Stack::Check(s.lob->Read(d, rng.Uniform(d.size() - 32768), 32768, &out),
+                 "read");
+    Stack::Check(s.lob->Append(&d, RandomBytes(&rng, 8192)), "append");
+  }
+  EmitCostConformanceBlock("bench_fragmentation");
+  AssertCostConformance("bench_fragmentation", "read", obs::kCostReadRatio);
+  AssertCostConformance("bench_fragmentation", "append",
+                        obs::kCostAppendRatio);
+  std::printf("  mean actual/model: read %.3f, append %.3f (gate: <= 1.25)\n",
+              CostConformanceMean(obs::kCostReadRatio),
+              CostConformanceMean(obs::kCostAppendRatio));
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace eos
@@ -82,5 +113,7 @@ void FragmentationUnderChurn() {
 int main() {
   eos::bench::FragmentationUnderChurn();
   eos::bench::EmitMetricsBlock("bench_fragmentation");
+  eos::bench::EmitCostConformanceBlock("bench_fragmentation_churn");
+  eos::bench::FreshConformance();
   return 0;
 }

@@ -78,6 +78,30 @@ void ReadCostVsState() {
       "both scans and random reads near it)\n");
 }
 
+// Conformance gate (DESIGN.md §6): on a freshly built object the measured
+// read I/O must track the Section 4.2 formula. The registry is reset first
+// so the edited-object runs above don't contaminate the fresh sample.
+void FreshReadConformance() {
+  PrintHeader("E5c: fresh-volume read conformance vs the Section 4.2 model");
+  obs::MetricsRegistry::Default().ResetAll();
+  Stack s = Stack::Make(4096, {}, 8192);
+  Random rng(17);
+  LobDescriptor d =
+      Stack::Unwrap(s.lob->CreateFrom(RandomBytes(&rng, 4 << 20)), "create");
+  Bytes out;
+  s.Cold();
+  Stack::Check(s.lob->Read(d, 0, d.size(), &out), "scan");
+  for (int i = 0; i < 64; ++i) {
+    s.Cold();
+    uint64_t off = rng.Uniform(d.size() - 65536);
+    Stack::Check(s.lob->Read(d, off, 65536, &out), "rand");
+  }
+  EmitCostConformanceBlock("bench_read_cost");
+  AssertCostConformance("bench_read_cost", "read", obs::kCostReadRatio);
+  std::printf("  mean actual/model ratio %.3f (gate: <= 1.25)\n",
+              CostConformanceMean(obs::kCostReadRatio));
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace eos
@@ -86,5 +110,6 @@ int main() {
   eos::bench::WorkedExample();
   eos::bench::ReadCostVsState();
   eos::bench::EmitMetricsBlock("bench_read_cost");
+  eos::bench::FreshReadConformance();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "io/pager.h"
 #include "lob/lob_manager.h"
 #include "obs/json.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace eos {
@@ -130,6 +131,69 @@ inline void EmitMetricsBlock(const std::string& bench) {
   o.Set("bench", obs::JsonValue::Str(bench));
   o.Set("metrics", obs::MetricsRegistry::Default().ToJsonValue());
   std::printf("%s\n", o.Dump().c_str());
+}
+
+// Mean measured/predicted transfer ratio for one cost.* conformance
+// histogram (DESIGN.md §6); ratios are recorded as percent. Returns 0
+// when no operation of that kind has been compared yet.
+inline double CostConformanceMean(const char* metric) {
+  const obs::Histogram* h = obs::MetricsRegistry::Default().histogram(metric);
+  return h->count() == 0 ? 0.0 : h->mean() / 100.0;
+}
+
+// Machine-readable predicted-vs-actual summary, one line per bench run:
+//   {"bench":"...","cost_conformance":{"read":{"mean_ratio":...,"ops":...},
+//    ...,"model_pages":...,"actual_pages":...}}
+inline void EmitCostConformanceBlock(const std::string& bench) {
+  static constexpr struct {
+    const char* key;
+    const char* metric;
+  } kOps[] = {{"read", obs::kCostReadRatio},
+              {"insert", obs::kCostInsertRatio},
+              {"append", obs::kCostAppendRatio},
+              {"delete", obs::kCostDeleteRatio}};
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::JsonValue conf = obs::JsonValue::Object();
+  for (const auto& op : kOps) {
+    const obs::Histogram* h = reg.histogram(op.metric);
+    if (h->count() == 0) continue;
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("mean_ratio", obs::JsonValue::Number(h->mean() / 100.0));
+    entry.Set("p99_ratio",
+              obs::JsonValue::Number(
+                  static_cast<double>(h->Percentile(0.99)) / 100.0));
+    entry.Set("ops", obs::JsonValue::Number(
+                         static_cast<double>(h->count())));
+    conf.Set(op.key, std::move(entry));
+  }
+  conf.Set("model_pages",
+           obs::JsonValue::Number(static_cast<double>(
+               reg.histogram(obs::kCostModelPages)->sum())));
+  conf.Set("actual_pages",
+           obs::JsonValue::Number(static_cast<double>(
+               reg.histogram(obs::kCostActualPages)->sum())));
+  obs::JsonValue o = obs::JsonValue::Object();
+  o.Set("bench", obs::JsonValue::Str(bench));
+  o.Set("cost_conformance", std::move(conf));
+  std::printf("%s\n", o.Dump().c_str());
+}
+
+// Regression gate for fresh-volume runs: the model deliberately ignores
+// caching, so on an unfragmented volume the measured mean must stay within
+// `max_ratio` (default 1.25x) of prediction. Aborts the bench otherwise.
+inline void AssertCostConformance(const std::string& bench, const char* key,
+                                  const char* metric,
+                                  double max_ratio = 1.25) {
+  double mean = CostConformanceMean(metric);
+  EmitJsonResult(bench, std::string("conformance_") + key + "_mean_ratio",
+                 mean);
+  if (mean > max_ratio) {
+    std::fprintf(stderr,
+                 "%s: %s cost conformance %.3f exceeds %.2fx of the paper "
+                 "model on a fresh volume\n",
+                 bench.c_str(), key, mean, max_ratio);
+    std::abort();
+  }
 }
 
 }  // namespace bench

@@ -4,6 +4,7 @@
 
 #include "buddy/segment_allocator.h"
 #include "io/pager.h"
+#include "obs/event_journal.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
@@ -91,6 +92,9 @@ Status SpaceReservation::Commit() {
 
 void SpaceReservation::Unwind() {
   settled_ = true;
+  obs::RecordEvent(obs::EventKind::kReservationUnwind, "space_unwind",
+                   tracked_.size(), preimages_.size(), parked_frees_.size(),
+                   /*ok=*/false);
   // 1. Put back every index-node page the operation overwrote in place.
   //    The pages are still allocated — their frees (if any) were parked.
   for (const auto& pre : preimages_) {

@@ -6,6 +6,7 @@
 #include "buddy/geometry.h"
 #include "common/math.h"
 #include "io/verified_device.h"
+#include "obs/event_journal.h"
 #include "obs/metric_names.h"
 #include "obs/op_tracer.h"
 #include "txn/recovery.h"
@@ -54,7 +55,18 @@ class ScopedDirLogSuspend {
 
 }  // namespace
 
-Database::~Database() { (void)Flush(); }
+Database::~Database() {
+  (void)Flush();
+  // Stop after the flush so the final sidecar snapshot sees its I/O.
+  if (snapshot_writer_ != nullptr) snapshot_writer_->Stop();
+}
+
+void Database::StartSnapshotWriter(const std::string& volume_path) {
+  if (options_.obs_snapshot_interval_ms == 0 || !obs::Enabled()) return;
+  snapshot_writer_ = std::make_unique<obs::SnapshotWriter>();
+  snapshot_writer_->Start(obs::SnapshotPathFor(volume_path),
+                          options_.obs_snapshot_interval_ms);
+}
 
 StatusOr<std::unique_ptr<Database>> Database::Create(
     const std::string& path, const DatabaseOptions& options) {
@@ -64,14 +76,20 @@ StatusOr<std::unique_ptr<Database>> Database::Create(
   EOS_ASSIGN_OR_RETURN(
       std::unique_ptr<FilePageDevice> dev,
       FilePageDevice::Create(path, options.page_size, /*page_count=*/1));
-  return Init(std::move(dev), options, /*fresh=*/true);
+  EOS_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                       Init(std::move(dev), options, /*fresh=*/true));
+  db->StartSnapshotWriter(path);
+  return db;
 }
 
 StatusOr<std::unique_ptr<Database>> Database::Open(
     const std::string& path, const DatabaseOptions& options) {
   EOS_ASSIGN_OR_RETURN(std::unique_ptr<FilePageDevice> dev,
                        FilePageDevice::Open(path, options.page_size));
-  return Init(std::move(dev), options, /*fresh=*/false);
+  EOS_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                       Init(std::move(dev), options, /*fresh=*/false));
+  db->StartSnapshotWriter(path);
+  return db;
 }
 
 StatusOr<std::unique_ptr<Database>> Database::CreateInMemory(
@@ -509,6 +527,18 @@ Status Database::Checkpoint() {
 }
 
 Status Database::Recover(const std::vector<LogRecord>& log) {
+  Status s = RecoverImpl(log);
+  if (!s.ok()) {
+    // A failed recovery is as fatal as storage gets: the volume cannot be
+    // brought to a consistent state. Leave the black box behind.
+    obs::RecordEvent(obs::EventKind::kFatal, "db.recover", /*a=*/0, /*b=*/0,
+                     /*c=*/0, /*ok=*/false);
+    obs::DumpPostMortemBestEffort("recover_failed");
+  }
+  return s;
+}
+
+Status Database::RecoverImpl(const std::vector<LogRecord>& log) {
   obs::ScopedOp span("db.recover", 0, device_.get());
   // Deserialize every durable root. These are trustworthy: write-through
   // ordering guarantees a durable root only references durable pages.

@@ -14,6 +14,7 @@
 #include "io/page_device.h"
 #include "io/pager.h"
 #include "lob/lob_manager.h"
+#include "obs/snapshot.h"
 #include "txn/log_manager.h"
 
 namespace eos {
@@ -71,6 +72,13 @@ struct DatabaseOptions {
   // cost-model benches and tests measure. The pool size follows
   // EOS_IO_THREADS (default min(4, hardware concurrency)).
   bool parallel_io = false;
+
+  // Periodic observability export (DESIGN.md "Observability"): a non-zero
+  // interval starts a background obs::SnapshotWriter that rewrites the
+  // volume's "<path>.obs.json" sidecar every interval (plus once at open
+  // and once at close), so `eos_inspect top` can watch a live process.
+  // File-backed volumes only — in-memory volumes have no sidecar path.
+  uint64_t obs_snapshot_interval_ms = 0;
 };
 
 // FreeInterceptor that parks every freed extent until the next
@@ -257,6 +265,13 @@ class Database {
   Status WriteSuperblock();
   Status ReadSuperblock(uint32_t* space_pages, uint32_t* num_spaces);
 
+  // Recover() minus the fatal-path post-mortem dump.
+  Status RecoverImpl(const std::vector<LogRecord>& log);
+
+  // Begins periodic "<path>.obs.json" exports when the options ask for
+  // them (no-op otherwise); Create/Open call this, in-memory volumes don't.
+  void StartSnapshotWriter(const std::string& volume_path);
+
   // Largest directory root the superblock can hold.
   uint32_t DirRootSlotBytes() const;
 
@@ -269,6 +284,7 @@ class Database {
   Status SaveDirectory();
 
   DatabaseOptions options_;
+  std::unique_ptr<obs::SnapshotWriter> snapshot_writer_;
   std::unique_ptr<PageDevice> device_;
   VerifiedPageDevice* verified_ = nullptr;  // aliases device_ when stacked
   std::unique_ptr<Pager> pager_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "obs/event_journal.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
@@ -141,6 +142,8 @@ Status ChaosPageDevice::CorruptPage(PageId page, int bits) {
   }
   BitRotCounter()->Inc();
   FaultCounter()->Inc();
+  obs::RecordEvent(obs::EventKind::kChaosFault, "bit_rot", page,
+                   static_cast<uint64_t>(bits), /*c=*/0, /*ok=*/false);
   return inner_->WritePages(page, 1, buf.data());
 }
 
@@ -153,6 +156,11 @@ void ChaosPageDevice::Crash() {
   }
   CrashCounter()->Inc();
   FaultCounter()->Inc();
+  // The flight recorder's reason to exist: every simulated power loss
+  // leaves a black box behind, with the crash as its final event.
+  obs::RecordEvent(obs::EventKind::kCrash, "chaos_crash", /*a=*/0, /*b=*/0,
+                   /*c=*/0, /*ok=*/false);
+  obs::DumpPostMortemBestEffort("chaos_crash");
 }
 
 void ChaosPageDevice::CrashAfterWrites(uint64_t writes, uint32_t tear_pages) {
@@ -192,6 +200,8 @@ Status ChaosPageDevice::Grow(uint64_t new_page_count) {
       grow_fault_ = false;
       ++injected_;
       FaultCounter()->Inc();
+      obs::RecordEvent(obs::EventKind::kChaosFault, "grow", new_page_count,
+                       /*b=*/0, /*c=*/0, /*ok=*/false);
       return Status::IOError("injected grow fault");
     }
     if (grow_nospace_.countdown >= 0) {
@@ -199,6 +209,8 @@ Status ChaosPageDevice::Grow(uint64_t new_page_count) {
         if (!grow_nospace_.permanent) grow_nospace_.countdown = -1;
         ++injected_;
         FaultCounter()->Inc();
+        obs::RecordEvent(obs::EventKind::kChaosFault, "disk_full",
+                         new_page_count, /*b=*/0, /*c=*/0, /*ok=*/false);
         return Status::NoSpace("injected disk-full: volume cannot grow");
       }
       --grow_nospace_.countdown;
@@ -223,6 +235,8 @@ Status ChaosPageDevice::Tick(Fault* f, const char* what) {
     if (!f->permanent) f->countdown = -1;
     ++injected_;
     FaultCounter()->Inc();
+    obs::RecordEvent(obs::EventKind::kChaosFault, what, /*a=*/0, /*b=*/0,
+                     /*c=*/0, /*ok=*/false);
     return Status::IOError(std::string("injected ") + what + " fault");
   }
   --f->countdown;
@@ -268,6 +282,9 @@ Status ChaosPageDevice::DoWrite(PageId first, uint32_t n,
       TornCounter()->Inc();
       (void)inner_->WritePages(first, torn_keep, data);
     }
+    obs::RecordEvent(obs::EventKind::kCrash, "crash_mid_write", first,
+                     torn_keep, n, /*ok=*/false);
+    obs::DumpPostMortemBestEffort("crash_mid_write");
     return Status::IOError("simulated crash: power lost mid-write");
   }
   {
@@ -286,6 +303,8 @@ Status ChaosPageDevice::DoWrite(PageId first, uint32_t n,
   if (torn) {
     TornCounter()->Inc();
     FaultCounter()->Inc();
+    obs::RecordEvent(obs::EventKind::kChaosFault, "torn_write", first,
+                     torn_keep, n, /*ok=*/false);
     if (torn_keep > 0) (void)inner_->WritePages(first, torn_keep, data);
     return Status::IOError("injected torn write: " +
                            std::to_string(torn_keep) + " of " +

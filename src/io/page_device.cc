@@ -9,10 +9,31 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/event_journal.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace eos {
+
+namespace {
+
+struct DeviceByteCounters {
+  obs::Counter* bytes_read;
+  obs::Counter* bytes_written;
+};
+
+const DeviceByteCounters& ByteCounters() {
+  static DeviceByteCounters* c = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    auto* cc = new DeviceByteCounters();
+    cc->bytes_read = r.counter(obs::kIoBytesRead);
+    cc->bytes_written = r.counter(obs::kIoBytesWritten);
+    return cc;
+  }();
+  return *c;
+}
+
+}  // namespace
 
 Status PageDevice::CheckRange(PageId first, uint32_t n) const {
   if (n == 0) return Status::InvalidArgument("zero-page I/O");
@@ -28,9 +49,11 @@ void PageDevice::Account(bool is_read, PageId first, uint32_t n) {
   if (is_read) {
     read_calls_.fetch_add(1, std::memory_order_relaxed);
     pages_read_.fetch_add(n, std::memory_order_relaxed);
+    ByteCounters().bytes_read->Inc(uint64_t{n} * page_size_);
   } else {
     write_calls_.fetch_add(1, std::memory_order_relaxed);
     pages_written_.fetch_add(n, std::memory_order_relaxed);
+    ByteCounters().bytes_written->Inc(uint64_t{n} * page_size_);
   }
   PageId prev = head_pos_.exchange(first + n, std::memory_order_relaxed);
   if (prev != first) seeks_.fetch_add(1, std::memory_order_relaxed);
@@ -67,6 +90,7 @@ Status PageDevice::ReadRuns(const PageRun* runs, size_t n) {
     Account(/*is_read=*/true, runs[i].first, runs[i].pages);
   }
   BatchRunsCounter()->Inc(n);
+  obs::RecordEvent(obs::EventKind::kIoBatch, "read_runs", n, /*b=*/0);
   return DoReadRuns(runs, n);
 }
 
@@ -79,6 +103,7 @@ Status PageDevice::WriteRuns(const ConstPageRun* runs, size_t n) {
     Account(/*is_read=*/false, runs[i].first, runs[i].pages);
   }
   BatchRunsCounter()->Inc(n);
+  obs::RecordEvent(obs::EventKind::kIoBatch, "write_runs", n, /*b=*/1);
   return DoWriteRuns(runs, n);
 }
 

@@ -7,6 +7,7 @@
 #include "common/bytes.h"
 #include "common/crc32c.h"
 #include "io/buffer_pool.h"
+#include "obs/event_journal.h"
 #include "obs/metric_names.h"
 
 namespace eos {
@@ -124,6 +125,8 @@ Status VerifiedPageDevice::ReadAndVerifyOnce(PageId first, uint32_t n,
     Status s = VerifyPage(staging + size_t{i} * phys, phys, first + i, epoch_);
     if (!s.ok()) {
       m_checksum_fail_->Inc();
+      obs::RecordEvent(obs::EventKind::kChecksumFail, "verify_read",
+                       first + i, /*b=*/0, /*c=*/0, /*ok=*/false);
       if (verdict.ok()) {
         verdict = std::move(s);
         *bad_page = first + i;
@@ -176,7 +179,11 @@ Status VerifiedPageDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
         if (!VerifyPage(staging.data() + size_t{i} * phys, phys, first + i,
                         epoch_)
                  .ok()) {
-          if (quarantined_.insert(first + i).second) ++newly;
+          if (quarantined_.insert(first + i).second) {
+            ++newly;
+            obs::RecordEvent(obs::EventKind::kQuarantine, "persistent_rot",
+                             first + i, /*b=*/0, /*c=*/0, /*ok=*/false);
+          }
         }
       }
     }

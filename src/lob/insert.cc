@@ -16,8 +16,15 @@ namespace eos {
 
 Status LobManager::Insert(LobDescriptor* d, uint64_t offset, ByteView data) {
   obs::ScopedOp span("lob.insert", 0, device());
-  return span.Close(
-      RunGuarded(d, "lob.insert", [&] { return InsertImpl(d, offset, data); }));
+  obs::CostScope cost(
+      obs::CostOp::kInsert,
+      obs::ExpectedInsertCost(CostFacts(*d), data.size(),
+                              config_.threshold_pages),
+      device());
+  Status s =
+      RunGuarded(d, "lob.insert", [&] { return InsertImpl(d, offset, data); });
+  cost.set_ok(s.ok());
+  return span.Close(std::move(s));
 }
 
 Status LobManager::InsertImpl(LobDescriptor* d, uint64_t offset,
@@ -104,8 +111,12 @@ Status LobManager::InsertImpl(LobDescriptor* d, uint64_t offset,
 
 Status LobManager::Append(LobDescriptor* d, ByteView data) {
   obs::ScopedOp span("lob.append", 0, device());
-  return span.Close(
-      RunGuarded(d, "lob.append", [&] { return AppendImpl(d, data); }));
+  obs::CostScope cost(obs::CostOp::kAppend,
+                      obs::ExpectedAppendCost(CostFacts(*d), data.size()),
+                      device());
+  Status s = RunGuarded(d, "lob.append", [&] { return AppendImpl(d, data); });
+  cost.set_ok(s.ok());
+  return span.Close(std::move(s));
 }
 
 Status LobManager::AppendImpl(LobDescriptor* d, ByteView data) {

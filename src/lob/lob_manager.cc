@@ -37,6 +37,15 @@ uint32_t LobManager::LeafPages(uint64_t bytes) const {
   return static_cast<uint32_t>(CeilDiv(bytes, page_size()));
 }
 
+obs::CostInputs LobManager::CostFacts(const LobDescriptor& d) const {
+  obs::CostInputs in;
+  in.object_bytes = d.size();
+  in.depth = d.root.level;
+  in.page_size = page_size();
+  in.max_segment_pages = max_segment_pages_;
+  return in;
+}
+
 uint32_t LobManager::EffectiveThreshold(const LobDescriptor& d,
                                         size_t parent_entries) const {
   uint32_t t = d.threshold_hint == 0 ? config_.threshold_pages
@@ -339,7 +348,12 @@ Status LobManager::Read(const LobDescriptor& d, uint64_t offset, uint64_t n,
                         Bytes* out) {
   obs::ScopedOp span("lob.read", 0, device());
   EOS_RETURN_IF_ERROR(span.Close(ScopedOpContext::CheckCurrent("lob.read")));
-  return span.Close(ReadImpl(d, offset, n, out));
+  obs::CostScope cost(obs::CostOp::kRead,
+                      obs::ExpectedReadCost(CostFacts(d), offset, n),
+                      device());
+  Status s = ReadImpl(d, offset, n, out);
+  cost.set_ok(s.ok());
+  return span.Close(std::move(s));
 }
 
 Status LobManager::ReadImpl(const LobDescriptor& d, uint64_t offset,

@@ -17,6 +17,7 @@
 #include "lob/descriptor.h"
 #include "lob/lob_config.h"
 #include "lob/node.h"
+#include "obs/cost_model.h"
 
 namespace eos {
 
@@ -234,6 +235,12 @@ class LobManager {
   // (CreateFrom has no prior descriptor to restore).
   Status RunGuarded(LobDescriptor* d, const char* what,
                     const std::function<Status()>& body);
+
+  // The cheap shape facts the paper's cost formulas consume, for the
+  // obs::CostScope conformance probes in the public wrappers. Utilization
+  // is left at 1.0 (the fresh ideal) so the recorded ratio measures layout
+  // drift, not expectations about it.
+  obs::CostInputs CostFacts(const LobDescriptor& d) const;
 
   // The public operations above are thin obs::ScopedOp span wrappers (see
   // src/obs/op_tracer.h) around these bodies.

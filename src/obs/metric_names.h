@@ -56,6 +56,10 @@ inline constexpr char kIoReadRetry[] = "io.read_retry";
 inline constexpr char kIoWriteRetry[] = "io.write_retry";
 inline constexpr char kIoQuarantinedPages[] = "io.quarantined_pages";
 
+// --- device byte throughput (rate source for `eos_inspect top`) -------------
+inline constexpr char kIoBytesRead[] = "io.bytes_read";
+inline constexpr char kIoBytesWritten[] = "io.bytes_written";
+
 // --- parallel I/O engine (executor, batch API, read-ahead) ------------------
 inline constexpr char kIoBatchRuns[] = "io.batch_runs";
 inline constexpr char kIoPrefetchIssued[] = "io.prefetch_issued";
@@ -75,6 +79,21 @@ inline constexpr char kScrubRepairedObjects[] = "scrub.repaired_objects";
 inline constexpr char kSpaceReserved[] = "space.reserved";
 inline constexpr char kSpaceRefused[] = "space.refused";
 inline constexpr char kSpaceUnwoundExtents[] = "space.unwound_extents";
+
+// --- cost-model conformance (predicted vs actual I/O, DESIGN.md §6) ---------
+// Histograms of 100 * actual page transfers / model-predicted transfers;
+// a value persistently above 100 is the fragmentation early-warning.
+inline constexpr char kCostReadRatio[] = "cost.read_actual_over_model";
+inline constexpr char kCostInsertRatio[] = "cost.insert_actual_over_model";
+inline constexpr char kCostAppendRatio[] = "cost.append_actual_over_model";
+inline constexpr char kCostDeleteRatio[] = "cost.delete_actual_over_model";
+inline constexpr char kCostModelPages[] = "cost.model_pages";    // histogram
+inline constexpr char kCostActualPages[] = "cost.actual_pages";  // histogram
+inline constexpr char kCostOpsCompared[] = "cost.ops_compared";
+
+// --- event journal (flight recorder) ----------------------------------------
+inline constexpr char kJournalEvents[] = "journal.events";
+inline constexpr char kJournalPostMortems[] = "journal.postmortems";
 
 // --- chaos device (fault injection) ----------------------------------------
 inline constexpr char kChaosInjectedFaults[] = "chaos.injected_faults";

@@ -152,5 +152,49 @@ JsonValue MetricsRegistry::ToJsonValue() const {
 
 std::string MetricsRegistry::ToJson() const { return ToJsonValue().Dump(); }
 
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "eos_";
+  for (char ch : name) {
+    out += (ch == '.' || ch == '-') ? '_' : ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  LatchGuard g(latch_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + "_total counter\n";
+    out += p + "_total " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, gg] : gauges_) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(gg->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " histogram\n";
+    uint64_t cum = 0;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      uint64_t n = h->bucket(b);
+      if (n == 0) continue;
+      cum += n;
+      out += p + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(b)) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
+    out += p + "_sum " + std::to_string(h->sum()) + "\n";
+    out += p + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
+}
+
 }  // namespace obs
 }  // namespace eos

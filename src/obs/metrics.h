@@ -139,6 +139,14 @@ class MetricsRegistry {
   JsonValue ToJsonValue() const;
   std::string ToJson() const;
 
+  // Prometheus text exposition (version 0.0.4). Metric names gain an
+  // "eos_" prefix and dots become underscores: counters render as
+  // eos_<name>_total, gauges as eos_<name>, histograms as the cumulative
+  // eos_<name>_bucket{le="..."} series plus _sum and _count. Only
+  // non-empty power-of-two buckets are emitted (plus the mandatory +Inf),
+  // keeping scrapes proportional to live data.
+  std::string RenderPrometheus() const;
+
  private:
   mutable Latch latch_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

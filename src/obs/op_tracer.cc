@@ -3,10 +3,23 @@
 #include <cstdio>
 
 #include "io/page_device.h"
+#include "obs/event_journal.h"
 #include "obs/metric_names.h"
 
 namespace eos {
 namespace obs {
+
+namespace {
+
+// Shared zero point for every span's start_us, so spans from different
+// threads line up on one Chrome-trace timeline.
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
 
 OpTracer& OpTracer::Default() {
   static OpTracer* tracer = new OpTracer();
@@ -73,6 +86,7 @@ JsonValue OpTracer::ToJsonValue() const {
     o.Set("object", JsonValue::Number(static_cast<double>(s.object_id)));
     o.Set("depth", JsonValue::Number(s.depth));
     o.Set("ok", JsonValue::Bool(s.ok));
+    o.Set("start_us", JsonValue::Number(static_cast<double>(s.start_us)));
     o.Set("wall_us", JsonValue::Number(static_cast<double>(s.wall_us)));
     o.Set("seeks", JsonValue::Number(static_cast<double>(s.io.seeks)));
     o.Set("pages_read",
@@ -173,9 +187,11 @@ ScopedOp::ScopedOp(const char* op, uint64_t object_id, PageDevice* device,
   active_ = true;
   tracer_ = tracer != nullptr ? tracer : &OpTracer::Default();
   depth_ = tracer_->Enter();
+  TraceEpoch();  // pin the epoch no later than the first span's start
   start_ = std::chrono::steady_clock::now();
   if (device_ != nullptr) io_start_ = device_->stats();
   snap_ = Snap();
+  RecordEvent(EventKind::kOpBegin, op_, object_id_);
 }
 
 ScopedOp::~ScopedOp() {
@@ -186,6 +202,10 @@ ScopedOp::~ScopedOp() {
   span.object_id = object_id_;
   span.depth = depth_;
   span.ok = ok_;
+  span.start_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(start_ -
+                                                            TraceEpoch())
+          .count());
   span.wall_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start_)
@@ -203,6 +223,8 @@ ScopedOp::~ScopedOp() {
   MetricsRegistry::Default()
       .histogram(std::string("op.") + op_ + ".us")
       ->Record(span.wall_us);
+  RecordEvent(EventKind::kOpEnd, op_, object_id_, span.wall_us,
+              span.io.transfers(), ok_);
   tracer_->Push(std::move(span));
 }
 

@@ -30,6 +30,7 @@ struct OpSpan {
   uint64_t seq = 0;         // monotone per tracer
   uint32_t depth = 0;       // nesting depth at begin (0 = outermost)
   bool ok = true;
+  uint64_t start_us = 0;    // begin time, us since the process trace epoch
   uint64_t wall_us = 0;
   IoStats io;               // device seeks/transfers during the span
   uint64_t pager_hits = 0;

@@ -1,7 +1,10 @@
 #ifndef EOS_OBS_SNAPSHOT_H_
 #define EOS_OBS_SNAPSHOT_H_
 
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/status.h"
 #include "obs/json.h"
@@ -25,6 +28,44 @@ Status WriteSnapshotFile(const std::string& path);
 
 // NotFound when the file does not exist; InvalidArgument on parse errors.
 StatusOr<JsonValue> ReadSnapshotFile(const std::string& path);
+
+// Converts a snapshot document's "trace" spans into Chrome trace-event
+// JSON ({"traceEvents":[{ph:"X",ts,dur,...}]}), loadable in
+// chrome://tracing or Perfetto. Spans written before start_us existed get
+// synthetic back-to-back timestamps so old sidecars still render.
+std::string ChromeTraceJson(const JsonValue& snapshot);
+
+// Background exporter: rewrites `path` with a fresh snapshot every
+// `interval_ms`, plus once immediately on Start and once more on Stop so
+// short-lived processes still leave a final state behind. Stop is
+// idempotent and joins the thread; write failures are silently dropped
+// (the exporter must never take the process down).
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  void Start(std::string path, uint64_t interval_ms);
+  void Stop();
+
+  bool running() const;
+  uint64_t writes() const;  // snapshots written so far (telemetry/tests)
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::string path_;
+  uint64_t interval_ms_ = 0;
+  uint64_t writes_ = 0;
+  bool running_ = false;
+  bool stop_ = false;
+};
 
 }  // namespace obs
 }  // namespace eos

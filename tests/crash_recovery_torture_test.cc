@@ -26,6 +26,9 @@
 namespace eos {
 namespace {
 
+// Failed assertions dump the flight-recorder journal (test_util.h).
+const bool g_postmortem_listener = testing_util::InstallPostMortemOnFailure();
+
 using testing_util::ApplyToModel;
 using testing_util::FormatOpTrace;
 using testing_util::LobOp;
@@ -184,7 +187,9 @@ void RunMutation(Harness* h, const std::vector<ScriptedOp>& script,
     if (commit_lsns != nullptr) commit_lsns->push_back(h->log->last_lsn());
     if (states != nullptr) states->push_back(*committed);
   }
-  if (expect_ok) EXPECT_FALSE(h->chaos->crashed());
+  if (expect_ok) {
+    EXPECT_FALSE(h->chaos->crashed());
+  }
 }
 
 // True iff the database holds exactly the committed oracle state.

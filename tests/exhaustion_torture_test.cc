@@ -29,6 +29,9 @@
 namespace eos {
 namespace {
 
+// Failed assertions dump the flight-recorder journal (test_util.h).
+const bool g_postmortem_listener = testing_util::InstallPostMortemOnFailure();
+
 using testing_util::ApplyToLob;
 using testing_util::ApplyToModel;
 using testing_util::FormatOpTrace;

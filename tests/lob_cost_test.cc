@@ -1,12 +1,18 @@
 // I/O-cost assertions for the paper's per-operation claims (Sections
 // 4.3.1, 4.3.2): updates touch I/O proportional to the bytes involved,
-// never to the object size.
+// never to the object size — plus unit vectors for the analytic cost
+// model (obs/cost_model.h) those sections are transcribed into, and the
+// conformance telemetry comparing the two.
 
 #include <gtest/gtest.h>
 
 #include <functional>
 
+#include "io/page_device.h"
 #include "lob/lob_manager.h"
+#include "obs/cost_model.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "tests/test_util.h"
 
 namespace eos {
@@ -144,6 +150,184 @@ TEST(LobCostTest, PageReshuffleCostBoundedByThreshold) {
     // Reads bounded by ~T pages (making N safe) + index.
     EXPECT_LE(io.pages_read, uint64_t{t} + 4) << "T=" << t;
   }
+}
+
+// ----- cost-model unit vectors (obs/cost_model.h) ---------------------------
+
+obs::CostInputs Inputs(uint64_t bytes, uint32_t depth,
+                       uint32_t max_seg = 256) {
+  obs::CostInputs in;
+  in.object_bytes = bytes;
+  in.depth = depth;
+  in.page_size = 4096;
+  in.max_segment_pages = max_seg;
+  return in;
+}
+
+TEST(CostModelTest, ReadVectors) {
+  // One page at depth 1: 1 leaf transfer, 2 boundary segments, one index
+  // node per segment, one seek per segment + index node (Section 4.2).
+  obs::CostEstimate e = obs::ExpectedReadCost(Inputs(4 << 20, 1), 0, 4096);
+  EXPECT_DOUBLE_EQ(e.leaf_reads, 1.0);
+  EXPECT_DOUBLE_EQ(e.index_reads, 2.0);
+  EXPECT_DOUBLE_EQ(e.pages_written(), 0.0) << "reads never write";
+  EXPECT_DOUBLE_EQ(e.seeks, 4.0);
+
+  // An unaligned range is charged every page it overlaps: 2 bytes across
+  // a page boundary span 2 pages.
+  e = obs::ExpectedReadCost(Inputs(4 << 20, 1), 4095, 2);
+  EXPECT_DOUBLE_EQ(e.leaf_reads, 2.0);
+
+  // Degenerate ranges cost nothing.
+  EXPECT_DOUBLE_EQ(
+      obs::ExpectedReadCost(Inputs(4 << 20, 1), 0, 0).transfers(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      obs::ExpectedReadCost(Inputs(0, 1), 0, 100).transfers(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      obs::ExpectedReadCost(Inputs(4096, 1), 1 << 20, 100).transfers(), 0.0)
+      << "offset past the object";
+
+  // Half-full leaves double the leaf transfers (Section 4.4's utilization).
+  obs::CostInputs half = Inputs(4 << 20, 0);
+  half.utilization = 0.5;
+  EXPECT_DOUBLE_EQ(obs::ExpectedReadCost(half, 0, 8 * 4096).leaf_reads, 16.0);
+
+  // A full scan at depth 0 is dominated by leaf transfers, ~1 per page.
+  e = obs::ExpectedReadCost(Inputs(1 << 20, 0), 0, 1 << 20);
+  EXPECT_DOUBLE_EQ(e.leaf_reads, 256.0);
+  EXPECT_DOUBLE_EQ(e.index_reads, 0.0);
+}
+
+TEST(CostModelTest, InsertVectors) {
+  // T=1 (byte reshuffling only), 100 bytes, depth 1: 2 boundary leaf
+  // reads, 1 fresh page + 2 cut halves written, spine + allocation-map
+  // writes (Section 4.3.1).
+  obs::CostEstimate e =
+      obs::ExpectedInsertCost(Inputs(8 << 20, 1), 100, /*threshold=*/1);
+  EXPECT_DOUBLE_EQ(e.leaf_reads, 2.0);
+  EXPECT_DOUBLE_EQ(e.leaf_writes, 3.0);
+  EXPECT_DOUBLE_EQ(e.index_reads, 1.0);
+  EXPECT_DOUBLE_EQ(e.index_writes, 5.0);
+
+  // Page reshuffling (T=8) may pull up to T-1 more pages through memory
+  // in each direction (Section 4.4).
+  obs::CostEstimate big =
+      obs::ExpectedInsertCost(Inputs(8 << 20, 1), 100, /*threshold=*/8);
+  EXPECT_DOUBLE_EQ(big.leaf_reads, e.leaf_reads + 7);
+  EXPECT_DOUBLE_EQ(big.leaf_writes, e.leaf_writes + 7);
+
+  // The cost scales with the bytes inserted, never the object size.
+  obs::CostEstimate small_obj =
+      obs::ExpectedInsertCost(Inputs(1 << 20, 1), 100, 1);
+  EXPECT_DOUBLE_EQ(small_obj.transfers(), e.transfers());
+  EXPECT_DOUBLE_EQ(obs::ExpectedInsertCost(Inputs(8 << 20, 1), 0, 1)
+                       .transfers(),
+                   0.0);
+}
+
+TEST(CostModelTest, AppendVectors) {
+  // Section 4.1: ceil(len/PS) fresh pages + the re-filled trailing page.
+  obs::CostEstimate e = obs::ExpectedAppendCost(Inputs(8 << 20, 1), 8192);
+  EXPECT_DOUBLE_EQ(e.leaf_reads, 1.0);
+  EXPECT_DOUBLE_EQ(e.leaf_writes, 3.0);
+  EXPECT_DOUBLE_EQ(e.index_reads, 1.0);
+  EXPECT_DOUBLE_EQ(e.index_writes, 5.0);
+  EXPECT_DOUBLE_EQ(obs::ExpectedAppendCost(Inputs(8 << 20, 1), 0).transfers(),
+                   0.0);
+}
+
+TEST(CostModelTest, DeleteVectors) {
+  // Page-aligned delete touches no leaf at all (the Section 4.3.2 claim
+  // the AlignedDeleteTouchesNoLeafPage test above verifies physically).
+  obs::CostEstimate e = obs::ExpectedDeleteCost(Inputs(8 << 20, 1),
+                                                4096 * 100, 4096 * 50, 1);
+  EXPECT_DOUBLE_EQ(e.leaf_reads, 0.0);
+  EXPECT_DOUBLE_EQ(e.leaf_writes, 0.0);
+  EXPECT_GT(e.index_writes, 0.0);
+
+  // A ragged range touches one boundary page per ragged end.
+  e = obs::ExpectedDeleteCost(Inputs(8 << 20, 1), 1000, 500, 1);
+  EXPECT_DOUBLE_EQ(e.leaf_reads, 2.0);
+  e = obs::ExpectedDeleteCost(Inputs(8 << 20, 1), 4096, 500, 1);
+  EXPECT_DOUBLE_EQ(e.leaf_reads, 1.0) << "only the high end is ragged";
+
+  // Deleting through the object's end (truncate) never has a ragged high
+  // end, whatever the byte offset.
+  e = obs::ExpectedDeleteCost(Inputs(8 << 20, 1), 12345, 8 << 20, 1);
+  EXPECT_DOUBLE_EQ(e.leaf_reads, 1.0);
+}
+
+TEST(CostModelTest, ConformanceRecordsRatioPercent) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Histogram* h = reg.histogram(obs::kCostAppendRatio);
+  uint64_t count0 = h->count(), sum0 = h->sum();
+  uint64_t ops0 = reg.counter(obs::kCostOpsCompared)->value();
+
+  obs::CostEstimate model;
+  model.leaf_writes = 8;  // predict 8 transfers
+  IoStats actual;
+  actual.pages_written = 10;  // measure 10 -> ratio 125
+  obs::RecordConformance(obs::CostOp::kAppend, model, actual);
+  EXPECT_EQ(h->count(), count0 + 1);
+  EXPECT_EQ(h->sum(), sum0 + 125);
+  EXPECT_EQ(reg.counter(obs::kCostOpsCompared)->value(), ops0 + 1);
+
+  // A degenerate zero-transfer prediction clamps to 1, never divides by 0.
+  obs::CostEstimate empty;
+  IoStats one_page;
+  one_page.pages_read = 1;
+  obs::RecordConformance(obs::CostOp::kAppend, empty, one_page);
+  EXPECT_EQ(h->sum(), sum0 + 125 + 100);
+}
+
+TEST(CostModelTest, CostScopeSamplesOnlyAcknowledgedSuccess) {
+  MemPageDevice dev(4096, 8);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Histogram* h = reg.histogram(obs::kCostReadRatio);
+  uint64_t count0 = h->count();
+
+  obs::CostEstimate model;
+  model.leaf_reads = 1;
+  Bytes page(4096);
+  {
+    obs::CostScope never_ok(obs::CostOp::kRead, model, &dev);
+    EOS_ASSERT_OK(dev.ReadPages(0, 1, page.data()));
+  }
+  EXPECT_EQ(h->count(), count0) << "no set_ok(true), no sample";
+  {
+    obs::CostScope ok(obs::CostOp::kRead, model, &dev);
+    EOS_ASSERT_OK(dev.ReadPages(0, 1, page.data()));
+    ok.set_ok(true);
+  }
+  EXPECT_EQ(h->count(), count0 + 1);
+  {
+    obs::CostScope no_dev(obs::CostOp::kRead, model, nullptr);
+    no_dev.set_ok(true);
+  }
+  EXPECT_EQ(h->count(), count0 + 1) << "null device stays inert";
+}
+
+TEST(CostModelTest, FreshObjectReadConformsWithinGate) {
+  // End-to-end acceptance vector: on a freshly created object the
+  // measured read I/O must stay within 1.25x of the Section 4.2 model
+  // (the same gate bench_read_cost enforces at scale).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Histogram* h = reg.histogram(obs::kCostReadRatio);
+  uint64_t count0 = h->count(), sum0 = h->sum();
+
+  Stack s = Stack::Make(4096, 4096);
+  auto d = s.lob->CreateFrom(PatternBytes(7, 1 << 20));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EOS_ASSERT_OK(s.pager->FlushAll());
+  EOS_ASSERT_OK(s.pager->EvictAll());
+  Bytes out;
+  EOS_ASSERT_OK(s.lob->Read(*d, 0, d->size(), &out));
+
+  ASSERT_GT(h->count(), count0) << "the read recorded a conformance sample";
+  double mean_pct = static_cast<double>(h->sum() - sum0) /
+                    static_cast<double>(h->count() - count0);
+  EXPECT_LE(mean_pct, 125.0);
+  EXPECT_GT(mean_pct, 0.0);
 }
 
 }  // namespace

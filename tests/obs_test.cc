@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <string>
+#include <thread>
 
 #include "io/io_stats.h"
+#include "obs/event_journal.h"
 #include "obs/json.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -264,6 +268,128 @@ TEST(SnapshotTest, WriteReadRoundTripAndMissingFile) {
   std::remove(path.c_str());
 
   EXPECT_EQ(obs::SnapshotPathFor("/tmp/v.vol"), "/tmp/v.vol.obs.json");
+}
+
+TEST(MetricsTest, PrometheusExpositionFormat) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.counter("test.obs.prom_counter")->Inc(9);
+  reg.gauge("test.obs.prom_gauge")->Set(-2);
+  Histogram* h = reg.histogram("test.obs.prom_hist");
+  h->Record(0);
+  h->Record(5);
+  std::string out = reg.RenderPrometheus();
+
+  // Names gain the eos_ prefix, dots become underscores, counters _total.
+  EXPECT_NE(out.find("# TYPE eos_test_obs_prom_counter_total counter"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("eos_test_obs_prom_counter_total 9"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE eos_test_obs_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(out.find("eos_test_obs_prom_gauge -2"), std::string::npos);
+  // Histograms render cumulative buckets ending in the mandatory +Inf,
+  // plus _sum and _count.
+  EXPECT_NE(out.find("# TYPE eos_test_obs_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(out.find("eos_test_obs_prom_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("eos_test_obs_prom_hist_sum 5"), std::string::npos);
+  EXPECT_NE(out.find("eos_test_obs_prom_hist_count 2"), std::string::npos);
+  // Cumulative: the 0-bucket holds 1, the bucket covering 5 holds 2.
+  EXPECT_NE(out.find("eos_test_obs_prom_hist_bucket{le=\"0\"} 1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("eos_test_obs_prom_hist_bucket{le=\"7\"} 2"),
+            std::string::npos)
+      << out;
+  // Every line is either a comment or "name[{labels}] value".
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t eol = out.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "output ends with a newline";
+    std::string line = out.substr(pos, eol - pos);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(SnapshotTest, ChromeTraceExportParsesAndNests) {
+  obs::OpTracer::Default().Clear();
+  {
+    ScopedOp outer("test.chrome_outer", 5, nullptr);
+    ScopedOp inner("test.chrome_inner", 5, nullptr);
+    (void)inner;
+  }
+  auto snap = JsonValue::Parse(obs::SnapshotJson());
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  auto trace = JsonValue::Parse(obs::ChromeTraceJson(*snap));
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GE(events->elements().size(), 2u);
+  bool saw_outer = false, saw_inner = false;
+  for (const JsonValue& e : events->elements()) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->str(), "X") << "complete events";
+    EXPECT_GE(e.NumberOr("ts", -1), 0.0) << "timestamps never negative";
+    const JsonValue* name = e.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->str() == "test.chrome_outer") {
+      saw_outer = true;
+      EXPECT_EQ(e.NumberOr("tid", 0), 1.0) << "depth 0 -> tid 1";
+    }
+    if (name->str() == "test.chrome_inner") {
+      saw_inner = true;
+      EXPECT_EQ(e.NumberOr("tid", 0), 2.0) << "depth 1 -> tid 2";
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST(SnapshotTest, SnapshotWriterWritesImmediatelyAndOnStop) {
+  const std::string path =
+      ::testing::TempDir() + "/eos_obs_snapshot_writer_test.json";
+  std::remove(path.c_str());
+  obs::SnapshotWriter writer;
+  EXPECT_FALSE(writer.running());
+  writer.Start(path, /*interval_ms=*/3'600'000);  // no periodic tick fires
+  EXPECT_TRUE(writer.running());
+  // The initial write happens before Start returns control flow to the
+  // loop's first wait, but give the thread a moment under sanitizers.
+  for (int i = 0; i < 1000 && writer.writes() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(writer.writes(), 1u);
+  writer.Stop();
+  EXPECT_FALSE(writer.running());
+  uint64_t after_stop = writer.writes();
+  EXPECT_GE(after_stop, 2u) << "Stop flushes a final snapshot";
+  writer.Stop();  // idempotent
+  EXPECT_EQ(writer.writes(), after_stop);
+  auto snap = obs::ReadSnapshotFile(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->NumberOr("version", 0), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsTest, DisabledJournalAndCostHooksAreInert) {
+  EnabledGuard guard;
+  obs::SetEnabled(false);
+  // Journal: no ring registration, no sequence advance (the EOS_OBS=0
+  // zero-overhead contract; the journal's own suite covers this deeper).
+  obs::EventJournal j(8);
+  obs::RecordEvent(obs::EventKind::kNote, "inert");
+  j.Record(obs::EventKind::kNote, "inert");
+  EXPECT_EQ(j.total_recorded(), 0u);
+  EXPECT_EQ(j.threads_seen(), 0u);
+  // Prometheus rendering still works while disabled (values just freeze).
+  EXPECT_NE(MetricsRegistry::Default().RenderPrometheus().find("# TYPE"),
+            std::string::npos);
 }
 
 TEST(IoStatsTest, DifferenceAndToString) {

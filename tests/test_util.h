@@ -11,6 +11,7 @@
 #include "io/page_device.h"
 #include "io/pager.h"
 #include "lob/lob_manager.h"
+#include "obs/event_journal.h"
 
 namespace eos {
 namespace testing_util {
@@ -54,6 +55,26 @@ inline Bytes PatternBytes(uint64_t seed, size_t n) {
     b[i] = static_cast<uint8_t>((seed * 131 + i * 7 + (i >> 8)) & 0xFF);
   }
   return b;
+}
+
+// gtest listener that dumps the flight-recorder journal when a test
+// fails, so every red torture run ships its black box (the dump bundles
+// EOS_TEST_SEED; tools/run_checks.sh retains the files under
+// build/postmortems via EOS_JOURNAL_DIR). Call from main-less suites by
+// adding a global: `static const bool _ = InstallPostMortemOnFailure();`
+class PostMortemOnFailureListener : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() != nullptr && info.result()->Failed()) {
+      obs::DumpPostMortemBestEffort("gtest_failure");
+    }
+  }
+};
+
+inline bool InstallPostMortemOnFailure() {
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new PostMortemOnFailureListener());
+  return true;
 }
 
 #define EOS_ASSERT_OK(expr)                                 \

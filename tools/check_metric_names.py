@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Metric-name contract lint (wired into tools/run_checks.sh).
+
+The observability layer names every metric once, in
+src/obs/metric_names.h.  This check keeps the three places a name can
+appear from drifting apart:
+
+  1. every k* constant in metric_names.h is referenced by at least one
+     instrumentation site (src/, bench/, tools/ — a constant nobody
+     records into is dead telemetry);
+  2. every constant's metric string is documented in DESIGN.md's metric
+     table (between the `<!-- metrics:begin -->` / `<!-- metrics:end -->`
+     markers);
+  3. every metric string documented in that table maps back to a
+     constant (docs cannot invent metrics that do not exist);
+  4. no instrumentation site under src/ passes a raw string literal to
+     MetricsRegistry::{counter,gauge,histogram} — names must flow
+     through the constants so 1–3 can see them.  (Dynamically composed
+     names, e.g. the per-op "op.<name>.us" histograms, are exempt: the
+     lint only matches literals.)
+
+Exits non-zero listing every violation.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+NAMES_H = os.path.join(REPO, "src", "obs", "metric_names.h")
+DESIGN = os.path.join(REPO, "DESIGN.md")
+
+CONST_RE = re.compile(
+    r"inline\s+constexpr\s+char\s+(k\w+)\[\]\s*=\s*\"([^\"]+)\"")
+# A raw literal fed straight to the registry, e.g. counter("pager.hit").
+RAW_LOOKUP_RE = re.compile(r"\b(?:counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+MARKER_BEGIN = "<!-- metrics:begin -->"
+MARKER_END = "<!-- metrics:end -->"
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def source_files(*roots):
+    for root in roots:
+        for dirpath, _, files in os.walk(os.path.join(REPO, root)):
+            for name in files:
+                if name.endswith((".cc", ".h")):
+                    yield os.path.join(dirpath, name)
+
+
+def main():
+    constants = CONST_RE.findall(read(NAMES_H))
+    if not constants:
+        print(f"check_metric_names: no constants parsed from {NAMES_H}")
+        return 1
+    errors = []
+
+    by_const = dict(constants)
+    by_name = {}
+    for const, name in constants:
+        if name in by_name:
+            errors.append(
+                f"duplicate metric string {name!r}: {by_name[name]} and "
+                f"{const} in metric_names.h")
+        by_name[name] = const
+
+    # 1. every constant referenced from some instrumentation site, and
+    # 4. no raw literal registry lookups in src/.
+    referenced = set()
+    for path in source_files("src", "bench", "tools", "tests"):
+        if os.path.samefile(path, NAMES_H):
+            continue
+        text = read(path)
+        for const in by_const:
+            if re.search(rf"\b{const}\b", text):
+                referenced.add(const)
+        if path.startswith(os.path.join(REPO, "src")):
+            for raw in RAW_LOOKUP_RE.findall(text):
+                rel = os.path.relpath(path, REPO)
+                hint = (f" (use obs::{by_name[raw]})"
+                        if raw in by_name else "")
+                errors.append(
+                    f"{rel}: raw metric literal {raw!r} passed to the "
+                    f"registry{hint}")
+    for const, name in constants:
+        if const not in referenced:
+            errors.append(
+                f"metric_names.h: {const} ({name!r}) is referenced by no "
+                f"instrumentation site")
+
+    # 2 & 3. DESIGN.md table <-> constants, both directions.
+    design = read(DESIGN)
+    begin = design.find(MARKER_BEGIN)
+    end = design.find(MARKER_END)
+    if begin < 0 or end < 0 or end < begin:
+        errors.append(
+            f"DESIGN.md: missing {MARKER_BEGIN} / {MARKER_END} markers "
+            f"around the metric table")
+        table = ""
+    else:
+        table = design[begin:end]
+    documented = set(re.findall(r"`([a-z][a-z0-9_.]*[a-z0-9_])`", table))
+    # Only rows that name a metric: must contain a dot, like the names do.
+    documented = {d for d in documented if "." in d}
+    for const, name in constants:
+        if name not in documented:
+            errors.append(
+                f"DESIGN.md: metric {name!r} ({const}) missing from the "
+                f"documented table")
+    for name in sorted(documented):
+        if name not in by_name and not name.startswith("op."):
+            errors.append(
+                f"DESIGN.md: documented metric {name!r} has no constant in "
+                f"metric_names.h")
+
+    if errors:
+        for e in errors:
+            print(f"check_metric_names: {e}")
+        print(f"check_metric_names: {len(errors)} violation(s)")
+        return 1
+    print(f"check_metric_names: OK ({len(constants)} metrics, "
+          f"{len(documented)} documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,11 @@
 //   eos_inspect <volume> --spaces               buddy free-list report
 //   eos_inspect <volume> stats                  metrics snapshot summary
 //   eos_inspect <volume> trace                  recent operation spans
+//   eos_inspect <volume> trace --chrome=out.json  export spans as Chrome
+//                                               trace events (chrome://tracing)
+//   eos_inspect <volume> top [--interval MS] [--count N]
+//                                               live rates from successive
+//                                               sidecar snapshots
 //   eos_inspect <volume> scrub                  checksum-verify every page
 //   eos_inspect <volume> repair                 scrub, then rebuild damaged
 //                                               objects (lossy: see holes)
@@ -18,10 +23,12 @@
 // volume itself. Everything else is read-only except the superblock flush
 // performed on clean close.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "eos/database.h"
 #include "obs/json.h"
@@ -40,7 +47,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: eos_inspect <volume> [--page-size N] "
                "[--object ID | --check | verify | --spaces | stats | "
-               "trace | scrub | repair | leak-check]\n");
+               "trace [--chrome=OUT] | top [--interval MS] [--count N] | "
+               "scrub | repair | leak-check]\n");
   return 2;
 }
 
@@ -273,6 +281,120 @@ void PrintTrace(const std::string& volume) {
   }
 }
 
+// Writes the sidecar's spans as Chrome trace-event JSON; load the file in
+// chrome://tracing or https://ui.perfetto.dev.
+void ExportChromeTrace(const std::string& volume, const std::string& out) {
+  eos::obs::JsonValue snap = LoadSnapshotOrExit(volume);
+  std::string json = eos::obs::ChromeTraceJson(snap);
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chrome trace: cannot open %s\n", out.c_str());
+    std::exit(1);
+  }
+  size_t put = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  if (std::fclose(f) != 0 || put != json.size()) {
+    std::fprintf(stderr, "chrome trace: write to %s failed\n", out.c_str());
+    std::exit(1);
+  }
+  const eos::obs::JsonValue* trace = snap.Find("trace");
+  std::printf("chrome trace: %zu span(s) -> %s\n",
+              trace != nullptr && trace->is_array()
+                  ? trace->elements().size()
+                  : size_t{0},
+              out.c_str());
+}
+
+// ----- top: rate deltas between successive snapshots -------------------------
+
+// The cumulative quantities `top` differentiates, pulled from one sidecar
+// snapshot.
+struct TopSample {
+  bool valid = false;
+  double ops = 0;            // total op.* span count
+  double bytes_read = 0;
+  double bytes_written = 0;
+  double cost_sum = 0;       // cost.read_actual_over_model sum (percent)
+  double cost_count = 0;
+  double busiest_count = 0;  // for picking the latency line
+  std::string busiest_op;
+  double p50 = 0;
+  double p99 = 0;
+};
+
+TopSample ReadTopSample(const std::string& volume) {
+  TopSample t;
+  std::string path = eos::obs::SnapshotPathFor(volume);
+  auto snap = eos::obs::ReadSnapshotFile(path);
+  if (!snap.ok()) return t;
+  t.valid = true;
+  t.bytes_read = CounterOf(*snap, eos::obs::kIoBytesRead);
+  t.bytes_written = CounterOf(*snap, eos::obs::kIoBytesWritten);
+  const eos::obs::JsonValue* metrics = snap->Find("metrics");
+  const eos::obs::JsonValue* hists =
+      metrics == nullptr ? nullptr : metrics->Find("histograms");
+  if (hists == nullptr || !hists->is_object()) return t;
+  for (const auto& [name, h] : hists->members()) {
+    if (name.rfind("op.", 0) == 0) {
+      double c = h.NumberOr("count", 0);
+      t.ops += c;
+      if (c > t.busiest_count) {
+        t.busiest_count = c;
+        t.busiest_op = name;
+        t.p50 = h.NumberOr("p50", 0);
+        t.p99 = h.NumberOr("p99", 0);
+      }
+    } else if (name == eos::obs::kCostReadRatio) {
+      t.cost_sum = h.NumberOr("sum", 0);
+      t.cost_count = h.NumberOr("count", 0);
+    }
+  }
+  return t;
+}
+
+// Renders rate deltas between successive sidecar snapshots, like top(1)
+// for a volume: ops/s and MB/s are per-interval rates, the latency
+// percentiles are the busiest operation's cumulative histogram, and
+// `conf` is the interval's mean read conformance ratio (actual/model I/O —
+// creeping above 1.00 means fragmentation; see DESIGN.md).
+void Top(const std::string& volume, uint64_t interval_ms, uint64_t count) {
+  if (interval_ms == 0) interval_ms = 1000;
+  std::printf("%8s %9s %9s %9s %22s %8s %8s %6s\n", "ops/s", "rd MB/s",
+              "wr MB/s", "total ops", "busiest op", "p50 us", "p99 us",
+              "conf");
+  TopSample prev = ReadTopSample(volume);
+  if (!prev.valid) {
+    std::printf("waiting for %s ...\n",
+                eos::obs::SnapshotPathFor(volume).c_str());
+  }
+  for (uint64_t i = 0; count == 0 || i < count; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    TopSample cur = ReadTopSample(volume);
+    if (!cur.valid) continue;
+    double dt = static_cast<double>(interval_ms) / 1000.0;
+    double ops_s = prev.valid ? (cur.ops - prev.ops) / dt : 0;
+    double rd = prev.valid
+                    ? (cur.bytes_read - prev.bytes_read) / dt / 1048576.0
+                    : 0;
+    double wr = prev.valid
+                    ? (cur.bytes_written - prev.bytes_written) / dt / 1048576.0
+                    : 0;
+    // Interval-local conformance when new samples arrived, else cumulative.
+    double dsum = cur.cost_sum - (prev.valid ? prev.cost_sum : 0);
+    double dcount = cur.cost_count - (prev.valid ? prev.cost_count : 0);
+    double conf = dcount > 0 ? dsum / dcount / 100.0
+                             : (cur.cost_count > 0
+                                    ? cur.cost_sum / cur.cost_count / 100.0
+                                    : 0);
+    std::printf("%8.1f %9.2f %9.2f %9.0f %22s %8.0f %8.0f %6.2f\n", ops_s,
+                rd, wr, cur.ops,
+                cur.busiest_op.empty() ? "-" : cur.busiest_op.c_str(),
+                cur.p50, cur.p99, conf);
+    std::fflush(stdout);
+    prev = cur;
+  }
+}
+
 void PrintScrubReport(const eos::ScrubReport& report) {
   std::printf("scrub: %llu pages verified, %zu issue(s)\n",
               static_cast<unsigned long long>(report.pages_verified),
@@ -380,6 +502,9 @@ int main(int argc, char** argv) {
   DatabaseOptions options;
   std::string mode = "overview";
   uint64_t object_id = 0;
+  std::string chrome_out;
+  uint64_t top_interval_ms = 1000;
+  uint64_t top_count = 0;  // 0 = forever
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--page-size" && i + 1 < argc) {
@@ -397,6 +522,16 @@ int main(int argc, char** argv) {
       mode = "stats";
     } else if (arg == "trace" || arg == "--trace") {
       mode = "trace";
+    } else if (arg == "top" || arg == "--top") {
+      mode = "top";
+    } else if (arg.rfind("--chrome=", 0) == 0) {
+      chrome_out = arg.substr(std::strlen("--chrome="));
+    } else if (arg == "--chrome" && i + 1 < argc) {
+      chrome_out = argv[++i];
+    } else if (arg == "--interval" && i + 1 < argc) {
+      top_interval_ms = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--count" && i + 1 < argc) {
+      top_count = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "scrub" || arg == "--scrub") {
       mode = "scrub";
     } else if (arg == "repair" || arg == "--repair") {
@@ -413,7 +548,15 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (mode == "trace") {
-    PrintTrace(path);
+    if (!chrome_out.empty()) {
+      ExportChromeTrace(path, chrome_out);
+    } else {
+      PrintTrace(path);
+    }
+    return 0;
+  }
+  if (mode == "top") {
+    Top(path, top_interval_ms, top_count);
     return 0;
   }
   auto db = Database::Open(path, options);

@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
-# Three-tier check runner (DESIGN.md "Testing & fault model"):
+# Check runner (DESIGN.md "Testing & fault model"): a metric-name lint
+# plus three build tiers:
 #
-#   1. fast + sanitizer-labelled tests under ASan/UBSan (the `asan` preset);
-#   2. the `tsan`-labelled concurrency suites (concurrent scrub + readers,
-#      parallel allocator use) under ThreadSanitizer (the `tsan` preset);
+#   0. tools/check_metric_names.py — metric_names.h <-> instrumentation
+#      <-> DESIGN.md table consistency (no build needed);
+#   1. fast + sanitizer- and obs-labelled tests under ASan/UBSan (the
+#      `asan` preset);
+#   2. the `tsan`- and obs-labelled concurrency suites (concurrent scrub
+#      + readers, parallel allocator use, concurrent journal writers)
+#      under ThreadSanitizer (the `tsan` preset);
 #   3. the full suite, including the `torture` crash-recovery, bit-rot and
 #      stress tests, in the default RelWithDebInfo build.
 #
 # The `exhaustion` label (resource-exhaustion/deadline suites, DESIGN.md
 # §11) rides in tiers 1 and 2 via its sanitizer/tsan labels and can be
 # run alone with `ctest --test-dir build -L exhaustion`.
+#
+# Torture tiers run with EOS_JOURNAL_DIR pointed at build/postmortems so
+# any flight-recorder post-mortem dumps (DESIGN.md §6) survive the run;
+# retained dumps are listed at the end.
 #
 # Usage: tools/run_checks.sh [-j N]
 #        tools/run_checks.sh perf-smoke [-j N]
@@ -87,22 +96,35 @@ PY
   exit 0
 fi
 
-echo "== [1/3] sanitizer tier (ASan/UBSan, label: sanitizer) =="
+echo "== [0/3] metric-name lint =="
+python3 tools/check_metric_names.py
+
+POSTMORTEM_DIR="$PWD/build/postmortems"
+mkdir -p "$POSTMORTEM_DIR"
+
+echo "== [1/3] sanitizer tier (ASan/UBSan, labels: sanitizer|obs) =="
 cmake --preset asan
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 \
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
-  ctest --test-dir build-asan -L sanitizer --output-on-failure -j "$JOBS"
+EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
+  ctest --test-dir build-asan -L 'sanitizer|obs' --output-on-failure -j "$JOBS"
 
-echo "== [2/3] concurrency tier (TSan, label: tsan) =="
+echo "== [2/3] concurrency tier (TSan, labels: tsan|obs) =="
 cmake --preset tsan
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
+EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
+  ctest --test-dir build-tsan -L 'tsan|obs' --output-on-failure -j "$JOBS"
 
 echo "== [3/3] full suite incl. torture (default build) =="
 cmake --preset default
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
+  ctest --test-dir build --output-on-failure -j "$JOBS"
 
+if compgen -G "$POSTMORTEM_DIR/eos_postmortem.*.json" > /dev/null; then
+  echo "retained post-mortem journals (flight recorder, DESIGN.md §6):"
+  ls -1 "$POSTMORTEM_DIR"/eos_postmortem.*.json | sed 's/^/  /'
+fi
 echo "all checks passed"
