@@ -1,6 +1,7 @@
 #include "buddy/segment_allocator.h"
 
 #include <cassert>
+#include <cmath>
 #include <cstring>
 
 #include "obs/metric_names.h"
@@ -331,6 +332,51 @@ StatusOr<std::vector<SpaceReport>> SegmentAllocator::Report() {
     }
     out.push_back(std::move(r));
   }
+  return out;
+}
+
+StatusOr<FragmentationStats> SegmentAllocator::FragStats() {
+  EOS_ASSIGN_OR_RETURN(std::vector<SpaceReport> spaces, Report());
+  FragmentationStats out;
+  std::vector<uint64_t> by_type;
+  for (const SpaceReport& r : spaces) {
+    if (r.free_counts.size() > by_type.size()) {
+      by_type.resize(r.free_counts.size(), 0);
+    }
+    for (uint32_t t = 0; t < r.free_counts.size(); ++t) {
+      by_type[t] += r.free_counts[t];
+      out.free_segments += r.free_counts[t];
+      out.free_pages += uint64_t{r.free_counts[t]} << t;
+      if (r.free_counts[t] > 0) {
+        out.largest_free_pages =
+            std::max<uint64_t>(out.largest_free_pages, uint64_t{1} << t);
+      }
+    }
+  }
+  if (out.free_segments > 0) {
+    out.mean_free_pages = static_cast<double>(out.free_pages) /
+                          static_cast<double>(out.free_segments);
+    double entropy = 0.0;
+    for (uint64_t n : by_type) {
+      if (n == 0) continue;
+      double p = static_cast<double>(n) /
+                 static_cast<double>(out.free_segments);
+      entropy -= p * std::log2(p);
+    }
+    if (by_type.size() > 1) {
+      out.free_entropy = entropy / std::log2(
+          static_cast<double>(by_type.size()));
+    }
+  }
+  static obs::Gauge* g_entropy =
+      obs::MetricsRegistry::Default().gauge(obs::kFragFreeEntropy);
+  static obs::Gauge* g_segments =
+      obs::MetricsRegistry::Default().gauge(obs::kFragFreeSegments);
+  static obs::Gauge* g_largest =
+      obs::MetricsRegistry::Default().gauge(obs::kFragLargestFreePages);
+  g_entropy->Set(static_cast<int64_t>(out.free_entropy * 1000.0));
+  g_segments->Set(static_cast<int64_t>(out.free_segments));
+  g_largest->Set(static_cast<int64_t>(out.largest_free_pages));
   return out;
 }
 

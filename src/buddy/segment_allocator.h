@@ -35,6 +35,22 @@ struct SpaceReport {
   int max_free_type = -1;
 };
 
+// Volume-level free-space shape, the aging signal of DESIGN.md §12: a
+// fresh volume keeps its free space in a few maximal segments (entropy
+// near 0, large mean); weeks of churn shatter it across every size class
+// (entropy toward 1, mean toward one page), which is what forces future
+// allocations to scatter and read costs to drift off the §4 model.
+struct FragmentationStats {
+  uint64_t free_pages = 0;
+  uint64_t free_segments = 0;       // free-list entries across all spaces
+  uint64_t largest_free_pages = 0;  // size of the largest free segment
+  double mean_free_pages = 0.0;     // free_pages / free_segments
+  // Shannon entropy of the free-segment size-class histogram, normalized
+  // by log2(max_type + 1) into [0, 1]. 0 when free space sits in a single
+  // size class (or there is none).
+  double free_entropy = 0.0;
+};
+
 // Volume-level segment allocation across many buddy spaces (Section 3.3).
 //
 // Spaces are laid out back to back starting at `first_space_page`; each is
@@ -148,6 +164,10 @@ class SegmentAllocator {
 
   // Fragmentation snapshot of every space.
   StatusOr<std::vector<SpaceReport>> Report();
+
+  // Aggregates Report() into the volume-level free-space shape and mirrors
+  // it into the frag.* gauges (free pages, segment count, entropy).
+  StatusOr<FragmentationStats> FragStats();
 
   // True iff every page of `extent` is currently allocated — the deep
   // integrity check uses this to verify that index/leaf references point

@@ -45,7 +45,25 @@ class SharedLatch {
   void ReleaseExclusive() { mu_.unlock(); }
 
  private:
+  friend class SharedLatchGuard;
+  friend class ExclusiveLatchGuard;
   std::shared_mutex mu_;
+};
+
+class SharedLatchGuard {
+ public:
+  explicit SharedLatchGuard(SharedLatch& latch) : guard_(latch.mu_) {}
+
+ private:
+  std::shared_lock<std::shared_mutex> guard_;
+};
+
+class ExclusiveLatchGuard {
+ public:
+  explicit ExclusiveLatchGuard(SharedLatch& latch) : guard_(latch.mu_) {}
+
+ private:
+  std::unique_lock<std::shared_mutex> guard_;
 };
 
 }  // namespace eos

@@ -56,6 +56,10 @@ class ScopedDirLogSuspend {
 }  // namespace
 
 Database::~Database() {
+  // The defrag thread calls back into this object; it must be gone before
+  // any member is torn down (and before the final flush, so the flush sees
+  // a quiesced volume).
+  if (defrag_ != nullptr) defrag_->Stop();
   (void)Flush();
   // Stop after the flush so the final sidecar snapshot sees its I/O.
   if (snapshot_writer_ != nullptr) snapshot_writer_->Stop();
@@ -187,6 +191,9 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
   } else {
     EOS_RETURN_IF_ERROR(db->LoadDirectory());
   }
+  db->defrag_ = std::make_unique<Defragmenter>(
+      static_cast<DefragHost*>(db.get()), db->lob_.get(), options.defrag);
+  if (options.defrag.enabled) db->defrag_->Start();
   return db;
 }
 
@@ -340,20 +347,27 @@ Status Database::SaveDirectory() {
   return WriteSuperblock();
 }
 
-StatusOr<uint64_t> Database::CreateObject() {
+StatusOr<uint64_t> Database::CreateObjectLocked() {
   obs::ScopedOp span("db.create_object", 0, device_.get());
   Status adm = allocator_->AdmitMutation();
   if (!adm.ok()) return span.Close(std::move(adm));
   uint64_t id = next_object_id_++;
   LobDescriptor d = lob_->CreateEmpty();
   directory_.emplace_back(id, d.Serialize());
+  TouchLocked(id);
   Status s = SaveDirectory();
   if (!s.ok()) return span.Close(std::move(s));
   return id;
 }
 
+StatusOr<uint64_t> Database::CreateObject() {
+  ExclusiveLatchGuard guard(dir_latch_);
+  return CreateObjectLocked();
+}
+
 StatusOr<uint64_t> Database::CreateObjectFrom(ByteView data) {
-  EOS_ASSIGN_OR_RETURN(uint64_t id, CreateObject());
+  ExclusiveLatchGuard guard(dir_latch_);
+  EOS_ASSIGN_OR_RETURN(uint64_t id, CreateObjectLocked());
   obs::ScopedOp span("db.create_object_from", id, device_.get());
   if (log_ != nullptr) log_->set_current_object(id);
   // Append (not CreateFrom) so the initial content is a logged operation;
@@ -361,12 +375,12 @@ StatusOr<uint64_t> Database::CreateObjectFrom(ByteView data) {
   LobDescriptor d = lob_->CreateEmpty();
   Status s = lob_->Append(&d, data);
   if (!s.ok()) return span.Close(std::move(s));
-  s = PutRoot(id, d);
+  s = PutRootLocked(id, d);
   if (!s.ok()) return span.Close(std::move(s));
   return id;
 }
 
-StatusOr<LobDescriptor> Database::GetRoot(uint64_t id) {
+StatusOr<LobDescriptor> Database::GetRootLocked(uint64_t id) {
   for (const auto& [oid, root] : directory_) {
     if (oid == id) {
       EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(root));
@@ -378,7 +392,13 @@ StatusOr<LobDescriptor> Database::GetRoot(uint64_t id) {
   return Status::NotFound("object " + std::to_string(id));
 }
 
+StatusOr<LobDescriptor> Database::GetRoot(uint64_t id) {
+  SharedLatchGuard guard(dir_latch_);
+  return GetRootLocked(id);
+}
+
 void Database::SetObjectThreshold(uint64_t id, uint32_t threshold_pages) {
+  ExclusiveLatchGuard guard(dir_latch_);
   if (threshold_pages == 0) {
     threshold_hints_.erase(id);
   } else {
@@ -387,16 +407,17 @@ void Database::SetObjectThreshold(uint64_t id, uint32_t threshold_pages) {
 }
 
 Status Database::ReorganizeObject(uint64_t id) {
+  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.reorganize", id, device_.get());
   Status adm = allocator_->AdmitMutation();
   if (!adm.ok()) return span.Close(std::move(adm));
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   Status s = lob_->Reorganize(&d);
   if (!s.ok()) return span.Close(std::move(s));
-  return span.Close(PutRoot(id, d));
+  return span.Close(PutRootLocked(id, d));
 }
 
-Status Database::PutRoot(uint64_t id, const LobDescriptor& d) {
+Status Database::PutRootLocked(uint64_t id, const LobDescriptor& d) {
   for (auto& [oid, root] : directory_) {
     if (oid == id) {
       root = d.Serialize();
@@ -406,7 +427,19 @@ Status Database::PutRoot(uint64_t id, const LobDescriptor& d) {
   return Status::NotFound("object " + std::to_string(id));
 }
 
+Status Database::PutRoot(uint64_t id, const LobDescriptor& d) {
+  ExclusiveLatchGuard guard(dir_latch_);
+  Status s = PutRootLocked(id, d);
+  if (s.ok()) TouchLocked(id);
+  return s;
+}
+
+void Database::TouchLocked(uint64_t id) {
+  last_mutation_[id] = mutation_clock_.fetch_add(1) + 1;
+}
+
 StatusOr<std::vector<uint64_t>> Database::ListObjects() {
+  SharedLatchGuard guard(dir_latch_);
   std::vector<uint64_t> ids;
   ids.reserve(directory_.size());
   for (const auto& [id, root] : directory_) ids.push_back(id);
@@ -414,6 +447,7 @@ StatusOr<std::vector<uint64_t>> Database::ListObjects() {
 }
 
 Status Database::DropObject(uint64_t id) {
+  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.drop_object", id, device_.get());
   for (size_t i = 0; i < directory_.size(); ++i) {
     if (directory_[i].first == id) {
@@ -427,6 +461,7 @@ Status Database::DropObject(uint64_t id) {
       if (!s.ok()) return span.Close(std::move(s));
       directory_.erase(directory_.begin() + i);
       holes_.erase(id);
+      last_mutation_.erase(id);
       return span.Close(SaveDirectory());
     }
   }
@@ -434,13 +469,15 @@ Status Database::DropObject(uint64_t id) {
 }
 
 StatusOr<uint64_t> Database::Size(uint64_t id) {
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  SharedLatchGuard guard(dir_latch_);
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   return d.size();
 }
 
 StatusOr<Bytes> Database::Read(uint64_t id, uint64_t offset, uint64_t n) {
+  SharedLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.read", id, device_.get());
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   Bytes out;
   Status s = lob_->Read(d, offset, n, &out);
   if (!s.ok()) return span.Close(std::move(s));
@@ -448,30 +485,35 @@ StatusOr<Bytes> Database::Read(uint64_t id, uint64_t offset, uint64_t n) {
 }
 
 Status Database::Append(uint64_t id, ByteView data) {
+  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.append", id, device_.get());
   Status adm = allocator_->AdmitMutation();
   if (!adm.ok()) return span.Close(std::move(adm));
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   if (log_ != nullptr) log_->set_current_object(id);
   Status s = lob_->Append(&d, data);
   if (!s.ok()) return span.Close(std::move(s));
-  return span.Close(PutRoot(id, d));
+  TouchLocked(id);
+  return span.Close(PutRootLocked(id, d));
 }
 
 Status Database::Insert(uint64_t id, uint64_t offset, ByteView data) {
+  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.insert", id, device_.get());
   Status adm = allocator_->AdmitMutation();
   if (!adm.ok()) return span.Close(std::move(adm));
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   if (log_ != nullptr) log_->set_current_object(id);
   Status s = lob_->Insert(&d, offset, data);
   if (!s.ok()) return span.Close(std::move(s));
-  return span.Close(PutRoot(id, d));
+  TouchLocked(id);
+  return span.Close(PutRootLocked(id, d));
 }
 
 Status Database::Delete(uint64_t id, uint64_t offset, uint64_t n) {
+  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.delete", id, device_.get());
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   if (log_ != nullptr) log_->set_current_object(id);
   // Deletes net-free storage, so they are always admitted — and their
   // transient allocations (subtree rebuilds, node shadows) may draw on the
@@ -480,28 +522,32 @@ Status Database::Delete(uint64_t id, uint64_t offset, uint64_t n) {
   SegmentAllocator::EmergencyScope emergency;
   Status s = lob_->Delete(&d, offset, n);
   if (!s.ok()) return span.Close(std::move(s));
-  return span.Close(PutRoot(id, d));
+  TouchLocked(id);
+  return span.Close(PutRootLocked(id, d));
 }
 
 Status Database::Replace(uint64_t id, uint64_t offset, ByteView data) {
+  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.replace", id, device_.get());
   // Replace rewrites bytes in place and allocates nothing, but it is still
   // a logged user mutation; only reads and deletes stay admitted when full.
   Status adm = allocator_->AdmitMutation();
   if (!adm.ok()) return span.Close(std::move(adm));
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   if (log_ != nullptr) log_->set_current_object(id);
   Status s = lob_->Replace(&d, offset, data);
   if (!s.ok()) return span.Close(std::move(s));
-  return span.Close(PutRoot(id, d));
+  TouchLocked(id);
+  return span.Close(PutRootLocked(id, d));
 }
 
 StatusOr<LobStats> Database::ObjectStats(uint64_t id) {
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  SharedLatchGuard guard(dir_latch_);
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   return lob_->Stats(d);
 }
 
-Status Database::Flush() {
+Status Database::FlushLocked() {
   // A half-initialized Database (failed Open) has nothing to flush.
   if (pager_ == nullptr || allocator_ == nullptr) return Status::OK();
   EOS_RETURN_IF_ERROR(WriteSuperblock());
@@ -509,10 +555,15 @@ Status Database::Flush() {
   return device_->Sync();
 }
 
-Status Database::Checkpoint() {
+Status Database::Flush() {
+  ExclusiveLatchGuard guard(dir_latch_);
+  return FlushLocked();
+}
+
+Status Database::CheckpointLocked() {
   // Checkpointing *releases* space; it must never be refused for lack of it.
   SegmentAllocator::EmergencyScope emergency;
-  EOS_RETURN_IF_ERROR(Flush());
+  EOS_RETURN_IF_ERROR(FlushLocked());
   if (deferred_frees_ == nullptr) return Status::OK();
   // Every root that could reach the parked segments is durably superseded
   // now; detach the interceptor so the frees reach the buddy system.
@@ -526,7 +577,13 @@ Status Database::Checkpoint() {
   return s;
 }
 
+Status Database::Checkpoint() {
+  ExclusiveLatchGuard guard(dir_latch_);
+  return CheckpointLocked();
+}
+
 Status Database::Recover(const std::vector<LogRecord>& log) {
+  ExclusiveLatchGuard guard(dir_latch_);
   Status s = RecoverImpl(log);
   if (!s.ok()) {
     // A failed recovery is as fatal as storage gets: the volume cannot be
@@ -610,10 +667,11 @@ Status Database::RecoverImpl(const std::vector<LogRecord>& log) {
   }
   s = SaveDirectory();
   if (!s.ok()) return span.Close(std::move(s));
-  return span.Close(Checkpoint());
+  return span.Close(CheckpointLocked());
 }
 
 Status Database::CheckIntegrity() {
+  SharedLatchGuard guard(dir_latch_);
   EOS_RETURN_IF_ERROR(allocator_->CheckInvariants());
   for (const auto& [id, root] : directory_) {
     EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(root));
@@ -626,6 +684,9 @@ Status Database::CheckIntegrity() {
 }
 
 Status Database::LeakCheck(LeakCheckReport* report) {
+  // Exclusive: a mutation between the reference walk and the per-page
+  // sweep would report its transient state as a leak.
+  ExclusiveLatchGuard guard(dir_latch_);
   *report = LeakCheckReport{};
   // 1. Everything a root can reach, plus checkpoint-parked frees (those
   //    are allocated on purpose until the next Checkpoint drains them).
@@ -692,9 +753,14 @@ Status Database::LeakCheck(LeakCheckReport* report) {
 }
 
 Status Database::Scrub(ScrubReport* report) {
+  // Shared for the whole pass: concurrent readers keep running (the
+  // integrity suite races them on purpose), while mutators — including
+  // defrag migrations — wait rather than free pages mid-walk. The flush
+  // below only touches the pager and superblock, which no reader does.
+  SharedLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.scrub", 0, device_.get());
   // Scrub reads the device directly; make it current first.
-  Status s = Flush();
+  Status s = FlushLocked();
   if (!s.ok()) return span.Close(std::move(s));
   static obs::Counter* verified_counter =
       obs::MetricsRegistry::Default().counter(obs::kScrubPagesVerified);
@@ -733,8 +799,9 @@ Status Database::Scrub(ScrubReport* report) {
 }
 
 Status Database::RepairObject(uint64_t id) {
+  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.repair_object", id, device_.get());
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRoot(id));
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   std::vector<HoleRange> holes;
   auto salvaged = lob_->Salvage(d, &holes);
   if (!salvaged.ok()) return span.Close(salvaged.status());
@@ -778,7 +845,7 @@ Status Database::RepairObject(uint64_t id) {
   }
   s = allocator_->WipeAndRebuild(live);
   if (!s.ok()) return span.Close(std::move(s));
-  s = Flush();
+  s = FlushLocked();
   if (!s.ok()) return span.Close(std::move(s));
   static obs::Counter* repaired_counter =
       obs::MetricsRegistry::Default().counter(obs::kScrubRepairedObjects);
@@ -787,13 +854,78 @@ Status Database::RepairObject(uint64_t id) {
 }
 
 std::vector<HoleRange> Database::GetHoles(uint64_t id) const {
+  SharedLatchGuard guard(dir_latch_);
   auto it = holes_.find(id);
   return it == holes_.end() ? std::vector<HoleRange>{} : it->second;
 }
 
 void Database::AttachLog(LogManager* log) {
+  ExclusiveLatchGuard guard(dir_latch_);
   log_ = log;
   lob_->set_log_manager(log);
+}
+
+// ----- online defragmentation (DESIGN.md §12) --------------------------------
+
+Status Database::DefragTick(DefragReport* report) {
+  if (defrag_ == nullptr) {
+    return Status::InvalidArgument("database not initialized");
+  }
+  return defrag_->Tick(report);
+}
+
+StatusOr<std::vector<DefragHost::ObjectFacts>> Database::CollectObjectFacts() {
+  SharedLatchGuard guard(dir_latch_);
+  std::vector<DefragHost::ObjectFacts> facts;
+  facts.reserve(directory_.size());
+  for (const auto& [id, root] : directory_) {
+    EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(root));
+    EOS_ASSIGN_OR_RETURN(LobStats stats, lob_->Stats(d));
+    DefragHost::ObjectFacts f;
+    f.id = id;
+    f.stats = stats;
+    auto heat = last_mutation_.find(id);
+    f.last_mutation = heat == last_mutation_.end() ? 0 : heat->second;
+    facts.push_back(std::move(f));
+  }
+  return facts;
+}
+
+uint64_t Database::MutationClock() { return mutation_clock_.load(); }
+
+Status Database::MigrateObject(uint64_t id, uint64_t horizon,
+                               uint32_t headroom_pages) {
+  ExclusiveLatchGuard guard(dir_latch_);
+  obs::ScopedOp span("db.defrag_migrate", id, device_.get());
+  // The cold classification came from an earlier unlatched scan; an object
+  // mutated (or dropped) since is no longer the one that was scored.
+  auto heat = last_mutation_.find(id);
+  if (heat != last_mutation_.end() && heat->second > horizon) {
+    return span.Close(Status::Busy("object went hot before migration"));
+  }
+  Status adm = allocator_->AdmitMutation(std::max<uint32_t>(1, headroom_pages));
+  if (!adm.ok()) return span.Close(std::move(adm));
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
+  // Reorganize is content-neutral and unlogged: it streams the bytes into
+  // fresh maximal segments, keeps the root LSN, and frees (crash-safe:
+  // parks) the old tree, so a crash mid-migration recovers from the old
+  // root plus the unchanged WAL. No TouchLocked — a migration must not
+  // make its object look hot.
+  Status s = lob_->Reorganize(&d);
+  if (!s.ok()) return span.Close(std::move(s));
+  return span.Close(PutRootLocked(id, d));
+}
+
+Status Database::ReleaseMigratedStorage() {
+  // Non-crash-safe frees already reached the buddy system inside
+  // Reorganize; there is nothing parked to drain.
+  if (deferred_frees_ == nullptr) return Status::OK();
+  ExclusiveLatchGuard guard(dir_latch_);
+  return CheckpointLocked();
+}
+
+void Database::RefreshFragGauges() {
+  if (allocator_ != nullptr) (void)allocator_->FragStats();
 }
 
 }  // namespace eos

@@ -1,6 +1,7 @@
 #ifndef EOS_EOS_DATABASE_H_
 #define EOS_EOS_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -9,10 +10,12 @@
 
 #include "buddy/segment_allocator.h"
 #include "common/bytes.h"
+#include "common/latch.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "io/page_device.h"
 #include "io/pager.h"
+#include "lob/defrag.h"
 #include "lob/lob_manager.h"
 #include "obs/snapshot.h"
 #include "txn/log_manager.h"
@@ -79,6 +82,12 @@ struct DatabaseOptions {
   // and once at close), so `eos_inspect top` can watch a live process.
   // File-backed volumes only — in-memory volumes have no sidecar path.
   uint64_t obs_snapshot_interval_ms = 0;
+
+  // Online defragmentation (DESIGN.md §12): `defrag.enabled` starts a
+  // background thread that periodically migrates cold, scattered objects
+  // back to their ideal layout. DefragTick() drives single deterministic
+  // passes regardless of the flag.
+  DefragOptions defrag;
 };
 
 // FreeInterceptor that parks every freed extent until the next
@@ -116,7 +125,13 @@ struct LeakCheckReport {
   std::vector<Extent> doubly_referenced;
 };
 
-class Database {
+// Concurrency: a reader/writer latch serializes the object directory and
+// every public operation — reads and stats run shared, mutations (and
+// checkpoint/recovery/repair) run exclusive. That is what lets the online
+// defragmenter migrate objects from a background thread while foreground
+// readers keep running; per-page consistency below the latch is the
+// pager's and allocator's own short-duration latches.
+class Database : private DefragHost {
  public:
   static constexpr uint32_t kMagic = 0x454F5356;  // "EOSV"
   // v2 adds the format epoch to the superblock and hole maps to the
@@ -177,6 +192,16 @@ class Database {
 
   // Rewrites the object into its optimal layout (LobManager::Reorganize).
   Status ReorganizeObject(uint64_t id);
+
+  // ----- online defragmentation (DESIGN.md §12) ------------------------------
+
+  // One scan-and-migrate pass of the online defragmenter: scores every
+  // object's scatter, migrates the worst cold offenders within the
+  // configured per-tick budget. Runs whether or not the background thread
+  // is enabled; safe concurrently with any other operation.
+  Status DefragTick(DefragReport* report = nullptr);
+
+  Defragmenter* defragmenter() { return defrag_.get(); }
 
   // ----- convenience object operations --------------------------------------
 
@@ -283,6 +308,26 @@ class Database {
   Status LoadDirectory();
   Status SaveDirectory();
 
+  // ----- latch-free internals (caller holds dir_latch_) ---------------------
+
+  StatusOr<uint64_t> CreateObjectLocked();
+  StatusOr<LobDescriptor> GetRootLocked(uint64_t id);
+  Status PutRootLocked(uint64_t id, const LobDescriptor& d);
+  Status FlushLocked();
+  Status CheckpointLocked();
+  // Records a foreground mutation of `id` on the heat clock, so the
+  // defragmenter can tell cold objects from ones still being written.
+  void TouchLocked(uint64_t id);
+
+  // ----- DefragHost (the defragmenter's view of this database) --------------
+
+  StatusOr<std::vector<DefragHost::ObjectFacts>> CollectObjectFacts() override;
+  uint64_t MutationClock() override;
+  Status MigrateObject(uint64_t id, uint64_t horizon,
+                       uint32_t headroom_pages) override;
+  Status ReleaseMigratedStorage() override;
+  void RefreshFragGauges() override;
+
   DatabaseOptions options_;
   std::unique_ptr<obs::SnapshotWriter> snapshot_writer_;
   std::unique_ptr<PageDevice> device_;
@@ -298,6 +343,18 @@ class Database {
   LobDescriptor dir_object_;  // the directory's own root
   std::vector<std::pair<uint64_t, Bytes>> directory_;  // id -> root image
   std::map<uint64_t, std::vector<HoleRange>> holes_;   // id -> hole map
+
+  // Reader/writer latch over the directory and all object state above;
+  // shared for reads/stats, exclusive for mutations. Mutable so const
+  // accessors (GetHoles) can latch.
+  mutable SharedLatch dir_latch_;
+  // Heat tracking for defrag cold/hot classification: every foreground
+  // mutation bumps the clock and stamps its object (map guarded by
+  // dir_latch_ exclusive; clock is atomic so the defragmenter can read it
+  // latch-free).
+  std::atomic<uint64_t> mutation_clock_{0};
+  std::map<uint64_t, uint64_t> last_mutation_;
+  std::unique_ptr<Defragmenter> defrag_;
 };
 
 }  // namespace eos

@@ -1,0 +1,180 @@
+#include "lob/defrag.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "common/deadline.h"
+#include "obs/event_journal.h"
+#include "obs/metric_names.h"
+
+namespace eos {
+
+Defragmenter::Defragmenter(DefragHost* host, LobManager* lob,
+                           const DefragOptions& opt)
+    : host_(host), lob_(lob), opt_(opt) {
+  auto& reg = obs::MetricsRegistry::Default();
+  m_ticks_ = reg.counter(obs::kDefragTicks);
+  m_scanned_ = reg.counter(obs::kDefragObjectsScanned);
+  m_migrated_ = reg.counter(obs::kDefragObjectsMigrated);
+  m_bytes_ = reg.counter(obs::kDefragBytesMigrated);
+  m_failed_ = reg.counter(obs::kDefragMigrateFailed);
+  m_skipped_hot_ = reg.counter(obs::kDefragSkippedHot);
+  m_refused_ = reg.counter(obs::kDefragRefused);
+  m_scatter_ = reg.histogram(obs::kFragObjectScatter);
+}
+
+Defragmenter::~Defragmenter() { Stop(); }
+
+double Defragmenter::ScatterOf(const LobStats& stats, uint32_t page_size,
+                               uint32_t max_segment_pages) {
+  if (stats.size_bytes == 0 || page_size == 0 || max_segment_pages == 0) {
+    return 1.0;
+  }
+  // Cost of a full scan under the DiskModel's accounting: one seek per
+  // segment visited (plus one per index page, each its own single-page
+  // access in §4.2) and one transfer per page. Seeks are ~8x a page
+  // transfer on the 1992 disk, and that weighting is the point — an aged
+  // object's pain is almost entirely extra seeks, so an unweighted page
+  // count would score a badly shattered object near 1.0 and starve the
+  // defragmenter of candidates.
+  constexpr double kSeekWeight = 8.0;  // seek_ms / transfer_ms_per_page
+  uint64_t ideal_pages =
+      (stats.size_bytes + page_size - 1) / page_size;
+  uint64_t ideal_segments =
+      (ideal_pages + max_segment_pages - 1) / max_segment_pages;
+  double actual =
+      kSeekWeight * static_cast<double>(stats.num_segments +
+                                        stats.index_pages) +
+      static_cast<double>(stats.leaf_pages + stats.index_pages);
+  double ideal = kSeekWeight * static_cast<double>(ideal_segments) +
+                 static_cast<double>(ideal_pages);
+  if (ideal <= 0.0) return 1.0;
+  return std::max(1.0, actual / ideal);
+}
+
+Status Defragmenter::Tick(DefragReport* report) {
+  LatchGuard tick(tick_latch_);
+  DefragReport rep;
+  m_ticks_->Inc();
+  uint64_t horizon = cold_horizon_;
+  // Objects mutated from here on are hot for the *next* tick.
+  uint64_t now_clock = host_->MutationClock();
+
+  EOS_ASSIGN_OR_RETURN(std::vector<DefragHost::ObjectFacts> facts,
+                       host_->CollectObjectFacts());
+  struct Pick {
+    uint64_t id;
+    uint64_t bytes;
+    uint64_t footprint_pages;
+    double scatter;
+  };
+  std::vector<Pick> picks;
+  for (const DefragHost::ObjectFacts& f : facts) {
+    ++rep.scanned;
+    m_scanned_->Inc();
+    double scatter =
+        ScatterOf(f.stats, lob_->page_size(), lob_->max_segment_pages());
+    m_scatter_->Record(static_cast<uint64_t>(scatter * 100.0));
+    rep.max_scatter_seen = std::max(rep.max_scatter_seen, scatter);
+    if (scatter < opt_.min_scatter) continue;
+    if (f.last_mutation > horizon) {
+      ++rep.skipped_hot;
+      m_skipped_hot_->Inc();
+      continue;
+    }
+    picks.push_back(Pick{f.id, f.stats.size_bytes,
+                         f.stats.leaf_pages + f.stats.index_pages, scatter});
+  }
+  // Worst offenders first, so a throttled tick spends its budget where the
+  // drift is largest.
+  std::sort(picks.begin(), picks.end(),
+            [](const Pick& a, const Pick& b) { return a.scatter > b.scatter; });
+
+  for (const Pick& p : picks) {
+    if (rep.migrated >= opt_.max_objects_per_tick) break;
+    if (rep.migrated_bytes + p.bytes > opt_.max_bytes_per_tick &&
+        rep.migrated > 0) {
+      break;
+    }
+    // Reorganize holds old and new copies until the root swap, so the
+    // admission probe asks for the whole current footprint plus slack for
+    // fresh index nodes.
+    uint32_t headroom = static_cast<uint32_t>(
+        std::min<uint64_t>(p.footprint_pages + 8, 1u << 30));
+    std::optional<ScopedDeadline> deadline;
+    if (opt_.migrate_deadline_ms > 0) {
+      deadline.emplace(std::chrono::milliseconds(opt_.migrate_deadline_ms));
+    }
+    Status s = host_->MigrateObject(p.id, horizon, headroom);
+    if (s.ok()) {
+      ++rep.migrated;
+      rep.migrated_bytes += p.bytes;
+      rep.migrated_objects.push_back(DefragCandidate{p.id, p.bytes, p.scatter});
+      m_migrated_->Inc();
+      m_bytes_->Inc(p.bytes);
+      obs::RecordEvent(obs::EventKind::kNote, "defrag.migrate", p.id, p.bytes,
+                       static_cast<uint64_t>(p.scatter * 100.0), /*ok=*/true);
+    } else if (s.IsBusy()) {
+      // Mutated between scan and migration: hot after all.
+      ++rep.skipped_hot;
+      m_skipped_hot_->Inc();
+    } else if (s.IsNoSpace()) {
+      // No headroom to double-buffer a migration; the rest of this tick's
+      // picks would only be refused too.
+      ++rep.refused;
+      m_refused_->Inc();
+      break;
+    } else {
+      ++rep.failed;
+      m_failed_->Inc();
+      obs::RecordEvent(obs::EventKind::kNote, "defrag.migrate", p.id, p.bytes,
+                       static_cast<uint64_t>(p.scatter * 100.0), /*ok=*/false);
+    }
+  }
+
+  cold_horizon_ = now_clock;
+  Status release = Status::OK();
+  if (rep.migrated > 0 && opt_.checkpoint_after_tick) {
+    release = host_->ReleaseMigratedStorage();
+  }
+  host_->RefreshFragGauges();
+  if (report != nullptr) *report = rep;
+  return release;
+}
+
+void Defragmenter::Start() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread(&Defragmenter::Loop, this);
+}
+
+void Defragmenter::Stop() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Defragmenter::running() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return thread_.joinable() && !stop_;
+}
+
+void Defragmenter::Loop() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!stop_) {
+    cv_.wait_for(l, std::chrono::milliseconds(opt_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    l.unlock();
+    DefragReport rep;
+    (void)Tick(&rep);
+    l.lock();
+  }
+}
+
+}  // namespace eos

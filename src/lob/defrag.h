@@ -1,0 +1,166 @@
+#ifndef EOS_LOB_DEFRAG_H_
+#define EOS_LOB_DEFRAG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "lob/lob_manager.h"
+#include "obs/metrics.h"
+
+namespace eos {
+
+// Online defragmentation (DESIGN.md §12). Weeks of create/append/delete
+// churn shatter segments and free space until per-object read cost drifts
+// off the Section 4 model ("To BLOB or Not To BLOB" measures 2-4x). The
+// defragmenter reverses that drift in the background: each tick it scans
+// the object population, scores every object's *scatter* (current per-scan
+// page I/O over the same bytes' ideal layout — no physical reads needed),
+// and migrates the worst cold offenders through LobManager::Reorganize.
+
+struct DefragOptions {
+  // Start the background tick thread when the database opens. Off by
+  // default; DefragTick() always works regardless, so tests and tools can
+  // drive deterministic single ticks.
+  bool enabled = false;
+  uint64_t interval_ms = 250;
+
+  // Migration threshold: objects whose scatter is below this are left
+  // alone. 1.0 is a perfectly laid-out object; the bench gate treats 1.25
+  // as "conforming", so the default only chases clearly degraded objects.
+  double min_scatter = 1.4;
+
+  // Per-tick throttle. Migration is foreground-blocking per object (it
+  // takes the database's writer latch), so these bound the latency bubble
+  // a single tick may introduce.
+  uint32_t max_objects_per_tick = 4;
+  uint64_t max_bytes_per_tick = 16ull << 20;
+
+  // Per-migration deadline (0 = none). A migration that blows the budget
+  // aborts mid-walk via the thread's OpContext and unwinds; the object
+  // stays on its old layout and is retried on a later tick.
+  uint64_t migrate_deadline_ms = 0;
+
+  // After a tick that migrated anything, checkpoint so the superseded
+  // extents (parked in crash-safe mode) actually return to the buddy
+  // system. Without this a crash-safe volume defragments logically but
+  // frees nothing until the client's next Checkpoint().
+  bool checkpoint_after_tick = true;
+};
+
+struct DefragCandidate {
+  uint64_t id = 0;
+  uint64_t bytes = 0;
+  double scatter = 1.0;
+};
+
+struct DefragReport {
+  uint64_t scanned = 0;
+  uint64_t migrated = 0;
+  uint64_t migrated_bytes = 0;
+  uint64_t skipped_hot = 0;  // above threshold but mutated since last tick
+  uint64_t refused = 0;      // admission control said the volume is too full
+  uint64_t failed = 0;       // migration errored or hit its deadline
+  double max_scatter_seen = 0.0;
+  std::vector<DefragCandidate> migrated_objects;
+};
+
+// What the defragmenter needs from its host (implemented by eos::Database;
+// an interface so eos_lob does not depend back on eos_db). All methods must
+// be safe to call from the background tick thread; the host provides its
+// own synchronization against foreground operations.
+class DefragHost {
+ public:
+  struct ObjectFacts {
+    uint64_t id = 0;
+    LobStats stats;
+    // Host mutation-clock value of the object's last foreground mutation
+    // (0 = never mutated through this handle).
+    uint64_t last_mutation = 0;
+  };
+
+  virtual ~DefragHost() = default;
+
+  // Snapshot of every object's shape and heat.
+  virtual StatusOr<std::vector<ObjectFacts>> CollectObjectFacts() = 0;
+
+  // Monotone clock ticked by every foreground mutation.
+  virtual uint64_t MutationClock() = 0;
+
+  // Admission-checked Reorganize of one object, serialized against
+  // foreground operations by the host. Must refuse with Busy — counted as
+  // skipped-hot, not failed — if the object was mutated after `horizon`;
+  // the scan's cold classification is stale by then. `headroom_pages` is
+  // the transient extra footprint (reorganize holds old and new copies
+  // until the root swap) for the admission probe.
+  virtual Status MigrateObject(uint64_t id, uint64_t horizon,
+                               uint32_t headroom_pages) = 0;
+
+  // Makes migrated-away storage reusable (checkpoint in crash-safe mode,
+  // no-op otherwise).
+  virtual Status ReleaseMigratedStorage() = 0;
+
+  // Refreshes the volume-level frag.* gauges (SegmentAllocator::FragStats).
+  virtual void RefreshFragGauges() = 0;
+};
+
+class Defragmenter {
+ public:
+  Defragmenter(DefragHost* host, LobManager* lob, const DefragOptions& opt);
+  ~Defragmenter();
+
+  Defragmenter(const Defragmenter&) = delete;
+  Defragmenter& operator=(const Defragmenter&) = delete;
+
+  // One scan-and-migrate pass; safe to call concurrently with the
+  // background thread (ticks serialize) and with foreground operations.
+  Status Tick(DefragReport* report = nullptr);
+
+  void Start();
+  void Stop();
+  bool running() const;
+
+  const DefragOptions& options() const { return opt_; }
+
+  // Scatter score of one object: the seek-weighted cost of a full scan of
+  // the current layout over the same cost for the ideal layout of
+  // `size_bytes` bytes — a unitless estimate of the object's read-cost
+  // drift. >= 1.0; a fresh object scores ~1.
+  static double ScatterOf(const LobStats& stats, uint32_t page_size,
+                          uint32_t max_segment_pages);
+
+ private:
+  void Loop();
+
+  DefragHost* host_;
+  LobManager* lob_;
+  DefragOptions opt_;
+
+  Latch tick_latch_;  // serializes Tick() across callers
+  // Mutation-clock horizon separating cold from hot: objects mutated after
+  // the previous tick's scan began are hot this tick. Guarded by
+  // tick_latch_.
+  uint64_t cold_horizon_ = 0;
+
+  mutable std::mutex mu_;  // guards thread lifecycle + stop flag
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_ = false;
+
+  obs::Counter* m_ticks_;
+  obs::Counter* m_scanned_;
+  obs::Counter* m_migrated_;
+  obs::Counter* m_bytes_;
+  obs::Counter* m_failed_;
+  obs::Counter* m_skipped_hot_;
+  obs::Counter* m_refused_;
+  obs::Histogram* m_scatter_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_LOB_DEFRAG_H_

@@ -205,6 +205,13 @@ class LobManager {
   uint32_t max_segment_pages() const { return max_segment_pages_; }
   uint32_t root_capacity() const { return root_capacity_; }
   const LobConfig& config() const { return config_; }
+
+  // The cheap shape facts the paper's cost formulas consume, for the
+  // obs::CostScope conformance probes in the public wrappers and the
+  // aging/defrag tooling. Utilization is left at 1.0 (the fresh ideal) so
+  // a ratio against these inputs measures layout drift, not expectations
+  // about it.
+  obs::CostInputs CostFacts(const LobDescriptor& d) const;
   NodeStore* node_store() { return &store_; }
   SegmentAllocator* allocator() { return store_.allocator(); }
   PageDevice* device() { return store_.pager()->device(); }
@@ -235,12 +242,6 @@ class LobManager {
   // (CreateFrom has no prior descriptor to restore).
   Status RunGuarded(LobDescriptor* d, const char* what,
                     const std::function<Status()>& body);
-
-  // The cheap shape facts the paper's cost formulas consume, for the
-  // obs::CostScope conformance probes in the public wrappers. Utilization
-  // is left at 1.0 (the fresh ideal) so the recorded ratio measures layout
-  // drift, not expectations about it.
-  obs::CostInputs CostFacts(const LobDescriptor& d) const;
 
   // The public operations above are thin obs::ScopedOp span wrappers (see
   // src/obs/op_tracer.h) around these bodies.

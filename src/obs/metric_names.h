@@ -91,6 +91,28 @@ inline constexpr char kCostModelPages[] = "cost.model_pages";    // histogram
 inline constexpr char kCostActualPages[] = "cost.actual_pages";  // histogram
 inline constexpr char kCostOpsCompared[] = "cost.ops_compared";
 
+// --- fragmentation aging (free-space shape + per-object scatter) ------------
+// Gauges refreshed by SegmentAllocator::FragStats(); the entropy gauge is
+// the normalized [0,1] free-list entropy scaled to thousandths.
+inline constexpr char kFragFreeEntropy[] = "frag.free_entropy";    // gauge
+inline constexpr char kFragFreeSegments[] = "frag.free_segments";  // gauge
+inline constexpr char kFragLargestFreePages[] =
+    "frag.largest_free_pages";  // gauge
+// Histogram of 100 * (per-scan page I/O of the object's current layout /
+// the same object's ideal layout), recorded for every object a defrag scan
+// visits. Values persistently above 100 mirror cost.read_actual_over_model
+// without needing a physical read.
+inline constexpr char kFragObjectScatter[] = "frag.object_scatter";
+
+// --- online defragmenter (background reorganizer, DESIGN.md §12) ------------
+inline constexpr char kDefragTicks[] = "defrag.ticks";
+inline constexpr char kDefragObjectsScanned[] = "defrag.objects_scanned";
+inline constexpr char kDefragObjectsMigrated[] = "defrag.objects_migrated";
+inline constexpr char kDefragBytesMigrated[] = "defrag.bytes_migrated";
+inline constexpr char kDefragMigrateFailed[] = "defrag.migrate_failed";
+inline constexpr char kDefragSkippedHot[] = "defrag.skipped_hot";
+inline constexpr char kDefragRefused[] = "defrag.refused";
+
 // --- event journal (flight recorder) ----------------------------------------
 inline constexpr char kJournalEvents[] = "journal.events";
 inline constexpr char kJournalPostMortems[] = "journal.postmortems";

@@ -1,0 +1,178 @@
+#ifndef EOS_TESTS_CHURN_DRIVER_H_
+#define EOS_TESTS_CHURN_DRIVER_H_
+
+// Seeded long-horizon churn driver (DESIGN.md §12): compresses weeks of
+// create/append/delete/update traffic against a Database into epochs of a
+// few hundred operations, mirroring every object in a ModelLob oracle so
+// content can be verified at any quiesce point. Shared by bench_aging (the
+// degrade-then-recover curve) and defrag_torture_test (oracle checks), so
+// both age a volume the same way. Header-only and gtest-free on purpose —
+// benches cannot link the test framework.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "eos/database.h"
+#include "tests/model_oracle.h"
+
+namespace eos {
+namespace testing_util {
+
+struct ChurnOptions {
+  uint32_t num_objects = 48;
+  // Mean initial object size; each object jitters within ±50% of it.
+  uint64_t initial_object_bytes = 48u << 10;
+  uint64_t max_edit_bytes = 4096;
+  uint32_t ops_per_epoch = 256;
+  // Fraction of the population (by slot) that takes ~80% of the traffic;
+  // the rest ages mostly untouched — the cold objects the defragmenter is
+  // allowed to migrate.
+  double hot_fraction = 0.25;
+  // Occasionally drop an object and recreate it from scratch — the
+  // allocate-into-shattered-free-space half of aging.
+  bool lifecycle_churn = true;
+  // Above this size the driver biases toward deletes, keeping the
+  // population (and the volume) roughly stationary.
+  uint64_t max_object_bytes = 256u << 10;
+};
+
+class ChurnDriver {
+ public:
+  ChurnDriver(Database* db, uint64_t seed, const ChurnOptions& opt = {})
+      : db_(db), rng_(seed), opt_(opt) {}
+
+  // Creates the population. Call once before the first Epoch().
+  Status SetUp() {
+    for (uint32_t i = 0; i < opt_.num_objects; ++i) {
+      uint64_t n = opt_.initial_object_bytes / 2 +
+                   rng_() % std::max<uint64_t>(1, opt_.initial_object_bytes);
+      Bytes payload = Payload(n);
+      EOS_ASSIGN_OR_RETURN(uint64_t id, db_->CreateObjectFrom(payload));
+      ids_.push_back(id);
+      mirrors_[id].Append(payload);
+    }
+    return Status::OK();
+  }
+
+  Status Epoch() {
+    for (uint32_t i = 0; i < opt_.ops_per_epoch; ++i) {
+      EOS_RETURN_IF_ERROR(Step());
+    }
+    return Status::OK();
+  }
+
+  // One random mutation of one object, applied to database and mirror.
+  Status Step() {
+    ++steps_;
+    size_t hot_n = HotCount();
+    size_t slot;
+    if (hot_n > 0 && hot_n < ids_.size() && rng_() % 100 < 80) {
+      slot = rng_() % hot_n;
+    } else {
+      slot = rng_() % ids_.size();
+    }
+    uint64_t id = ids_[slot];
+    ModelLob& m = mirrors_[id];
+    uint64_t size = m.size();
+    uint32_t pick = rng_() % 100;
+
+    if (opt_.lifecycle_churn && pick < 5) {
+      EOS_RETURN_IF_ERROR(db_->DropObject(id));
+      mirrors_.erase(id);
+      uint64_t n = opt_.initial_object_bytes / 2 +
+                   rng_() % std::max<uint64_t>(1, opt_.initial_object_bytes);
+      Bytes payload = Payload(n);
+      EOS_ASSIGN_OR_RETURN(uint64_t fresh, db_->CreateObjectFrom(payload));
+      ids_[slot] = fresh;
+      mirrors_[fresh].Append(payload);
+      return Status::OK();
+    }
+    if (size == 0 || (pick < 35 && size < opt_.max_object_bytes)) {
+      Bytes data = Payload(1 + rng_() % opt_.max_edit_bytes);
+      m.Append(data);
+      return db_->Append(id, data);
+    }
+    if (pick < 55 && size < opt_.max_object_bytes) {
+      Bytes data = Payload(1 + rng_() % opt_.max_edit_bytes);
+      uint64_t off = rng_() % (size + 1);
+      m.Insert(off, data);
+      return db_->Insert(id, off, data);
+    }
+    if (pick < 80) {
+      uint64_t off = rng_() % size;
+      uint64_t n = std::min<uint64_t>(1 + rng_() % opt_.max_edit_bytes,
+                                      size - off);
+      Bytes data = Payload(n);
+      m.Replace(off, data);
+      return db_->Replace(id, off, data);
+    }
+    // Delete; bigger bites once the object is over its cap.
+    uint64_t max_del = size > opt_.max_object_bytes
+                           ? size - opt_.max_object_bytes / 2
+                           : opt_.max_edit_bytes;
+    uint64_t off = rng_() % size;
+    uint64_t n = std::min<uint64_t>(1 + rng_() % std::max<uint64_t>(
+                                                     1, max_del),
+                                    size - off);
+    m.Delete(off, n);
+    return db_->Delete(id, off, n);
+  }
+
+  // Full-content comparison of one object against its mirror. Only valid
+  // at a quiesce point (no concurrent mutators of `id`).
+  Status VerifyObject(uint64_t id) {
+    const ModelLob& m = mirrors_.at(id);
+    EOS_ASSIGN_OR_RETURN(uint64_t got_size, db_->Size(id));
+    if (got_size != m.size()) {
+      return Status::Corruption("object " + std::to_string(id) + " size " +
+                                std::to_string(got_size) + ", oracle " +
+                                std::to_string(m.size()));
+    }
+    EOS_ASSIGN_OR_RETURN(Bytes got, db_->Read(id, 0, m.size()));
+    if (std::string(reinterpret_cast<const char*>(got.data()), got.size()) !=
+        m.bytes()) {
+      return Status::Corruption("object " + std::to_string(id) +
+                                " content differs from the oracle");
+    }
+    return Status::OK();
+  }
+
+  Status VerifyAll() {
+    for (uint64_t id : ids_) EOS_RETURN_IF_ERROR(VerifyObject(id));
+    return Status::OK();
+  }
+
+  const std::vector<uint64_t>& ids() const { return ids_; }
+  const std::map<uint64_t, ModelLob>& mirrors() const { return mirrors_; }
+  uint64_t steps() const { return steps_; }
+  size_t HotCount() const {
+    return static_cast<size_t>(opt_.hot_fraction * ids_.size() + 0.5);
+  }
+
+ private:
+  Bytes Payload(uint64_t n) {
+    Bytes b(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      b[i] = static_cast<uint8_t>(rng_());
+    }
+    return b;
+  }
+
+  Database* db_;
+  std::mt19937_64 rng_;
+  ChurnOptions opt_;
+  std::vector<uint64_t> ids_;
+  std::map<uint64_t, ModelLob> mirrors_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace testing_util
+}  // namespace eos
+
+#endif  // EOS_TESTS_CHURN_DRIVER_H_

@@ -17,6 +17,10 @@
 //                                               objects (lossy: see holes)
 //   eos_inspect <volume> leak-check             allocation maps vs object
 //                                               reachability
+//   eos_inspect <volume> defrag [--apply] [--min-scatter X]
+//                                               per-object layout-drift
+//                                               report; --apply migrates
+//                                               the offenders (DESIGN §12)
 //
 // `stats` and `trace` read the "<volume>.obs.json" sidecar written by
 // instrumented processes (see src/obs/snapshot.h); they do not open the
@@ -48,7 +52,8 @@ int Usage() {
                "usage: eos_inspect <volume> [--page-size N] "
                "[--object ID | --check | verify | --spaces | stats | "
                "trace [--chrome=OUT] | top [--interval MS] [--count N] | "
-               "scrub | repair | leak-check]\n");
+               "scrub | repair | leak-check | "
+               "defrag [--apply] [--min-scatter X]]\n");
   return 2;
 }
 
@@ -494,6 +499,69 @@ void LeakCheck(Database* db) {
   std::printf("leak-check OK: no leaked or doubly-referenced storage\n");
 }
 
+// Layout-drift report (DESIGN.md §12): every object's scatter score — the
+// seek-weighted cost of scanning its current layout over the ideal one —
+// plus the buddy free-list fragmentation gauges. With `apply`, drains the
+// defragmenter: one tick to establish the cold horizon (a tool session
+// has no foreground mutators, so everything is cold on the next tick),
+// then migrating ticks until a round moves nothing.
+void Defrag(Database* db, bool apply) {
+  auto ids = db->ListObjects();
+  if (!ids.ok()) Fail(ids.status(), "list");
+  const double threshold = db->defragmenter()->options().min_scatter;
+  std::printf("%8s %12s %6s %6s %6s %9s\n", "id", "bytes", "segs", "leaf",
+              "index", "scatter");
+  size_t over = 0;
+  for (uint64_t id : *ids) {
+    auto stats = db->ObjectStats(id);
+    if (!stats.ok()) Fail(stats.status(), "stats");
+    double scatter = eos::Defragmenter::ScatterOf(
+        *stats, db->lob()->page_size(), db->lob()->max_segment_pages());
+    if (scatter >= threshold) ++over;
+    std::printf("%8llu %12llu %6llu %6llu %6llu %8.2fx%s\n",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(stats->size_bytes),
+                static_cast<unsigned long long>(stats->num_segments),
+                static_cast<unsigned long long>(stats->leaf_pages),
+                static_cast<unsigned long long>(stats->index_pages), scatter,
+                scatter >= threshold ? "  <- candidate" : "");
+  }
+  auto frag = db->allocator()->FragStats();
+  if (!frag.ok()) Fail(frag.status(), "frag stats");
+  std::printf("free list: entropy %.2f, %llu free segments, largest run "
+              "%llu pages\n",
+              frag->free_entropy,
+              static_cast<unsigned long long>(frag->free_segments),
+              static_cast<unsigned long long>(frag->largest_free_pages));
+  std::printf("%zu of %zu objects at or above the %.2fx migration "
+              "threshold\n",
+              over, ids->size(), threshold);
+  if (!apply) return;
+  // On a fresh open nothing has a recorded mutation, so the very first
+  // tick already migrates; later ticks catch anything a per-tick cap
+  // deferred. A sub-1.0 threshold never converges (a fresh layout still
+  // scores 1.0), so the drain is additionally round-bounded.
+  eos::DefragReport total;
+  eos::DefragReport rep;
+  int rounds = 0;
+  do {
+    Status s = db->DefragTick(&rep);
+    if (!s.ok()) Fail(s, "defrag");
+    total.migrated += rep.migrated;
+    total.migrated_bytes += rep.migrated_bytes;
+    total.skipped_hot += rep.skipped_hot;
+    total.refused += rep.refused;
+    total.failed += rep.failed;
+  } while (rep.migrated > 0 && ++rounds < 16);
+  std::printf("defrag: %llu object(s) migrated (%.1f MB), %llu refused, "
+              "%llu failed\n",
+              static_cast<unsigned long long>(total.migrated),
+              total.migrated_bytes / 1048576.0,
+              static_cast<unsigned long long>(total.refused),
+              static_cast<unsigned long long>(total.failed));
+  if (total.refused > 0 || total.failed > 0) std::exit(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -505,6 +573,11 @@ int main(int argc, char** argv) {
   std::string chrome_out;
   uint64_t top_interval_ms = 1000;
   uint64_t top_count = 0;  // 0 = forever
+  bool defrag_apply = false;
+  // A tool session drains in one pass; the per-tick throttles exist for
+  // background ticks racing a live foreground, which a CLI run has none of.
+  options.defrag.max_objects_per_tick = 256;
+  options.defrag.max_bytes_per_tick = 1ull << 30;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--page-size" && i + 1 < argc) {
@@ -538,6 +611,12 @@ int main(int argc, char** argv) {
       mode = "repair";
     } else if (arg == "leak-check" || arg == "--leak-check") {
       mode = "leak-check";
+    } else if (arg == "defrag" || arg == "--defrag") {
+      mode = "defrag";
+    } else if (arg == "--apply") {
+      defrag_apply = true;
+    } else if (arg == "--min-scatter" && i + 1 < argc) {
+      options.defrag.min_scatter = std::atof(argv[++i]);
     } else {
       return Usage();
     }
@@ -577,6 +656,8 @@ int main(int argc, char** argv) {
     Scrub(db->get());
   } else if (mode == "repair") {
     Repair(db->get());
+  } else if (mode == "defrag") {
+    Defrag(db->get(), defrag_apply);
   } else if (mode == "leak-check") {
     LeakCheck(db->get());
   }

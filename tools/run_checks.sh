@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# Check runner (DESIGN.md "Testing & fault model"): a metric-name lint
-# plus three build tiers:
+# Check runner (DESIGN.md "Testing & fault model"): a metric-name lint,
+# the committed aging-curve gate, plus four build tiers:
 #
 #   0. tools/check_metric_names.py — metric_names.h <-> instrumentation
-#      <-> DESIGN.md table consistency (no build needed);
+#      <-> DESIGN.md table consistency — and the BENCH_7.json aging gate
+#      (DESIGN.md §12): the committed bench_aging curve must show churn
+#      provoking >= 1.5x read-cost drift with the defragmenter off,
+#      recovery to <= 1.25x the §4 cost model with it on (the PR-6
+#      fresh-volume bar), and foreground read p99 within 20% of the
+#      defrag-off run (no build needed);
 #   1. fast + sanitizer- and obs-labelled tests under ASan/UBSan (the
 #      `asan` preset);
 #   2. the `tsan`- and obs-labelled concurrency suites (concurrent scrub
 #      + readers, parallel allocator use, concurrent journal writers)
 #      under ThreadSanitizer (the `tsan` preset);
 #   3. the full suite, including the `torture` crash-recovery, bit-rot and
-#      stress tests, in the default RelWithDebInfo build.
+#      stress tests, in the default RelWithDebInfo build;
+#   4. the seed sweep: every `aging`-labelled suite re-run under an
+#      EOS_TEST_SEED matrix, so single-seed latent bugs (like the pinned
+#      4242 recovery case) cannot hide behind the default seed.
 #
 # The `exhaustion` label (resource-exhaustion/deadline suites, DESIGN.md
 # §11) rides in tiers 1 and 2 via its sanitizer/tsan labels and can be
@@ -96,13 +104,58 @@ PY
   exit 0
 fi
 
-echo "== [0/3] metric-name lint =="
+echo "== [0/4] metric-name lint =="
 python3 tools/check_metric_names.py
+
+echo "== [0/4] aging-curve gate (committed BENCH_7.json, DESIGN.md §12) =="
+python3 - BENCH_7.json <<'PY'
+import json, sys
+
+vals = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if "metric" in rec:
+            vals[rec["metric"]] = rec["value"]
+
+def need(metric):
+    if metric not in vals:
+        print(f"aging gate: BENCH_7.json is missing '{metric}'")
+        sys.exit(1)
+    return vals[metric]
+
+failures = []
+drift_off = need("drift_off_final")
+drift_on = need("drift_on_final")
+migrated = need("objects_migrated")
+p99_ratio = need("read_p99_ratio")
+if drift_off < 1.5:
+    failures.append(f"churn no longer provokes aging: drift_off_final "
+                    f"{drift_off:.3f} < 1.5x")
+if drift_on > 1.25:
+    failures.append(f"post-defrag read cost above the cost model bar: "
+                    f"drift_on_final {drift_on:.3f} > 1.25x")
+if migrated <= 0:
+    failures.append("the defragmenter migrated nothing")
+if p99_ratio > 1.2:
+    failures.append(f"foreground read p99 with defrag on is "
+                    f"{p99_ratio:.2f}x the defrag-off run (> 1.2x)")
+if failures:
+    for f in failures:
+        print(f"aging gate: {f}")
+    sys.exit(1)
+print(f"aging gate: drift {need('drift_off_first'):.2f}x -> "
+      f"{drift_off:.2f}x (defrag off), recovered to {drift_on:.2f}x "
+      f"(defrag on, {int(migrated)} migrations, p99 {p99_ratio:.2f}x)")
+PY
 
 POSTMORTEM_DIR="$PWD/build/postmortems"
 mkdir -p "$POSTMORTEM_DIR"
 
-echo "== [1/3] sanitizer tier (ASan/UBSan, labels: sanitizer|obs) =="
+echo "== [1/4] sanitizer tier (ASan/UBSan, labels: sanitizer|obs) =="
 cmake --preset asan
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 \
@@ -110,18 +163,25 @@ UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
   ctest --test-dir build-asan -L 'sanitizer|obs' --output-on-failure -j "$JOBS"
 
-echo "== [2/3] concurrency tier (TSan, labels: tsan|obs) =="
+echo "== [2/4] concurrency tier (TSan, labels: tsan|obs) =="
 cmake --preset tsan
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
   ctest --test-dir build-tsan -L 'tsan|obs' --output-on-failure -j "$JOBS"
 
-echo "== [3/3] full suite incl. torture (default build) =="
+echo "== [3/4] full suite incl. torture (default build) =="
 cmake --preset default
 cmake --build build -j "$JOBS"
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
   ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== [4/4] seed sweep (label: aging, EOS_TEST_SEED matrix) =="
+for SEED in 4242 31337 99991; do
+  echo "-- seed $SEED --"
+  EOS_TEST_SEED="$SEED" EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
+    ctest --test-dir build -L aging --output-on-failure -j "$JOBS"
+done
 
 if compgen -G "$POSTMORTEM_DIR/eos_postmortem.*.json" > /dev/null; then
   echo "retained post-mortem journals (flight recorder, DESIGN.md §6):"
