@@ -178,6 +178,9 @@ class SegmentAllocator {
   void set_free_interceptor(FreeInterceptor* interceptor) {
     free_interceptor_ = interceptor;
   }
+  // Currently installed hook (nullptr if none) — lets a scoped interceptor
+  // chain the previous one back on exit (buddy/free_capture.h).
+  FreeInterceptor* free_interceptor() const { return free_interceptor_; }
 
   // Telemetry for the superdirectory experiment (E3): how many space
   // directories have been examined by allocation requests.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "buddy/free_capture.h"
 #include "buddy/geometry.h"
 #include "common/math.h"
 #include "io/verified_device.h"
@@ -60,6 +61,25 @@ Database::~Database() {
   // any member is torn down (and before the final flush, so the flush sees
   // a quiesced volume).
   if (defrag_ != nullptr) defrag_->Stop();
+  if (options_.mvcc && allocator_ != nullptr) {
+    // Snapshots must not outlive the database; collapse every chain and
+    // reclaim the retired storage so a cleanly closed volume reopens
+    // leak-free (the allocation maps are durable even without crash_safe).
+    ExclusiveLatchGuard guard(dir_latch_);
+    {
+      LatchGuard vg(versions_latch_);
+      for (auto& [id, chain] : versions_) {
+        for (ObjectVersion& v : chain) {
+          gc_ready_.insert(gc_ready_.end(), v.retired.begin(),
+                           v.retired.end());
+        }
+      }
+      versions_.clear();
+    }
+    (void)DrainVersionGcLocked();
+    // Crash-safe: the drain parked the frees; checkpoint them out.
+    (void)CheckpointLocked();
+  }
   (void)Flush();
   // Stop after the flush so the final sidecar snapshot sees its I/O.
   if (snapshot_writer_ != nullptr) snapshot_writer_->Stop();
@@ -186,11 +206,19 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
     db->deferred_frees_ = std::make_unique<CheckpointFreeList>();
     db->allocator_->set_free_interceptor(db->deferred_frees_.get());
   }
+  if (options.mvcc) {
+    // Snapshot readers traverse superseded versions while writers publish
+    // new ones; no page a pinned version references may ever be rewritten
+    // in place, so shadowed index nodes and CoW Replace are mandatory.
+    db->lob_->set_shadowing(true);
+    db->lob_->set_cow_replace(true);
+  }
   if (fresh) {
     EOS_RETURN_IF_ERROR(db->WriteSuperblock());
   } else {
     EOS_RETURN_IF_ERROR(db->LoadDirectory());
   }
+  if (options.mvcc) db->SeedVersionChains();
   db->defrag_ = std::make_unique<Defragmenter>(
       static_cast<DefragHost*>(db.get()), db->lob_.get(), options.defrag);
   if (options.defrag.enabled) db->defrag_->Start();
@@ -353,7 +381,9 @@ StatusOr<uint64_t> Database::CreateObjectLocked() {
   if (!adm.ok()) return span.Close(std::move(adm));
   uint64_t id = next_object_id_++;
   LobDescriptor d = lob_->CreateEmpty();
-  directory_.emplace_back(id, d.Serialize());
+  Bytes root = d.Serialize();
+  directory_.emplace_back(id, root);
+  if (options_.mvcc) PublishVersion(id, root, d.lsn, /*dead=*/false);
   TouchLocked(id);
   Status s = SaveDirectory();
   if (!s.ok()) return span.Close(std::move(s));
@@ -366,17 +396,28 @@ StatusOr<uint64_t> Database::CreateObject() {
 }
 
 StatusOr<uint64_t> Database::CreateObjectFrom(ByteView data) {
-  ExclusiveLatchGuard guard(dir_latch_);
-  EOS_ASSIGN_OR_RETURN(uint64_t id, CreateObjectLocked());
-  obs::ScopedOp span("db.create_object_from", id, device_.get());
-  if (log_ != nullptr) log_->set_current_object(id);
-  // Append (not CreateFrom) so the initial content is a logged operation;
-  // a one-shot append of a known size produces the same exact layout.
-  LobDescriptor d = lob_->CreateEmpty();
-  Status s = lob_->Append(&d, data);
-  if (!s.ok()) return span.Close(std::move(s));
-  s = PutRootLocked(id, d);
-  if (!s.ok()) return span.Close(std::move(s));
+  uint64_t id = 0;
+  uint64_t commit_lsn = 0;
+  {
+    ExclusiveLatchGuard guard(dir_latch_);
+    EOS_ASSIGN_OR_RETURN(id, CreateObjectLocked());
+    obs::ScopedOp span("db.create_object_from", id, device_.get());
+    if (log_ != nullptr) log_->set_current_object(id);
+    // Append (not CreateFrom) so the initial content is a logged operation;
+    // a one-shot append of a known size produces the same exact layout.
+    LobDescriptor d = lob_->CreateEmpty();
+    {
+      ScopedFreeCapture capture(allocator_.get(), options_.mvcc);
+      Status s = lob_->Append(&d, data);
+      if (!s.ok()) return span.Close(std::move(s));
+      pending_retired_ = capture.TakeCaptured();
+    }
+    Status s = PutRootLocked(id, d);
+    if (!s.ok()) return span.Close(std::move(s));
+    s = CommitMutationLocked(id, &commit_lsn);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  EOS_RETURN_IF_ERROR(SyncCommit(commit_lsn));
   return id;
 }
 
@@ -412,8 +453,12 @@ Status Database::ReorganizeObject(uint64_t id) {
   Status adm = allocator_->AdmitMutation();
   if (!adm.ok()) return span.Close(std::move(adm));
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
-  Status s = lob_->Reorganize(&d);
-  if (!s.ok()) return span.Close(std::move(s));
+  {
+    ScopedFreeCapture capture(allocator_.get(), options_.mvcc);
+    Status s = lob_->Reorganize(&d);
+    if (!s.ok()) return span.Close(std::move(s));
+    pending_retired_ = capture.TakeCaptured();
+  }
   return span.Close(PutRootLocked(id, d));
 }
 
@@ -421,9 +466,19 @@ Status Database::PutRootLocked(uint64_t id, const LobDescriptor& d) {
   for (auto& [oid, root] : directory_) {
     if (oid == id) {
       root = d.Serialize();
-      return SaveDirectory();
+      // Publish before the directory save: the in-memory root above is the
+      // current version from here on even if the save fails (the next
+      // successful save persists it), and snapshot pins must track it.
+      if (options_.mvcc) PublishVersion(id, root, d.lsn, /*dead=*/false);
+      Status s = SaveDirectory();
+      if (options_.mvcc) {
+        Status gc = DrainVersionGcLocked();
+        if (s.ok()) s = std::move(gc);
+      }
+      return s;
     }
   }
+  pending_retired_.clear();  // nothing published; drop any stale capture
   return Status::NotFound("object " + std::to_string(id));
 }
 
@@ -447,25 +502,47 @@ StatusOr<std::vector<uint64_t>> Database::ListObjects() {
 }
 
 Status Database::DropObject(uint64_t id) {
-  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.drop_object", id, device_.get());
-  for (size_t i = 0; i < directory_.size(); ++i) {
-    if (directory_[i].first == id) {
+  uint64_t commit_lsn = 0;
+  bool found = false;
+  {
+    ExclusiveLatchGuard guard(dir_latch_);
+    for (size_t i = 0; i < directory_.size(); ++i) {
+      if (directory_[i].first != id) continue;
+      found = true;
       EOS_ASSIGN_OR_RETURN(
           LobDescriptor d, LobDescriptor::Deserialize(directory_[i].second));
       if (log_ != nullptr) log_->set_current_object(id);
       // Destroy only frees, but the scope keeps any transient allocation
       // (and the follow-up directory save) working on a full volume.
       SegmentAllocator::EmergencyScope emergency;
-      Status s = lob_->Destroy(&d);
-      if (!s.ok()) return span.Close(std::move(s));
+      {
+        ScopedFreeCapture capture(allocator_.get(), options_.mvcc);
+        Status s = lob_->Destroy(&d);
+        if (!s.ok()) return span.Close(std::move(s));
+        pending_retired_ = capture.TakeCaptured();
+      }
       directory_.erase(directory_.begin() + i);
       holes_.erase(id);
       last_mutation_.erase(id);
-      return span.Close(SaveDirectory());
+      if (options_.mvcc) {
+        // Drop marker: open snapshots keep reading the final content
+        // version; the tree's extents free once the last pin releases.
+        PublishVersion(id, Bytes{}, 0, /*dead=*/true);
+      }
+      Status s = SaveDirectory();
+      if (!s.ok()) return span.Close(std::move(s));
+      s = CommitMutationLocked(id, &commit_lsn);
+      if (!s.ok()) return span.Close(std::move(s));
+      s = DrainVersionGcLocked();
+      if (!s.ok()) return span.Close(std::move(s));
+      break;
     }
   }
-  return span.Close(Status::NotFound("object " + std::to_string(id)));
+  if (!found) {
+    return span.Close(Status::NotFound("object " + std::to_string(id)));
+  }
+  return span.Close(SyncCommit(commit_lsn));
 }
 
 StatusOr<uint64_t> Database::Size(uint64_t id) {
@@ -485,60 +562,105 @@ StatusOr<Bytes> Database::Read(uint64_t id, uint64_t offset, uint64_t n) {
 }
 
 Status Database::Append(uint64_t id, ByteView data) {
-  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.append", id, device_.get());
-  Status adm = allocator_->AdmitMutation();
-  if (!adm.ok()) return span.Close(std::move(adm));
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
-  if (log_ != nullptr) log_->set_current_object(id);
-  Status s = lob_->Append(&d, data);
-  if (!s.ok()) return span.Close(std::move(s));
-  TouchLocked(id);
-  return span.Close(PutRootLocked(id, d));
+  uint64_t commit_lsn = 0;
+  {
+    ExclusiveLatchGuard guard(dir_latch_);
+    Status adm = allocator_->AdmitMutation();
+    if (!adm.ok()) return span.Close(std::move(adm));
+    EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
+    if (log_ != nullptr) log_->set_current_object(id);
+    {
+      ScopedFreeCapture capture(allocator_.get(), options_.mvcc);
+      Status s = lob_->Append(&d, data);
+      if (!s.ok()) return span.Close(std::move(s));
+      pending_retired_ = capture.TakeCaptured();
+    }
+    TouchLocked(id);
+    Status s = PutRootLocked(id, d);
+    if (!s.ok()) return span.Close(std::move(s));
+    s = CommitMutationLocked(id, &commit_lsn);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  return span.Close(SyncCommit(commit_lsn));
 }
 
 Status Database::Insert(uint64_t id, uint64_t offset, ByteView data) {
-  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.insert", id, device_.get());
-  Status adm = allocator_->AdmitMutation();
-  if (!adm.ok()) return span.Close(std::move(adm));
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
-  if (log_ != nullptr) log_->set_current_object(id);
-  Status s = lob_->Insert(&d, offset, data);
-  if (!s.ok()) return span.Close(std::move(s));
-  TouchLocked(id);
-  return span.Close(PutRootLocked(id, d));
+  uint64_t commit_lsn = 0;
+  {
+    ExclusiveLatchGuard guard(dir_latch_);
+    Status adm = allocator_->AdmitMutation();
+    if (!adm.ok()) return span.Close(std::move(adm));
+    EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
+    if (log_ != nullptr) log_->set_current_object(id);
+    {
+      ScopedFreeCapture capture(allocator_.get(), options_.mvcc);
+      Status s = lob_->Insert(&d, offset, data);
+      if (!s.ok()) return span.Close(std::move(s));
+      pending_retired_ = capture.TakeCaptured();
+    }
+    TouchLocked(id);
+    Status s = PutRootLocked(id, d);
+    if (!s.ok()) return span.Close(std::move(s));
+    s = CommitMutationLocked(id, &commit_lsn);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  return span.Close(SyncCommit(commit_lsn));
 }
 
 Status Database::Delete(uint64_t id, uint64_t offset, uint64_t n) {
-  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.delete", id, device_.get());
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
-  if (log_ != nullptr) log_->set_current_object(id);
-  // Deletes net-free storage, so they are always admitted — and their
-  // transient allocations (subtree rebuilds, node shadows) may draw on the
-  // emergency reserve: refusing the one operation that reclaims space
-  // would wedge a full volume.
-  SegmentAllocator::EmergencyScope emergency;
-  Status s = lob_->Delete(&d, offset, n);
-  if (!s.ok()) return span.Close(std::move(s));
-  TouchLocked(id);
-  return span.Close(PutRootLocked(id, d));
+  uint64_t commit_lsn = 0;
+  {
+    ExclusiveLatchGuard guard(dir_latch_);
+    EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
+    if (log_ != nullptr) log_->set_current_object(id);
+    // Deletes net-free storage, so they are always admitted — and their
+    // transient allocations (subtree rebuilds, node shadows) may draw on the
+    // emergency reserve: refusing the one operation that reclaims space
+    // would wedge a full volume.
+    SegmentAllocator::EmergencyScope emergency;
+    {
+      ScopedFreeCapture capture(allocator_.get(), options_.mvcc);
+      Status s = lob_->Delete(&d, offset, n);
+      if (!s.ok()) return span.Close(std::move(s));
+      pending_retired_ = capture.TakeCaptured();
+    }
+    TouchLocked(id);
+    Status s = PutRootLocked(id, d);
+    if (!s.ok()) return span.Close(std::move(s));
+    s = CommitMutationLocked(id, &commit_lsn);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  return span.Close(SyncCommit(commit_lsn));
 }
 
 Status Database::Replace(uint64_t id, uint64_t offset, ByteView data) {
-  ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.replace", id, device_.get());
-  // Replace rewrites bytes in place and allocates nothing, but it is still
-  // a logged user mutation; only reads and deletes stay admitted when full.
-  Status adm = allocator_->AdmitMutation();
-  if (!adm.ok()) return span.Close(std::move(adm));
-  EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
-  if (log_ != nullptr) log_->set_current_object(id);
-  Status s = lob_->Replace(&d, offset, data);
-  if (!s.ok()) return span.Close(std::move(s));
-  TouchLocked(id);
-  return span.Close(PutRootLocked(id, d));
+  uint64_t commit_lsn = 0;
+  {
+    ExclusiveLatchGuard guard(dir_latch_);
+    // Replace rewrites bytes in place and allocates nothing, but it is
+    // still a logged user mutation; only reads and deletes stay admitted
+    // when full. (Under mvcc it *does* allocate: copy-on-write leaves.)
+    Status adm = allocator_->AdmitMutation();
+    if (!adm.ok()) return span.Close(std::move(adm));
+    EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
+    if (log_ != nullptr) log_->set_current_object(id);
+    {
+      ScopedFreeCapture capture(allocator_.get(), options_.mvcc);
+      Status s = lob_->Replace(&d, offset, data);
+      if (!s.ok()) return span.Close(std::move(s));
+      pending_retired_ = capture.TakeCaptured();
+    }
+    TouchLocked(id);
+    Status s = PutRootLocked(id, d);
+    if (!s.ok()) return span.Close(std::move(s));
+    s = CommitMutationLocked(id, &commit_lsn);
+    if (!s.ok()) return span.Close(std::move(s));
+  }
+  return span.Close(SyncCommit(commit_lsn));
 }
 
 StatusOr<LobStats> Database::ObjectStats(uint64_t id) {
@@ -563,6 +685,10 @@ Status Database::Flush() {
 Status Database::CheckpointLocked() {
   // Checkpointing *releases* space; it must never be refused for lack of it.
   SegmentAllocator::EmergencyScope emergency;
+  // Version GC first: extents whose last pinning snapshot closed flow
+  // through the normal free path here, landing in the checkpoint free list
+  // below so this very checkpoint reclaims them.
+  EOS_RETURN_IF_ERROR(DrainVersionGcLocked());
   EOS_RETURN_IF_ERROR(FlushLocked());
   if (deferred_frees_ == nullptr) return Status::OK();
   // Every root that could reach the parked segments is durably superseded
@@ -597,6 +723,20 @@ Status Database::Recover(const std::vector<LogRecord>& log) {
 
 Status Database::RecoverImpl(const std::vector<LogRecord>& log) {
   obs::ScopedOp span("db.recover", 0, device_.get());
+  if (options_.mvcc) {
+    // Recovery rebuilds the allocation maps from durable reachability;
+    // volatile version chains reference storage those maps would reclaim,
+    // so a snapshot surviving across recovery would read freed pages.
+    if (HasOpenPins()) {
+      return span.Close(
+          Status::Busy("open snapshots pin pre-recovery versions; release "
+                       "all snapshots before Recover()"));
+    }
+    LatchGuard vguard(versions_latch_);
+    versions_.clear();
+    gc_ready_.clear();
+    pending_retired_.clear();
+  }
   // Deserialize every durable root. These are trustworthy: write-through
   // ordering guarantees a durable root only references durable pages.
   std::map<uint64_t, LobDescriptor> roots;
@@ -667,7 +807,12 @@ Status Database::RecoverImpl(const std::vector<LogRecord>& log) {
   }
   s = SaveDirectory();
   if (!s.ok()) return span.Close(std::move(s));
-  return span.Close(CheckpointLocked());
+  s = CheckpointLocked();
+  if (!s.ok()) return span.Close(std::move(s));
+  // The recovered directory is the ground truth now; every chain restarts
+  // from its durable root.
+  if (options_.mvcc) SeedVersionChains();
+  return span.Close(Status::OK());
 }
 
 Status Database::CheckIntegrity() {
@@ -703,6 +848,35 @@ Status Database::LeakCheck(LeakCheckReport* report) {
       refs.push_back(e);
     }
   }
+  // 1b. Version-chain coverage (MVCC): superseded version roots, their
+  //     retire batches, and extents staged for version GC are allocated on
+  //     purpose while snapshots may still read them. Shadowing means a
+  //     superseded tree shares its unchanged subtrees with the current
+  //     root, so these join the sweep as a second, coverage-only class —
+  //     folding them into `refs` would misreport that intentional sharing
+  //     as doubly-referenced storage.
+  std::vector<Extent> vrefs;
+  if (options_.mvcc) {
+    std::vector<Bytes> vroots;
+    {
+      LatchGuard vguard(versions_latch_);
+      for (const auto& [id, chain] : versions_) {
+        for (const ObjectVersion& v : chain) {
+          if (!v.dead) vroots.push_back(v.root);
+          for (const Extent& e : v.retired) vrefs.push_back(e);
+        }
+      }
+      for (const Extent& e : gc_ready_) vrefs.push_back(e);
+    }
+    for (const Bytes& root : vroots) {
+      EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(root));
+      EOS_RETURN_IF_ERROR(lob_->CollectExtents(d, &vrefs));
+    }
+    std::sort(vrefs.begin(), vrefs.end(),
+              [](const Extent& a, const Extent& b) {
+                return a.first < b.first;
+              });
+  }
   // 2. Overlaps between references: two trees claiming the same storage.
   std::sort(refs.begin(), refs.end(), [](const Extent& a, const Extent& b) {
     return a.first < b.first;
@@ -721,6 +895,7 @@ Status Database::LeakCheck(LeakCheckReport* report) {
   //    must be covered by some reference, else it leaked. Runs of leaked
   //    pages coalesce into extents for readable reports.
   size_t ri = 0;  // refs cursor (sorted; extents never span spaces)
+  size_t vi = 0;  // version-coverage cursor (sorted; overlaps allowed)
   Extent run{};
   for (uint32_t s = 0; s < allocator_->num_spaces(); ++s) {
     PageId first = allocator_->DirPage(s) + 1;
@@ -731,7 +906,10 @@ Status Database::LeakCheck(LeakCheckReport* report) {
       while (ri < refs.size() && refs[ri].first + refs[ri].pages <= p) ++ri;
       bool referenced = ri < refs.size() && refs[ri].first <= p &&
                         p < refs[ri].first + refs[ri].pages;
-      if (alloc && !referenced) {
+      while (vi < vrefs.size() && vrefs[vi].first + vrefs[vi].pages <= p) ++vi;
+      bool vref = vi < vrefs.size() && vrefs[vi].first <= p &&
+                  p < vrefs[vi].first + vrefs[vi].pages;
+      if (alloc && !referenced && !vref) {
         if (run.pages > 0 && run.first + run.pages == p) {
           ++run.pages;
         } else {
@@ -801,6 +979,13 @@ Status Database::Scrub(ScrubReport* report) {
 Status Database::RepairObject(uint64_t id) {
   ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.repair_object", id, device_.get());
+  if (options_.mvcc && HasOpenPins()) {
+    // The rebuild below reclaims everything unreachable from current
+    // roots, which includes whatever superseded versions still reference.
+    return span.Close(
+        Status::Busy("open snapshots pin superseded versions; release all "
+                     "snapshots before RepairObject()"));
+  }
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
   std::vector<HoleRange> holes;
   auto salvaged = lob_->Salvage(d, &holes);
@@ -833,6 +1018,15 @@ Status Database::RepairObject(uint64_t id) {
   // frees everything unreachable anyway, and the roots become durable at
   // the Flush below, so early reuse is safe).
   if (deferred_frees_ != nullptr) (void)deferred_frees_->TakeAll();
+  // Version chains reference the same untrusted trees; with no pins open
+  // (checked above) they are dropped outright and reseeded from the
+  // repaired directory once the rebuild is durable.
+  if (options_.mvcc) {
+    LatchGuard vguard(versions_latch_);
+    versions_.clear();
+    gc_ready_.clear();
+    pending_retired_.clear();
+  }
   std::vector<Extent> live;
   if (!dir_object_.empty()) {
     s = lob_->CollectExtents(dir_object_, &live);
@@ -847,6 +1041,7 @@ Status Database::RepairObject(uint64_t id) {
   if (!s.ok()) return span.Close(std::move(s));
   s = FlushLocked();
   if (!s.ok()) return span.Close(std::move(s));
+  if (options_.mvcc) SeedVersionChains();
   static obs::Counter* repaired_counter =
       obs::MetricsRegistry::Default().counter(obs::kScrubRepairedObjects);
   repaired_counter->Inc();
@@ -863,6 +1058,226 @@ void Database::AttachLog(LogManager* log) {
   ExclusiveLatchGuard guard(dir_latch_);
   log_ = log;
   lob_->set_log_manager(log);
+}
+
+// ----- snapshot MVCC (DESIGN.md §13) -----------------------------------------
+
+Snapshot& Snapshot::operator=(Snapshot&& o) noexcept {
+  if (this != &o) {
+    Release();
+    db_ = o.db_;
+    object_id_ = o.object_id_;
+    vseq_ = o.vseq_;
+    lsn_ = o.lsn_;
+    root_ = std::move(o.root_);
+    o.db_ = nullptr;
+  }
+  return *this;
+}
+
+void Snapshot::Release() {
+  if (db_ == nullptr) return;
+  db_->ReleaseSnapshotPin(object_id_, vseq_);
+  db_ = nullptr;
+}
+
+void Database::SeedVersionChains() {
+  LatchGuard vguard(versions_latch_);
+  versions_.clear();
+  gc_ready_.clear();
+  pending_retired_.clear();
+  for (const auto& [id, root] : directory_) {
+    ObjectVersion v;
+    v.vseq = 1;
+    v.root = root;
+    auto d = LobDescriptor::Deserialize(root);
+    if (d.ok()) v.lsn = d.value().lsn;
+    versions_[id].push_back(std::move(v));
+  }
+}
+
+void Database::PublishVersion(uint64_t id, const Bytes& root, uint64_t lsn,
+                              bool dead) {
+  static obs::Counter* published =
+      obs::MetricsRegistry::Default().counter(obs::kTxnVersionsPublished);
+  std::vector<Extent> retired = std::move(pending_retired_);
+  pending_retired_.clear();
+  LatchGuard vguard(versions_latch_);
+  VersionChain& chain = versions_[id];
+  ObjectVersion v;
+  v.root = root;
+  v.lsn = lsn;
+  v.dead = dead;
+  if (chain.empty()) {
+    // First version (creation): nothing is superseded, so anything the
+    // mutation freed was transient — collectable at the next drain.
+    v.vseq = 1;
+    gc_ready_.insert(gc_ready_.end(), retired.begin(), retired.end());
+  } else {
+    v.vseq = chain.back().vseq + 1;
+    ObjectVersion& prev = chain.back();
+    prev.retired.insert(prev.retired.end(), retired.begin(), retired.end());
+  }
+  chain.push_back(std::move(v));
+  published->Inc();
+  CollectChainLocked(&chain);
+  if (chain.empty()) versions_.erase(id);
+}
+
+void Database::CollectChainLocked(VersionChain* chain) {
+  static obs::Counter* gcd =
+      obs::MetricsRegistry::Default().counter(obs::kTxnVersionsGcd);
+  while (!chain->empty() && chain->front().pins == 0 &&
+         (chain->size() > 1 || chain->front().dead)) {
+    ObjectVersion& v = chain->front();
+    gc_ready_.insert(gc_ready_.end(), v.retired.begin(), v.retired.end());
+    chain->pop_front();
+    gcd->Inc();
+  }
+}
+
+void Database::ReleaseSnapshotPin(uint64_t id, uint64_t vseq) {
+  static obs::Gauge* open_gauge =
+      obs::MetricsRegistry::Default().gauge(obs::kTxnSnapshotsOpen);
+  LatchGuard vguard(versions_latch_);
+  auto it = versions_.find(id);
+  if (it != versions_.end()) {
+    for (ObjectVersion& v : it->second) {
+      if (v.vseq == vseq) {
+        if (v.pins > 0) --v.pins;
+        break;
+      }
+    }
+    CollectChainLocked(&it->second);
+    if (it->second.empty()) versions_.erase(it);
+  }
+  open_gauge->Add(-1);
+}
+
+Status Database::DrainVersionGcLocked() {
+  if (!options_.mvcc) return Status::OK();
+  std::vector<Extent> ready;
+  {
+    LatchGuard vguard(versions_latch_);
+    for (auto it = versions_.begin(); it != versions_.end();) {
+      CollectChainLocked(&it->second);
+      it = it->second.empty() ? versions_.erase(it) : std::next(it);
+    }
+    ready.swap(gc_ready_);
+  }
+  if (ready.empty()) return Status::OK();
+  // GC *is* the release path; it must never be refused for lack of space.
+  SegmentAllocator::EmergencyScope emergency;
+  for (size_t i = 0; i < ready.size(); ++i) {
+    Status s = allocator_->Free(ready[i]);
+    if (!s.ok()) {
+      // Re-park the rest (this extent included): the storage stays
+      // allocated — a leak-check finding at worst, never a dangling
+      // reference.
+      LatchGuard vguard(versions_latch_);
+      gc_ready_.insert(gc_ready_.end(), ready.begin() + i, ready.end());
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+bool Database::HasOpenPins() {
+  LatchGuard vguard(versions_latch_);
+  for (const auto& [id, chain] : versions_) {
+    for (const ObjectVersion& v : chain) {
+      if (v.pins > 0) return true;
+    }
+  }
+  return false;
+}
+
+Status Database::CommitMutationLocked(uint64_t id, uint64_t* commit_lsn) {
+  if (!options_.mvcc || log_ == nullptr) return Status::OK();
+  return log_->LogCommitMarker(id, commit_lsn);
+}
+
+Status Database::SyncCommit(uint64_t commit_lsn) {
+  if (commit_lsn == 0 || log_ == nullptr) return Status::OK();
+  return log_->SyncToLsn(commit_lsn);
+}
+
+StatusOr<Snapshot> Database::BeginSnapshot(uint64_t id) {
+  if (!options_.mvcc) {
+    return Status::InvalidArgument("snapshots require DatabaseOptions::mvcc");
+  }
+  static obs::Gauge* open_gauge =
+      obs::MetricsRegistry::Default().gauge(obs::kTxnSnapshotsOpen);
+  LatchGuard vguard(versions_latch_);
+  auto it = versions_.find(id);
+  if (it == versions_.end() || it->second.empty() || it->second.back().dead) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  ObjectVersion& v = it->second.back();
+  EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(v.root));
+  ++v.pins;
+  open_gauge->Add(1);
+  Snapshot snap;
+  snap.db_ = this;
+  snap.object_id_ = id;
+  snap.vseq_ = v.vseq;
+  snap.lsn_ = v.lsn;
+  snap.root_ = std::move(d);
+  return snap;
+}
+
+StatusOr<Bytes> Database::SnapshotRead(const Snapshot& snap, uint64_t offset,
+                                       uint64_t n) {
+  if (!snap.valid()) {
+    return Status::InvalidArgument("snapshot is released");
+  }
+  // No dir_latch_: the pinned root is immutable and version GC keeps every
+  // page it references allocated, so concurrent mutators are invisible
+  // here. Page-level consistency is the pager's own latching.
+  obs::ScopedOp span("db.snapshot_read", snap.object_id(), device_.get());
+  Bytes out;
+  Status s = lob_->Read(snap.root(), offset, n, &out);
+  if (!s.ok()) return span.Close(std::move(s));
+  return out;
+}
+
+StatusOr<std::vector<Database::VersionInfo>> Database::ListVersions(
+    uint64_t id) {
+  if (!options_.mvcc) {
+    SharedLatchGuard guard(dir_latch_);
+    EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
+    VersionInfo info;
+    info.vseq = 1;
+    info.lsn = d.lsn;
+    info.size = d.size();
+    if (!d.root.entries.empty()) info.root_page = d.root.entries[0].page;
+    info.current = true;
+    return std::vector<VersionInfo>{info};
+  }
+  LatchGuard vguard(versions_latch_);
+  auto it = versions_.find(id);
+  if (it == versions_.end() || it->second.empty()) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  std::vector<VersionInfo> out;
+  out.reserve(it->second.size());
+  for (const ObjectVersion& v : it->second) {
+    VersionInfo info;
+    info.vseq = v.vseq;
+    info.lsn = v.lsn;
+    info.pins = v.pins;
+    info.retired_extents = static_cast<uint32_t>(v.retired.size());
+    info.current = (&v == &it->second.back());
+    info.dead = v.dead;
+    if (!v.dead) {
+      EOS_ASSIGN_OR_RETURN(LobDescriptor d,
+                           LobDescriptor::Deserialize(v.root));
+      info.size = d.size();
+      if (!d.root.entries.empty()) info.root_page = d.root.entries[0].page;
+    }
+    out.push_back(info);
+  }
+  return out;
 }
 
 // ----- online defragmentation (DESIGN.md §12) --------------------------------
@@ -911,8 +1326,12 @@ Status Database::MigrateObject(uint64_t id, uint64_t horizon,
   // parks) the old tree, so a crash mid-migration recovers from the old
   // root plus the unchanged WAL. No TouchLocked — a migration must not
   // make its object look hot.
-  Status s = lob_->Reorganize(&d);
-  if (!s.ok()) return span.Close(std::move(s));
+  {
+    ScopedFreeCapture capture(allocator_.get(), options_.mvcc);
+    Status s = lob_->Reorganize(&d);
+    if (!s.ok()) return span.Close(std::move(s));
+    pending_retired_ = capture.TakeCaptured();
+  }
   return span.Close(PutRootLocked(id, d));
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -88,6 +89,18 @@ struct DatabaseOptions {
   // back to their ideal layout. DefragTick() drives single deterministic
   // passes regardless of the flag.
   DefragOptions defrag;
+
+  // Multi-version concurrency (DESIGN.md §13): every committed mutation
+  // publishes the object's new root into an in-memory version chain, and
+  // BeginSnapshot()/SnapshotRead() traverse a pinned version without
+  // touching the directory latch — readers never wait on writers. Implies
+  // index-node shadowing and copy-on-write Replace so no page a pinned
+  // version references is ever overwritten in place; superseded storage is
+  // reclaimed only once no snapshot pins it (through the CheckpointFreeList
+  // when combined with crash_safe). Mutations additionally group-commit
+  // their WAL markers (LogManager::LogCommitDurable) when a log is
+  // attached.
+  bool mvcc = false;
 };
 
 // FreeInterceptor that parks every freed extent until the next
@@ -112,6 +125,47 @@ class CheckpointFreeList final : public FreeInterceptor {
 
  private:
   std::vector<Extent> parked_;
+};
+
+class Database;
+
+// A pinned, immutable view of one object at a committed version (MVCC,
+// DESIGN.md §13). While the snapshot is open, version GC keeps every page
+// its root can reach allocated, so Database::SnapshotRead() traverses it
+// without taking the directory latch — concurrent writers publish newer
+// versions without ever blocking or being blocked by this reader.
+// Move-only; destruction (or Release()) unpins the version, making its
+// superseded storage reclaimable. Must not outlive the Database.
+class Snapshot {
+ public:
+  Snapshot() = default;
+  ~Snapshot() { Release(); }
+  Snapshot(Snapshot&& o) noexcept { *this = std::move(o); }
+  Snapshot& operator=(Snapshot&& o) noexcept;
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  bool valid() const { return db_ != nullptr; }
+  uint64_t object_id() const { return object_id_; }
+  // Position in the object's version chain (monotone per object).
+  uint64_t vseq() const { return vseq_; }
+  // LSN of the mutation that published this version.
+  uint64_t lsn() const { return lsn_; }
+  uint64_t size() const { return root_.size(); }
+  const LobDescriptor& root() const { return root_; }
+
+  // Unpins early; the snapshot becomes invalid.
+  void Release();
+
+ private:
+  friend class Database;
+
+  Database* db_ = nullptr;
+  uint64_t object_id_ = 0;
+  uint64_t vseq_ = 0;
+  uint64_t lsn_ = 0;
+  LobDescriptor root_;
 };
 
 // Result of Database::LeakCheck — the allocation maps cross-checked
@@ -205,6 +259,37 @@ class Database : private DefragHost {
 
   // ----- convenience object operations --------------------------------------
 
+  // ----- snapshot MVCC (DESIGN.md §13) ---------------------------------------
+
+  // Pins the object's current committed version and returns a Snapshot
+  // that reads it. Requires options.mvcc. Never blocks on writers: only
+  // the (short, uncontended) version-chain latch is taken.
+  StatusOr<Snapshot> BeginSnapshot(uint64_t id);
+
+  // Reads min(n, snap.size() - offset) bytes at `offset` from the pinned
+  // version, latch-free with respect to the directory: concurrent
+  // mutations of the same object do not block this and are never observed
+  // by it.
+  StatusOr<Bytes> SnapshotRead(const Snapshot& snap, uint64_t offset,
+                               uint64_t n);
+
+  // One entry of an object's version chain, for eos_inspect and tests.
+  struct VersionInfo {
+    uint64_t vseq = 0;
+    uint64_t lsn = 0;
+    uint64_t size = 0;
+    uint64_t pins = 0;
+    PageId root_page = kInvalidPage;  // first child page; invalid if none
+    uint32_t retired_extents = 0;     // extents parked until this version GCs
+    bool current = false;
+    bool dead = false;  // drop marker (object destroyed)
+  };
+
+  // The object's version chain, oldest first. Without options.mvcc the
+  // directory root is reported as a single unpinned current version, so
+  // `eos_inspect versions` works on any volume.
+  StatusOr<std::vector<VersionInfo>> ListVersions(uint64_t id);
+
   StatusOr<uint64_t> Size(uint64_t id);
   StatusOr<Bytes> Read(uint64_t id, uint64_t offset, uint64_t n);
   Status Append(uint64_t id, ByteView data);
@@ -281,6 +366,8 @@ class Database : private DefragHost {
   void AttachLog(LogManager* log);
 
  private:
+  friend class Snapshot;
+
   Database() = default;
 
   static StatusOr<std::unique_ptr<Database>> Init(
@@ -319,6 +406,54 @@ class Database : private DefragHost {
   // defragmenter can tell cold objects from ones still being written.
   void TouchLocked(uint64_t id);
 
+  // ----- version chains (MVCC, DESIGN.md §13) --------------------------------
+
+  // One committed version of one object. `retired` is the storage that
+  // died when this version was superseded — the frees the successor's
+  // commit replayed — parked here until pins reaches zero.
+  struct ObjectVersion {
+    uint64_t vseq = 0;
+    Bytes root;  // serialized LobDescriptor; empty for a drop marker
+    uint64_t lsn = 0;
+    uint64_t pins = 0;
+    bool dead = false;
+    std::vector<Extent> retired;
+  };
+  using VersionChain = std::deque<ObjectVersion>;
+
+  // Rebuilds every chain from directory_ (open, recovery): one unpinned
+  // current version per object. Clears gc staging and stale capture state.
+  void SeedVersionChains();
+  // Appends a new current version for `id` under dir_latch_ exclusive,
+  // attaching pending_retired_ to the superseded version, then drains
+  // whatever became collectable into gc_ready_.
+  void PublishVersion(uint64_t id, const Bytes& root, uint64_t lsn,
+                      bool dead);
+  // FIFO-drains the chain front (collectable = unpinned and superseded, or
+  // an unpinned drop marker), staging retire batches into gc_ready_.
+  // Caller holds versions_latch_.
+  void CollectChainLocked(VersionChain* chain);
+  // Unpin from Snapshot teardown: may run on any thread, takes only
+  // versions_latch_, never calls into the allocator (a writer may have a
+  // capturing interceptor installed) — collectable storage waits in
+  // gc_ready_ for the next exclusive-latched drain.
+  void ReleaseSnapshotPin(uint64_t id, uint64_t vseq);
+  // Frees gc_ready_ through the normal allocator path (landing in the
+  // CheckpointFreeList in crash-safe mode). Caller holds dir_latch_
+  // exclusive with no capture scope installed.
+  Status DrainVersionGcLocked();
+  // True if any snapshot pin is open (mvcc only).
+  bool HasOpenPins();
+  // Emits the WAL commit marker for a successful mvcc mutation — under
+  // dir_latch_, so the marker is ordered after the mutation's own records.
+  // No-op (commit_lsn stays 0) without mvcc or an attached log.
+  Status CommitMutationLocked(uint64_t id, uint64_t* commit_lsn);
+  // Waits until a log sync covers `commit_lsn` (0 = nothing to wait for).
+  // Called *after* releasing dir_latch_: the fsync wait is where group
+  // commit batches, and holding the latch through it would serialize the
+  // very committers it should batch.
+  Status SyncCommit(uint64_t commit_lsn);
+
   // ----- DefragHost (the defragmenter's view of this database) --------------
 
   StatusOr<std::vector<DefragHost::ObjectFacts>> CollectObjectFacts() override;
@@ -355,6 +490,16 @@ class Database : private DefragHost {
   std::atomic<uint64_t> mutation_clock_{0};
   std::map<uint64_t, uint64_t> last_mutation_;
   std::unique_ptr<Defragmenter> defrag_;
+
+  // MVCC state. versions_/gc_ready_ are guarded by versions_latch_ — a
+  // leaf latch below dir_latch_ (writers hold both; BeginSnapshot and pin
+  // release take only versions_latch_, which is what keeps readers off the
+  // directory latch). pending_retired_ is a writer-side staging slot and
+  // is guarded by dir_latch_ exclusive alone.
+  std::map<uint64_t, VersionChain> versions_;
+  std::vector<Extent> gc_ready_;
+  mutable Latch versions_latch_;
+  std::vector<Extent> pending_retired_;
 };
 
 }  // namespace eos

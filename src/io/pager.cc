@@ -163,6 +163,12 @@ void Pager::Unpin(size_t frame) {
   Frame& f = frames_[frame];
   assert(f.pins > 0);
   --f.pins;
+  if (f.pins == 0 && f.doomed) {
+    // Last reader of an invalidated-while-pinned frame; recycle it now.
+    f.id = kInvalidPage;
+    f.doomed = false;
+    free_frames_.push_back(frame);
+  }
 }
 
 Status Pager::FlushAll() {
@@ -221,10 +227,18 @@ void Pager::Invalidate(PageId id) {
   auto it = map_.find(id);
   if (it == map_.end()) return;
   Frame& f = frames_[it->second];
-  assert(f.pins == 0);
-  f.id = kInvalidPage;
   f.dirty = false;
-  free_frames_.push_back(it->second);
+  if (f.pins > 0) {
+    // A snapshot reader still holds the buffer. Detach the frame from the
+    // map so new fetches of this id read the device, and doom it: the
+    // buffer stays valid (frames never reallocate, and version GC keeps
+    // the on-device bytes allocated while any pin exists), and the last
+    // Unpin returns the frame to the free list.
+    f.doomed = true;
+  } else {
+    f.id = kInvalidPage;
+    free_frames_.push_back(it->second);
+  }
   map_.erase(it);
   m_cached_->Add(-1);
 }

@@ -80,7 +80,10 @@ class Pager {
   Status EvictAll();
 
   // Discards any cached copy of `id` without writing it back (the page was
-  // freed). Must not be pinned.
+  // freed). A frame that is still pinned — a snapshot reader mid-traversal
+  // of an index page whose version chain just retired it — is detached from
+  // the page map and marked doomed instead; the pinned readers keep their
+  // stable buffer and the frame returns to the free list at the last Unpin.
   void Invalidate(PageId id);
 
   // Write-through mode (crash-safe configuration): MarkDirty persists the
@@ -108,6 +111,9 @@ class Pager {
     Bytes data;
     uint32_t pins = 0;
     bool dirty = false;
+    // Invalidated while pinned: already out of map_, freed when pins drop
+    // to zero. Never written back.
+    bool doomed = false;
     uint64_t tick = 0;
   };
 

@@ -430,6 +430,13 @@ StatusOr<Bytes> LobManager::ReadAll(const LobDescriptor& d) {
 
 Status LobManager::Replace(LobDescriptor* d, uint64_t offset, ByteView data) {
   obs::ScopedOp span("lob.replace", 0, device());
+  if (cow_replace_) {
+    // MVCC mode: affected segments are rewritten into fresh extents and the
+    // spine republished, so a snapshot of the old version keeps reading its
+    // own leaf pages; a mid-op failure is repaired by reservation unwind.
+    return span.Close(RunGuarded(
+        d, "lob.replace", [&] { return ReplaceCowImpl(d, offset, data); }));
+  }
   // Replace mutates leaf pages in place under write-ahead logging, so a
   // partial run is repaired by recovery, not by unwind — only the entry
   // deadline gate applies (a mid-loop expiry would leave half-new bytes).
@@ -476,6 +483,47 @@ Status LobManager::ReplaceImpl(LobDescriptor* d, uint64_t offset,
       EOS_ASSIGN_OR_RETURN(bool more, walker.Next());
       if (!more) return Status::Corruption("object ended before its size");
     }
+  }
+  return Status::OK();
+}
+
+Status LobManager::ReplaceCowImpl(LobDescriptor* d, uint64_t offset,
+                                  ByteView data) {
+  if (offset + data.size() > d->size()) {
+    return Status::OutOfRange("replace range beyond object size");
+  }
+  if (data.empty()) return Status::OK();
+  if (log_ != nullptr) {
+    Bytes old;
+    EOS_RETURN_IF_ERROR(Read(*d, offset, data.size(), &old));
+    EOS_RETURN_IF_ERROR(log_->LogReplace(d, offset, old, data));
+  }
+  // One segment per round: read the whole old segment, overlay the new
+  // bytes, write the merged content into a fresh extent of the same page
+  // count, splice it into the spine (shadowed), and free the old extent —
+  // the free is parked by the enclosing reservation until commit, so a
+  // snapshot pinning the old version keeps its bytes.
+  uint64_t done = 0;
+  while (done < data.size()) {
+    EOS_RETURN_IF_ERROR(ScopedOpContext::CheckCurrent("lob.replace"));
+    std::vector<PathLevel> path;
+    LeafRef leaf;
+    uint64_t local = 0;
+    EOS_RETURN_IF_ERROR(
+        DescendToLeaf(*d, offset + done, &path, &leaf, &local));
+    uint64_t chunk =
+        std::min<uint64_t>(data.size() - done, leaf.bytes - local);
+    Bytes merged(leaf.bytes);
+    EOS_RETURN_IF_ERROR(ReadLeafBytes(leaf, 0, leaf.bytes, merged.data()));
+    std::memcpy(merged.data() + local, data.data() + done, chunk);
+    EOS_ASSIGN_OR_RETURN(Extent fresh,
+                         allocator()->Allocate(leaf.extent.pages));
+    EOS_RETURN_IF_ERROR(WriteLeafPages(
+        fresh.first, ByteView(merged.data(), merged.size())));
+    EOS_RETURN_IF_ERROR(allocator()->Free(leaf.extent));
+    EOS_RETURN_IF_ERROR(
+        ReplaceInPath(d, &path, {LobEntry{leaf.bytes, fresh.first}}));
+    done += chunk;
   }
   return Status::OK();
 }

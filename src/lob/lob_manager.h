@@ -221,6 +221,16 @@ class LobManager {
   LogManager* log_manager() const { return log_; }
   void set_shadowing(bool on) { store_.set_shadowing(on); }
 
+  // Copy-on-write Replace (MVCC mode, DESIGN.md §13). Replace is the one
+  // operation that normally overwrites leaf pages in place; with CoW on,
+  // every affected segment is instead rewritten into a fresh extent and
+  // spliced into the spine through the ordinary shadowed path, so a
+  // concurrent snapshot reader of the superseded version never observes
+  // half-replaced bytes. The rewrite runs under RunGuarded: a mid-op
+  // failure unwinds to the exact pre-op tree.
+  void set_cow_replace(bool on) { cow_replace_ = on; }
+  bool cow_replace() const { return cow_replace_; }
+
   // Parallel leaf I/O: with a non-null executor, multi-segment reads fan
   // their device transfers out to the executor's workers and join before
   // returning. Off (nullptr, the default) every transfer is issued inline
@@ -250,6 +260,7 @@ class LobManager {
   Status ReadImpl(const LobDescriptor& d, uint64_t offset, uint64_t n,
                   Bytes* out);
   Status ReplaceImpl(LobDescriptor* d, uint64_t offset, ByteView data);
+  Status ReplaceCowImpl(LobDescriptor* d, uint64_t offset, ByteView data);
   Status InsertImpl(LobDescriptor* d, uint64_t offset, ByteView data);
   Status DeleteImpl(LobDescriptor* d, uint64_t offset, uint64_t n);
   Status AppendImpl(LobDescriptor* d, ByteView data);
@@ -352,6 +363,7 @@ class LobManager {
   uint32_t root_capacity_;
   LogManager* log_ = nullptr;
   IoExecutor* exec_ = nullptr;
+  bool cow_replace_ = false;
 };
 
 // Multi-append session (Section 4.1): when the eventual size is unknown,

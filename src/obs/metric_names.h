@@ -50,6 +50,14 @@ inline constexpr char kTxnRedoApplied[] = "txn.recovery.redo";
 inline constexpr char kTxnUndoApplied[] = "txn.recovery.undo";
 inline constexpr char kTxnObjectsRecovered[] = "txn.recovery.objects";
 
+// --- multi-version concurrency (snapshot MVCC, DESIGN.md §13) ---------------
+inline constexpr char kTxnSnapshotsOpen[] = "txn.snapshots_open";  // gauge
+inline constexpr char kTxnVersionsPublished[] = "txn.versions_published";
+inline constexpr char kTxnVersionsGcd[] = "txn.versions_gcd";
+// Commit markers made durable per shared fsync (group commit).
+inline constexpr char kTxnGroupCommitBatch[] =
+    "txn.group_commit_batch";  // histogram
+
 // --- verified I/O (page integrity layer) -----------------------------------
 inline constexpr char kIoChecksumFail[] = "io.checksum_fail";
 inline constexpr char kIoReadRetry[] = "io.read_retry";

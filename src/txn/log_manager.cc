@@ -72,8 +72,19 @@ StatusOr<std::vector<LogRecord>> LogManager::ReadLogFile(
 
 Status LogManager::Emit(LobDescriptor* d, LogRecord&& r) {
   LatchGuard g(latch_);
-  r.lsn = next_lsn_++;
   r.object_id = current_object_;
+  return EmitLocked(d, std::move(r), nullptr);
+}
+
+Status LogManager::EmitTagged(LogRecord&& r, uint64_t* lsn_out) {
+  LatchGuard g(latch_);
+  return EmitLocked(nullptr, std::move(r), lsn_out);
+}
+
+Status LogManager::EmitLocked(LobDescriptor* d, LogRecord&& r,
+                              uint64_t* lsn_out) {
+  r.lsn = next_lsn_++;
+  if (lsn_out != nullptr) *lsn_out = r.lsn;
   // Write-ahead: the record is durable (appended) before the update is
   // applied; the LSN is placed in the root for idempotence (Section 4.5).
   if (fd_ >= 0) {
@@ -153,6 +164,65 @@ Status LogManager::LogCommit(uint64_t object_id) {
   LogRecord r;
   r.op = LogOp::kCommit;
   return Emit(nullptr, std::move(r));
+}
+
+Status LogManager::LogCommitDurable(uint64_t object_id) {
+  uint64_t marker_lsn = 0;
+  EOS_RETURN_IF_ERROR(LogCommitMarker(object_id, &marker_lsn));
+  return SyncToLsn(marker_lsn);
+}
+
+Status LogManager::LogCommitMarker(uint64_t object_id, uint64_t* lsn_out) {
+  LogRecord r;
+  r.op = LogOp::kCommit;
+  r.object_id = object_id;
+  return EmitTagged(std::move(r), lsn_out);
+}
+
+Status LogManager::SyncToLsn(uint64_t lsn) {
+  static obs::Histogram* batch_hist =
+      obs::MetricsRegistry::Default().histogram(obs::kTxnGroupCommitBatch);
+  std::unique_lock<std::mutex> lk(commit_mu_);
+  ++pending_commits_;
+  while (durable_lsn_ < lsn) {
+    if (!sync_in_flight_) {
+      // Leader: one fsync covers every record appended so far, so every
+      // committer queued at this point rides the same barrier.
+      sync_in_flight_ = true;
+      uint32_t covered = pending_commits_;
+      uint64_t target;
+      {
+        LatchGuard g(latch_);
+        target = next_lsn_ - 1;
+      }
+      lk.unlock();
+      Status s = Status::OK();
+      if (fd_ >= 0 && ::fsync(fd_) != 0) {
+        s = Status::IOError(std::string("log fsync: ") +
+                            std::strerror(errno));
+      }
+      lk.lock();
+      sync_in_flight_ = false;
+      commit_cv_.notify_all();
+      if (!s.ok()) {
+        // Durability not advanced; a waiter becomes the next leader and
+        // retries. This committer reports the failure.
+        --pending_commits_;
+        return s;
+      }
+      if (target > durable_lsn_) durable_lsn_ = target;
+      batch_hist->Record(covered);
+    } else {
+      commit_cv_.wait(lk);
+    }
+  }
+  --pending_commits_;
+  return Status::OK();
+}
+
+uint64_t LogManager::durable_lsn() const {
+  std::lock_guard<std::mutex> lk(commit_mu_);
+  return durable_lsn_;
 }
 
 }  // namespace eos

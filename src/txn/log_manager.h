@@ -1,8 +1,10 @@
 #ifndef EOS_TXN_LOG_MANAGER_H_
 #define EOS_TXN_LOG_MANAGER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,31 @@ class LogManager {
   // descriptor — the marker has no effect on object state.
   Status LogCommit(uint64_t object_id);
 
+  // Group commit (DESIGN.md §13): appends the commit marker and returns
+  // once it is durable on the backing file. Concurrent committers share
+  // fsyncs leader/follower style — the first committer to find no sync in
+  // flight syncs every record appended so far (covering the markers of
+  // everyone queued behind it); the rest wait for a sync whose coverage
+  // includes their marker. Batch sizes are recorded in
+  // txn.group_commit_batch. An in-memory log (no backing file) is durable
+  // at append, so the call degenerates to LogCommit plus metric upkeep.
+  // Unlike the rest of the API this does not route the object id through
+  // set_current_object, so concurrent committers need no external latch.
+  Status LogCommitDurable(uint64_t object_id);
+
+  // The two halves of LogCommitDurable, for callers that must emit the
+  // marker while holding a latch that orders it against the object's other
+  // records, but wait for durability only after releasing that latch — the
+  // wait is where group commit batches, so it must not serialize appends.
+  Status LogCommitMarker(uint64_t object_id, uint64_t* lsn_out);
+  // Blocks until a completed sync covers `lsn`, becoming the fsync leader
+  // if none is in flight.
+  Status SyncToLsn(uint64_t lsn);
+
+  // Highest LSN covered by a completed sync (always last_lsn() for an
+  // in-memory log).
+  uint64_t durable_lsn() const;
+
   const std::vector<LogRecord>& records() const { return records_; }
   uint64_t last_lsn() const { return next_lsn_ - 1; }
 
@@ -70,12 +97,24 @@ class LogManager {
   explicit LogManager(int fd) : fd_(fd) {}
 
   Status Emit(LobDescriptor* d, LogRecord&& r);
+  // Emit that keeps the record's pre-set object_id (thread-safe commit
+  // path) and reports the assigned LSN.
+  Status EmitTagged(LogRecord&& r, uint64_t* lsn_out);
+  Status EmitLocked(LobDescriptor* d, LogRecord&& r, uint64_t* lsn_out);
 
   Latch latch_;
   std::vector<LogRecord> records_;
   uint64_t next_lsn_ = 1;
   uint64_t current_object_ = 0;
   int fd_ = -1;
+
+  // Group-commit state: guarded by commit_mu_, separate from latch_ so a
+  // leader's fsync never blocks appends.
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  uint64_t durable_lsn_ = 0;
+  bool sync_in_flight_ = false;
+  uint32_t pending_commits_ = 0;
 };
 
 }  // namespace eos

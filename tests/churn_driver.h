@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <random>
 #include <string>
 #include <vector>
@@ -52,7 +53,7 @@ class ChurnDriver {
     for (uint32_t i = 0; i < opt_.num_objects; ++i) {
       uint64_t n = opt_.initial_object_bytes / 2 +
                    rng_() % std::max<uint64_t>(1, opt_.initial_object_bytes);
-      Bytes payload = Payload(n);
+      Bytes payload = Payload(rng_, n);
       EOS_ASSIGN_OR_RETURN(uint64_t id, db_->CreateObjectFrom(payload));
       ids_.push_back(id);
       mirrors_[id].Append(payload);
@@ -67,48 +68,112 @@ class ChurnDriver {
     return Status::OK();
   }
 
+  // ----- multi-threaded use --------------------------------------------------
+  //
+  // The driver latch (mu_) serializes every step — and so every
+  // database-plus-mirror mutation — which is what keeps the oracle exact:
+  // a concurrent observer that pins state under the latch (see
+  // PinRandomSnapshot) sees database and mirror move atomically. Each
+  // thread gets its own RNG stream so interleaving never perturbs another
+  // thread's operation sequence.
+
+  // Derives one RNG stream per thread from the base seed. Call once, after
+  // SetUp() and before the first StepForThread().
+  void PrepareThreads(uint32_t threads) {
+    thread_rngs_.clear();
+    for (uint32_t t = 0; t < threads; ++t) thread_rngs_.emplace_back(rng_());
+  }
+
+  // Step() on thread `t`'s RNG stream; safe concurrently with any other
+  // driver call.
+  Status StepForThread(uint32_t t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return StepLocked(thread_rngs_.at(t));
+  }
+
+  // Pins the current version of a random live object and captures the
+  // exact bytes that version must read, atomically with respect to
+  // concurrent steps. The caller verifies via Database::SnapshotRead()
+  // *outside* the driver latch — lock-free against the writers.
+  Status PinRandomSnapshot(uint32_t t, Snapshot* snap,
+                           std::string* expected) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::mt19937_64& rng = thread_rngs_.at(t);
+    uint64_t id = ids_[rng() % ids_.size()];
+    EOS_ASSIGN_OR_RETURN(*snap, db_->BeginSnapshot(id));
+    *expected = mirrors_.at(id).bytes();
+    return Status::OK();
+  }
+
   // One random mutation of one object, applied to database and mirror.
   Status Step() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return StepLocked(rng_);
+  }
+
+  // Full-content comparison of one object against its mirror. Only valid
+  // at a quiesce point (no concurrent mutators of `id`).
+  Status VerifyObject(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return VerifyObjectLocked(id);
+  }
+
+  Status VerifyAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t id : ids_) EOS_RETURN_IF_ERROR(VerifyObjectLocked(id));
+    return Status::OK();
+  }
+
+  // Accessors are only meaningful at a quiesce point.
+  const std::vector<uint64_t>& ids() const { return ids_; }
+  const std::map<uint64_t, ModelLob>& mirrors() const { return mirrors_; }
+  uint64_t steps() const { return steps_; }
+  size_t HotCount() const {
+    return static_cast<size_t>(opt_.hot_fraction * ids_.size() + 0.5);
+  }
+
+ private:
+  Status StepLocked(std::mt19937_64& rng) {
     ++steps_;
     size_t hot_n = HotCount();
     size_t slot;
-    if (hot_n > 0 && hot_n < ids_.size() && rng_() % 100 < 80) {
-      slot = rng_() % hot_n;
+    if (hot_n > 0 && hot_n < ids_.size() && rng() % 100 < 80) {
+      slot = rng() % hot_n;
     } else {
-      slot = rng_() % ids_.size();
+      slot = rng() % ids_.size();
     }
     uint64_t id = ids_[slot];
     ModelLob& m = mirrors_[id];
     uint64_t size = m.size();
-    uint32_t pick = rng_() % 100;
+    uint32_t pick = rng() % 100;
 
     if (opt_.lifecycle_churn && pick < 5) {
       EOS_RETURN_IF_ERROR(db_->DropObject(id));
       mirrors_.erase(id);
       uint64_t n = opt_.initial_object_bytes / 2 +
-                   rng_() % std::max<uint64_t>(1, opt_.initial_object_bytes);
-      Bytes payload = Payload(n);
+                   rng() % std::max<uint64_t>(1, opt_.initial_object_bytes);
+      Bytes payload = Payload(rng, n);
       EOS_ASSIGN_OR_RETURN(uint64_t fresh, db_->CreateObjectFrom(payload));
       ids_[slot] = fresh;
       mirrors_[fresh].Append(payload);
       return Status::OK();
     }
     if (size == 0 || (pick < 35 && size < opt_.max_object_bytes)) {
-      Bytes data = Payload(1 + rng_() % opt_.max_edit_bytes);
+      Bytes data = Payload(rng, 1 + rng() % opt_.max_edit_bytes);
       m.Append(data);
       return db_->Append(id, data);
     }
     if (pick < 55 && size < opt_.max_object_bytes) {
-      Bytes data = Payload(1 + rng_() % opt_.max_edit_bytes);
-      uint64_t off = rng_() % (size + 1);
+      Bytes data = Payload(rng, 1 + rng() % opt_.max_edit_bytes);
+      uint64_t off = rng() % (size + 1);
       m.Insert(off, data);
       return db_->Insert(id, off, data);
     }
     if (pick < 80) {
-      uint64_t off = rng_() % size;
-      uint64_t n = std::min<uint64_t>(1 + rng_() % opt_.max_edit_bytes,
+      uint64_t off = rng() % size;
+      uint64_t n = std::min<uint64_t>(1 + rng() % opt_.max_edit_bytes,
                                       size - off);
-      Bytes data = Payload(n);
+      Bytes data = Payload(rng, n);
       m.Replace(off, data);
       return db_->Replace(id, off, data);
     }
@@ -116,17 +181,16 @@ class ChurnDriver {
     uint64_t max_del = size > opt_.max_object_bytes
                            ? size - opt_.max_object_bytes / 2
                            : opt_.max_edit_bytes;
-    uint64_t off = rng_() % size;
-    uint64_t n = std::min<uint64_t>(1 + rng_() % std::max<uint64_t>(
+    uint64_t off = rng() % size;
+    uint64_t n = std::min<uint64_t>(1 + rng() % std::max<uint64_t>(
                                                      1, max_del),
                                     size - off);
     m.Delete(off, n);
     return db_->Delete(id, off, n);
   }
 
-  // Full-content comparison of one object against its mirror. Only valid
-  // at a quiesce point (no concurrent mutators of `id`).
-  Status VerifyObject(uint64_t id) {
+  // Caller holds mu_.
+  Status VerifyObjectLocked(uint64_t id) {
     const ModelLob& m = mirrors_.at(id);
     EOS_ASSIGN_OR_RETURN(uint64_t got_size, db_->Size(id));
     if (got_size != m.size()) {
@@ -143,29 +207,19 @@ class ChurnDriver {
     return Status::OK();
   }
 
-  Status VerifyAll() {
-    for (uint64_t id : ids_) EOS_RETURN_IF_ERROR(VerifyObject(id));
-    return Status::OK();
-  }
-
-  const std::vector<uint64_t>& ids() const { return ids_; }
-  const std::map<uint64_t, ModelLob>& mirrors() const { return mirrors_; }
-  uint64_t steps() const { return steps_; }
-  size_t HotCount() const {
-    return static_cast<size_t>(opt_.hot_fraction * ids_.size() + 0.5);
-  }
-
- private:
-  Bytes Payload(uint64_t n) {
+  static Bytes Payload(std::mt19937_64& rng, uint64_t n) {
     Bytes b(n);
     for (uint64_t i = 0; i < n; ++i) {
-      b[i] = static_cast<uint8_t>(rng_());
+      b[i] = static_cast<uint8_t>(rng());
     }
     return b;
   }
 
   Database* db_;
+  // Serializes every database-plus-mirror step (see "multi-threaded use").
+  std::mutex mu_;
   std::mt19937_64 rng_;
+  std::vector<std::mt19937_64> thread_rngs_;
   ChurnOptions opt_;
   std::vector<uint64_t> ids_;
   std::map<uint64_t, ModelLob> mirrors_;

@@ -43,11 +43,12 @@ constexpr int kObjects = 4;
 constexpr int kMutationOps = 30;
 constexpr int kDropStep = kMutationOps / 2;  // DropObject of the last object
 
-DatabaseOptions TortureOptions() {
+DatabaseOptions TortureOptions(bool mvcc = false) {
   DatabaseOptions opt;
   opt.page_size = kPageSize;
   opt.pager_frames = 16;
   opt.crash_safe = true;
+  opt.mvcc = mvcc;
   return opt;
 }
 
@@ -105,15 +106,18 @@ struct Harness {
   ChaosPageDevice* chaos = nullptr;
   std::vector<uint64_t> ids;
   uint64_t setup_lsn = 0;  // last LSN of the setup phase
+  bool mvcc = false;
 };
 
-Harness MakeHarness(uint64_t seed, std::vector<ModelLob>* models) {
+Harness MakeHarness(uint64_t seed, std::vector<ModelLob>* models,
+                    bool mvcc = false) {
   Harness h;
+  h.mvcc = mvcc;
   h.log = std::make_unique<LogManager>();
   auto chaos = std::make_unique<ChaosPageDevice>(
       std::make_unique<MemPageDevice>(kPageSize, 1), seed);
   h.chaos = chaos.get();
-  auto db = Database::CreateOnDevice(std::move(chaos), TortureOptions());
+  auto db = Database::CreateOnDevice(std::move(chaos), TortureOptions(mvcc));
   EXPECT_TRUE(db.ok()) << db.status().ToString();
   if (!db.ok()) return h;
   h.db = std::move(db).value();
@@ -125,7 +129,8 @@ Harness MakeHarness(uint64_t seed, std::vector<ModelLob>* models) {
     EXPECT_TRUE(id.ok()) << id.status().ToString();
     if (!id.ok()) return h;
     h.ids.push_back(*id);
-    EXPECT_TRUE(h.log->LogCommit(*id).ok());
+    // Under mvcc the Database group-commits its own marker per mutation.
+    if (!mvcc) EXPECT_TRUE(h.log->LogCommit(*id).ok());
     ModelLob m;
     m.Append(init);
     models->push_back(std::move(m));
@@ -151,7 +156,13 @@ void RunMutation(Harness* h, const std::vector<ScriptedOp>& script,
   for (size_t i = 0; i < h->ids.size(); ++i) {
     (*committed)[h->ids[i]] = std::string(models[i].bytes());
   }
-  for (const ScriptedOp& s : script) {
+  // In mvcc mode a snapshot pin cycles open/closed across the script and
+  // periodic checkpoints drain version GC, so the crash-write window also
+  // covers version-chain publish with a live pin and GC reclaim frees.
+  // Local to this function: the pin must release before the db dies.
+  Snapshot pin;
+  for (size_t j = 0; j < script.size(); ++j) {
+    const ScriptedOp& s = script[j];
     if (h->chaos->crashed()) break;
     uint64_t id = h->ids[s.target];
     Status st;
@@ -181,7 +192,20 @@ void RunMutation(Harness* h, const std::vector<ScriptedOp>& script,
           << "op failed without a crash: " << st.ToString();
       break;
     }
-    EXPECT_TRUE(h->log->LogCommit(id).ok());
+    if (!h->mvcc) {
+      EXPECT_TRUE(h->log->LogCommit(id).ok());
+    } else {
+      if (j % 5 == 2 && !pin.valid()) {
+        auto p = h->db->BeginSnapshot(h->ids[0]);
+        if (p.ok()) pin = std::move(*p);
+      } else if (j % 5 == 4) {
+        pin.Release();
+      }
+      // GC boundary: superseded unpinned versions free here, so sampled
+      // crash points land inside the reclaim writes too. Fails once the
+      // device has died; that is part of the sweep.
+      if (j % 7 == 6) (void)h->db->Checkpoint();
+    }
     if (s.drop) {
       (*committed)[id] = std::nullopt;
     } else {
@@ -260,9 +284,10 @@ std::unique_ptr<Database> CrashAndRecover(uint64_t seed,
                                           const std::vector<ScriptedOp>& script,
                                           uint64_t k, bool tear,
                                           CommittedMap* committed,
-                                          std::vector<LogRecord>* wal_out) {
+                                          std::vector<LogRecord>* wal_out,
+                                          bool mvcc = false) {
   std::vector<ModelLob> models;
-  Harness h = MakeHarness(seed, &models);
+  Harness h = MakeHarness(seed, &models, mvcc);
   if (h.db == nullptr) return nullptr;
   h.chaos->CrashAfterWrites(k, tear ? 1 : 0);
   RunMutation(&h, script, models, committed, /*expect_ok=*/false);
@@ -273,7 +298,7 @@ std::unique_ptr<Database> CrashAndRecover(uint64_t seed,
   if (!image.ok()) return nullptr;
   std::vector<LogRecord> wal = h.log->records();
   h.db.reset();  // the dying flush fails against the dead device; harmless
-  auto db2 = Database::OpenOnDevice(std::move(*image), TortureOptions());
+  auto db2 = Database::OpenOnDevice(std::move(*image), TortureOptions(mvcc));
   EXPECT_TRUE(db2.ok()) << "re-open after crash " << k << ": "
                         << db2.status().ToString();
   if (!db2.ok()) return nullptr;
@@ -326,6 +351,67 @@ TEST(CrashRecoveryTortureTest, ExhaustiveCrashPoints) {
     ++points;
   }
   ASSERT_GE(points, 100) << "W=" << W << " stride=" << stride;
+}
+
+// The same exhaustive sweep with multi-version concurrency on: every
+// mutation group-commits its own marker, a snapshot pin cycles across the
+// script (version chains stay populated), and periodic checkpoints drain
+// version GC — so the sampled crash points land around version-chain
+// publish and GC reclaim frees. Recovery must still land on exactly the
+// committed oracle state, reseed the chains, and leak nothing.
+TEST(CrashRecoveryTortureTest, MvccCrashPointsAroundPublishAndGc) {
+  const uint64_t seed = TestSeed(0x31C);
+  SCOPED_TRACE("seed " + std::to_string(seed) +
+               " (re-run with EOS_TEST_SEED=<seed>)");
+
+  std::vector<ModelLob> models;
+  Harness ref = MakeHarness(seed, &models, /*mvcc=*/true);
+  ASSERT_NE(ref.db, nullptr);
+  std::vector<ScriptedOp> script = MakeScript(seed, models);
+  CommittedMap committed_ref;
+  uint64_t writes_before = ref.chaos->stats().write_calls;
+  RunMutation(&ref, script, models, &committed_ref, /*expect_ok=*/true);
+  const uint64_t W = ref.chaos->stats().write_calls - writes_before;
+  ASSERT_GE(W, 100u) << "workload too small to enumerate crash points";
+  EOS_ASSERT_OK(ref.db->CheckIntegrity());
+  std::string why;
+  ASSERT_TRUE(MatchesCommitted(ref.db.get(), committed_ref, &why))
+      << why << "\n"
+      << ScriptTrace(script);
+
+  const uint64_t stride = std::max<uint64_t>(1, W / 96);
+  int points = 0;
+  for (uint64_t k = 0; k < W; k += stride) {
+    SCOPED_TRACE("crash after " + std::to_string(k) + " of " +
+                 std::to_string(W) + " writes");
+    CommittedMap committed;
+    std::unique_ptr<Database> db =
+        CrashAndRecover(seed, script, k, /*tear=*/(points % 3 == 0),
+                        &committed, nullptr, /*mvcc=*/true);
+    ASSERT_NE(db, nullptr);
+    EOS_ASSERT_OK(db->CheckIntegrity());
+    ASSERT_TRUE(MatchesCommitted(db.get(), committed, &why))
+        << why << "\n"
+        << ScriptTrace(script);
+    // The reseeded chains serve snapshots immediately, and nothing the
+    // pre-crash version chains referenced leaks into the recovered maps.
+    for (const auto& [id, content] : committed) {
+      if (!content.has_value()) continue;
+      auto snap = db->BeginSnapshot(id);
+      ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+      auto got = db->SnapshotRead(*snap, 0, content->size() + 1);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got->size(), content->size());
+      snap->Release();
+    }
+    EOS_ASSERT_OK(db->Checkpoint());
+    LeakCheckReport report;
+    EOS_ASSERT_OK(db->LeakCheck(&report));
+    EXPECT_TRUE(report.leaked.empty());
+    EXPECT_TRUE(report.doubly_referenced.empty());
+    ++points;
+  }
+  ASSERT_GE(points, 80) << "W=" << W << " stride=" << stride;
 }
 
 // For every boundary, hand recovery a log truncated just before op i+1's

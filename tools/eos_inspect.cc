@@ -50,9 +50,9 @@ using eos::Status;
 int Usage() {
   std::fprintf(stderr,
                "usage: eos_inspect <volume> [--page-size N] "
-               "[--object ID | --check | verify | --spaces | stats | "
-               "trace [--chrome=OUT] | top [--interval MS] [--count N] | "
-               "scrub | repair | leak-check | "
+               "[--object ID | versions ID | --check | verify | --spaces | "
+               "stats | trace [--chrome=OUT] | top [--interval MS] "
+               "[--count N] | scrub | repair | leak-check | "
                "defrag [--apply] [--min-scatter X]]\n");
   return 2;
 }
@@ -562,6 +562,35 @@ void Defrag(Database* db, bool apply) {
   if (total.refused > 0 || total.failed > 0) std::exit(1);
 }
 
+// Prints an object's version chain (DESIGN.md §13). Version chains are
+// in-process state: a freshly opened volume shows the single seeded
+// current version; inside a live mvcc process the chain also lists every
+// superseded version some snapshot still pins.
+void PrintVersions(Database* db, uint64_t id) {
+  auto chain = db->ListVersions(id);
+  if (!chain.ok()) Fail(chain.status(), "versions");
+  std::printf("object %llu: %zu version%s\n",
+              static_cast<unsigned long long>(id), chain->size(),
+              chain->size() == 1 ? "" : "s");
+  std::printf("%8s %12s %12s %14s %6s %8s %s\n", "vseq", "root pg", "lsn",
+              "bytes", "pins", "retired", "state");
+  for (const auto& v : *chain) {
+    char root_pg[24];
+    if (v.root_page == eos::kInvalidPage) {
+      std::snprintf(root_pg, sizeof(root_pg), "-");
+    } else {
+      std::snprintf(root_pg, sizeof(root_pg), "%llu",
+                    static_cast<unsigned long long>(v.root_page));
+    }
+    std::printf("%8llu %12s %12llu %14llu %6llu %8u %s\n",
+                static_cast<unsigned long long>(v.vseq), root_pg,
+                static_cast<unsigned long long>(v.lsn),
+                static_cast<unsigned long long>(v.size),
+                static_cast<unsigned long long>(v.pins), v.retired_extents,
+                v.dead ? "dead" : (v.current ? "current" : "superseded"));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -584,6 +613,9 @@ int main(int argc, char** argv) {
       options.page_size = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--object" && i + 1 < argc) {
       mode = "object";
+      object_id = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if ((arg == "versions" || arg == "--versions") && i + 1 < argc) {
+      mode = "versions";
       object_id = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--check") {
       mode = "check";
@@ -644,6 +676,8 @@ int main(int argc, char** argv) {
     PrintOverview(db->get());
   } else if (mode == "object") {
     PrintObject(db->get(), object_id);
+  } else if (mode == "versions") {
+    PrintVersions(db->get(), object_id);
   } else if (mode == "spaces") {
     PrintSpaces(db->get());
   } else if (mode == "check") {

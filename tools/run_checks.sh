@@ -9,16 +9,17 @@
 #      recovery to <= 1.25x the §4 cost model with it on (the PR-6
 #      fresh-volume bar), and foreground read p99 within 20% of the
 #      defrag-off run (no build needed);
-#   1. fast + sanitizer- and obs-labelled tests under ASan/UBSan (the
-#      `asan` preset);
-#   2. the `tsan`- and obs-labelled concurrency suites (concurrent scrub
-#      + readers, parallel allocator use, concurrent journal writers)
-#      under ThreadSanitizer (the `tsan` preset);
+#   1. fast + sanitizer-, obs- and mvcc-labelled tests under ASan/UBSan
+#      (the `asan` preset);
+#   2. the `tsan`-, obs- and mvcc-labelled concurrency suites (concurrent
+#      scrub + readers, parallel allocator use, concurrent journal
+#      writers, snapshot readers racing writers) under ThreadSanitizer
+#      (the `tsan` preset);
 #   3. the full suite, including the `torture` crash-recovery, bit-rot and
 #      stress tests, in the default RelWithDebInfo build;
-#   4. the seed sweep: every `aging`-labelled suite re-run under an
-#      EOS_TEST_SEED matrix, so single-seed latent bugs (like the pinned
-#      4242 recovery case) cannot hide behind the default seed.
+#   4. the seed sweep: every `aging`- or `mvcc`-labelled suite re-run
+#      under an EOS_TEST_SEED matrix, so single-seed latent bugs (like the
+#      pinned 4242 recovery case) cannot hide behind the default seed.
 #
 # The `exhaustion` label (resource-exhaustion/deadline suites, DESIGN.md
 # §11) rides in tiers 1 and 2 via its sanitizer/tsan labels and can be
@@ -155,20 +156,22 @@ PY
 POSTMORTEM_DIR="$PWD/build/postmortems"
 mkdir -p "$POSTMORTEM_DIR"
 
-echo "== [1/4] sanitizer tier (ASan/UBSan, labels: sanitizer|obs) =="
+echo "== [1/4] sanitizer tier (ASan/UBSan, labels: sanitizer|obs|mvcc) =="
 cmake --preset asan
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 \
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
-  ctest --test-dir build-asan -L 'sanitizer|obs' --output-on-failure -j "$JOBS"
+  ctest --test-dir build-asan -L 'sanitizer|obs|mvcc' --output-on-failure \
+  -j "$JOBS"
 
-echo "== [2/4] concurrency tier (TSan, labels: tsan|obs) =="
+echo "== [2/4] concurrency tier (TSan, labels: tsan|obs|mvcc) =="
 cmake --preset tsan
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
-  ctest --test-dir build-tsan -L 'tsan|obs' --output-on-failure -j "$JOBS"
+  ctest --test-dir build-tsan -L 'tsan|obs|mvcc' --output-on-failure \
+  -j "$JOBS"
 
 echo "== [3/4] full suite incl. torture (default build) =="
 cmake --preset default
@@ -176,11 +179,11 @@ cmake --build build -j "$JOBS"
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
   ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [4/4] seed sweep (label: aging, EOS_TEST_SEED matrix) =="
+echo "== [4/4] seed sweep (labels: aging|mvcc, EOS_TEST_SEED matrix) =="
 for SEED in 4242 31337 99991; do
   echo "-- seed $SEED --"
   EOS_TEST_SEED="$SEED" EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
-    ctest --test-dir build -L aging --output-on-failure -j "$JOBS"
+    ctest --test-dir build -L 'aging|mvcc' --output-on-failure -j "$JOBS"
 done
 
 if compgen -G "$POSTMORTEM_DIR/eos_postmortem.*.json" > /dev/null; then
