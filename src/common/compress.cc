@@ -1,0 +1,169 @@
+#include "common/compress.h"
+
+#include <cstring>
+
+namespace eos {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;       // shortest match worth a token
+constexpr size_t kMaxOffset = 65535;  // 2-byte distance field
+constexpr size_t kHashBits = 13;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Hash32(uint32_t v) {
+  // Fibonacci hashing on the 4 bytes under the cursor.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Emits a length in the token's nibble-plus-extension scheme. Returns the
+// bytes written to the extension area (not counting the nibble), or
+// SIZE_MAX when `cap` would be exceeded.
+size_t PutLength(size_t len, uint8_t* dst, size_t cap) {
+  size_t written = 0;
+  if (len < 15) return 0;  // fits in the nibble, no extension bytes
+  len -= 15;
+  while (len >= 255) {
+    if (written >= cap) return SIZE_MAX;
+    dst[written++] = 255;
+    len -= 255;
+  }
+  if (written >= cap) return SIZE_MAX;
+  dst[written++] = static_cast<uint8_t>(len);
+  return written;
+}
+
+}  // namespace
+
+size_t CompressBound(size_t n) {
+  // All-literal worst case: one token + length extension per 15+255*k run.
+  return n + n / 255 + 16;
+}
+
+size_t CompressBlock(const uint8_t* src, size_t n, uint8_t* dst,
+                     size_t dst_cap) {
+  if (n == 0) return 0;
+  uint32_t table[kHashSize];
+  std::memset(table, 0xFF, sizeof(table));  // 0xFFFFFFFF = empty slot
+
+  size_t out = 0;
+  size_t anchor = 0;  // first literal not yet emitted
+  size_t pos = 0;
+  // The last kMinMatch-1 bytes can never start a match; sweep stops early
+  // enough that Load32 stays in bounds.
+  size_t match_limit = n >= kMinMatch ? n - kMinMatch + 1 : 0;
+
+  auto emit = [&](size_t lit_len, size_t match_len, size_t offset) -> bool {
+    if (out >= dst_cap) return false;
+    size_t token_at = out++;
+    uint8_t token = 0;
+    // Literal run.
+    size_t ext = PutLength(lit_len, dst + out, dst_cap - out);
+    if (ext == SIZE_MAX) return false;
+    out += ext;
+    token |= static_cast<uint8_t>((lit_len < 15 ? lit_len : 15) << 4);
+    if (out + lit_len > dst_cap) return false;
+    std::memcpy(dst + out, src + anchor, lit_len);
+    out += lit_len;
+    // Match.
+    if (match_len > 0) {
+      size_t code = match_len - kMinMatch;
+      if (out + 2 > dst_cap) return false;
+      dst[out++] = static_cast<uint8_t>(offset & 0xFF);
+      dst[out++] = static_cast<uint8_t>(offset >> 8);
+      ext = PutLength(code, dst + out, dst_cap - out);
+      if (ext == SIZE_MAX) return false;
+      out += ext;
+      token |= static_cast<uint8_t>(code < 15 ? code : 15);
+    }
+    dst[token_at] = token;
+    return true;
+  };
+
+  while (pos < match_limit) {
+    uint32_t seq = Load32(src + pos);
+    uint32_t h = Hash32(seq);
+    uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (cand == 0xFFFFFFFFu || pos - cand > kMaxOffset ||
+        Load32(src + cand) != seq) {
+      ++pos;
+      continue;
+    }
+    // Extend the match forward.
+    size_t len = kMinMatch;
+    while (pos + len < n && src[cand + len] == src[pos + len]) ++len;
+    if (!emit(pos - anchor, len, pos - cand)) return 0;
+    pos += len;
+    anchor = pos;
+  }
+  // Trailing literals; when the input ended exactly on a match there is
+  // nothing left and the stream ends with that match.
+  if (anchor < n && !emit(n - anchor, 0, 0)) return 0;
+  return out;
+}
+
+Status DecompressBlock(const uint8_t* src, size_t n, uint8_t* dst,
+                       size_t out_n) {
+  size_t in = 0;
+  size_t out = 0;
+  auto get_length = [&](size_t nibble, size_t* len) -> bool {
+    *len = nibble;
+    if (nibble != 15) return true;
+    uint8_t b;
+    do {
+      if (in >= n) return false;
+      b = src[in++];
+      *len += b;
+    } while (b == 255);
+    return true;
+  };
+  while (out < out_n) {
+    if (in >= n) return Status::Corruption("compressed stream truncated");
+    uint8_t token = src[in++];
+    size_t lit_len;
+    if (!get_length(token >> 4, &lit_len)) {
+      return Status::Corruption("compressed literal length truncated");
+    }
+    if (in + lit_len > n || out + lit_len > out_n) {
+      return Status::Corruption("compressed literal run out of bounds");
+    }
+    std::memcpy(dst + out, src + in, lit_len);
+    in += lit_len;
+    out += lit_len;
+    if (out == out_n && in == n) break;  // final literal-only block
+    if (in + 2 > n) return Status::Corruption("compressed match truncated");
+    size_t offset = src[in] | (size_t{src[in + 1]} << 8);
+    in += 2;
+    size_t match_len;
+    if (!get_length(token & 0xF, &match_len)) {
+      return Status::Corruption("compressed match length truncated");
+    }
+    match_len += kMinMatch;
+    if (offset == 0 || offset > out || out + match_len > out_n) {
+      return Status::Corruption("compressed match out of bounds");
+    }
+    // Overlapping copies (offset < match_len) are the RLE case and must
+    // run byte-wise front to back.
+    const uint8_t* from = dst + out - offset;
+    uint8_t* to = dst + out;
+    if (offset >= match_len) {
+      std::memcpy(to, from, match_len);
+    } else {
+      for (size_t i = 0; i < match_len; ++i) to[i] = from[i];
+    }
+    out += match_len;
+  }
+  if (out != out_n || in != n) {
+    return Status::Corruption("compressed stream length mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace eos

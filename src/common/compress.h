@@ -1,0 +1,48 @@
+#ifndef EOS_COMMON_COMPRESS_H_
+#define EOS_COMMON_COMPRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace eos {
+
+// Dependency-free LZ-class block compressor for the DRAM cache tier
+// (DESIGN.md §14). The format is a byte-oriented literal/match token
+// stream in the LZ4 family: greedy hash-chain matching on the compress
+// side, a branch-light copy loop on the decompress side. Decompression is
+// the hot direction (every compressed cache hit pays it), so the format
+// favors cheap decode over ratio — typical 2-4x on structured payloads,
+// and callers are expected to keep incompressible blocks raw.
+//
+// Block format, repeated until the input is consumed:
+//   token      1 byte: high nibble = literal run length (15 = extended),
+//              low nibble = match length - kMinMatch (15 = extended)
+//   [ext]      literal length extension: 255-bytes then a terminator < 255
+//   literals   the literal run
+//   offset     2 bytes little-endian match distance (1..65535); present
+//              only when the token encodes a match
+//   [ext]      match length extension, same scheme as literals
+// The final block carries only literals (match nibble 0, no offset).
+
+// Upper bound on CompressBlock's output for `n` input bytes.
+size_t CompressBound(size_t n);
+
+// Compresses [src, src+n) into dst (capacity dst_cap). Returns the
+// compressed size, or 0 when the result would not fit — callers use a
+// dst_cap below n to demand a minimum ratio and fall back to storing the
+// block raw when 0 comes back. n == 0 compresses to 0 bytes.
+size_t CompressBlock(const uint8_t* src, size_t n, uint8_t* dst,
+                     size_t dst_cap);
+
+// Decompresses a CompressBlock stream of `n` bytes into exactly `out_n`
+// bytes. Any malformed input — truncated stream, offset before the start
+// of the output, lengths that overrun either buffer — returns typed
+// Corruption without writing out of bounds.
+Status DecompressBlock(const uint8_t* src, size_t n, uint8_t* dst,
+                       size_t out_n);
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_COMPRESS_H_

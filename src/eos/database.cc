@@ -213,6 +213,12 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
     db->lob_->set_shadowing(true);
     db->lob_->set_cow_replace(true);
   }
+  if (options.cache_bytes > 0) {
+    ExtentCache::Options copt;
+    copt.capacity_bytes = options.cache_bytes;
+    copt.compress = options.cache_compression;
+    db->cache_ = std::make_unique<ExtentCache>(copt);
+  }
   if (fresh) {
     EOS_RETURN_IF_ERROR(db->WriteSuperblock());
   } else {
@@ -466,6 +472,14 @@ Status Database::PutRootLocked(uint64_t id, const LobDescriptor& d) {
   for (auto& [oid, root] : directory_) {
     if (oid == id) {
       root = d.Serialize();
+      if (cache_ != nullptr && !options_.mvcc) {
+        // Without version chains the cache key is the per-object mutation
+        // generation; bump it and drop the dead generation's entries (the
+        // new root may reuse leaf extents the old one wrote in place).
+        uint64_t& gen = cache_gen_[id];
+        gen = gen == 0 ? 2 : gen + 1;
+        cache_->InvalidateObject(id);
+      }
       // Publish before the directory save: the in-memory root above is the
       // current version from here on even if the save fails (the next
       // successful save persists it), and snapshot pins must track it.
@@ -525,6 +539,10 @@ Status Database::DropObject(uint64_t id) {
       directory_.erase(directory_.begin() + i);
       holes_.erase(id);
       last_mutation_.erase(id);
+      if (cache_ != nullptr && !options_.mvcc) {
+        cache_gen_.erase(id);
+        cache_->InvalidateObject(id);
+      }
       if (options_.mvcc) {
         // Drop marker: open snapshots keep reading the final content
         // version; the tree's extents free once the last pin releases.
@@ -555,6 +573,9 @@ StatusOr<Bytes> Database::Read(uint64_t id, uint64_t offset, uint64_t n) {
   SharedLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.read", id, device_.get());
   EOS_ASSIGN_OR_RETURN(LobDescriptor d, GetRootLocked(id));
+  uint64_t vseq = CacheVseqLocked(id);
+  ScopedExtentCacheRef cache_scope(vseq == 0 ? nullptr : cache_.get(), id,
+                                   vseq);
   Bytes out;
   Status s = lob_->Read(d, offset, n, &out);
   if (!s.ok()) return span.Close(std::move(s));
@@ -736,6 +757,14 @@ Status Database::RecoverImpl(const std::vector<LogRecord>& log) {
     versions_.clear();
     gc_ready_.clear();
     pending_retired_.clear();
+  }
+  if (cache_ != nullptr) {
+    // Recovery may rewrite object content without advancing the in-memory
+    // version tags (SeedVersionChains restarts every chain at vseq 1, and
+    // the non-mvcc generations describe pre-crash mutations); every cached
+    // image is suspect, so drop them all.
+    cache_->Clear();
+    cache_gen_.clear();
   }
   // Deserialize every durable root. These are trustworthy: write-through
   // ordering guarantees a durable root only references durable pages.
@@ -1027,6 +1056,12 @@ Status Database::RepairObject(uint64_t id) {
     gc_ready_.clear();
     pending_retired_.clear();
   }
+  if (cache_ != nullptr) {
+    // SeedVersionChains below restarts every chain at vseq 1, so stale
+    // images of *any* object could alias the reseeded tags.
+    cache_->Clear();
+    cache_gen_.clear();
+  }
   std::vector<Extent> live;
   if (!dir_object_.empty()) {
     s = lob_->CollectExtents(dir_object_, &live);
@@ -1081,6 +1116,21 @@ void Snapshot::Release() {
   db_ = nullptr;
 }
 
+uint64_t Database::CacheVseqLocked(uint64_t id) {
+  if (cache_ == nullptr) return 0;
+  if (options_.mvcc) {
+    LatchGuard vguard(versions_latch_);
+    auto it = versions_.find(id);
+    if (it == versions_.end() || it->second.empty() ||
+        it->second.back().dead) {
+      return 0;
+    }
+    return it->second.back().vseq;
+  }
+  auto it = cache_gen_.find(id);
+  return it == cache_gen_.end() ? 1 : it->second;
+}
+
 void Database::SeedVersionChains() {
   LatchGuard vguard(versions_latch_);
   versions_.clear();
@@ -1120,19 +1170,28 @@ void Database::PublishVersion(uint64_t id, const Bytes& root, uint64_t lsn,
   }
   chain.push_back(std::move(v));
   published->Inc();
-  CollectChainLocked(&chain);
+  CollectChainLocked(id, &chain);
   if (chain.empty()) versions_.erase(id);
 }
 
-void Database::CollectChainLocked(VersionChain* chain) {
+void Database::CollectChainLocked(uint64_t id, VersionChain* chain) {
   static obs::Counter* gcd =
       obs::MetricsRegistry::Default().counter(obs::kTxnVersionsGcd);
+  bool advanced = false;
   while (!chain->empty() && chain->front().pins == 0 &&
          (chain->size() > 1 || chain->front().dead)) {
     ObjectVersion& v = chain->front();
     gc_ready_.insert(gc_ready_.end(), v.retired.begin(), v.retired.end());
     chain->pop_front();
     gcd->Inc();
+    advanced = true;
+  }
+  if (advanced && cache_ != nullptr) {
+    // The collected versions can never be pinned again; their cached
+    // extent images are unreachable and only waste budget — drop them.
+    // Everything at or above the surviving front stays valid.
+    cache_->InvalidateObjectBelow(
+        id, chain->empty() ? ~uint64_t{0} : chain->front().vseq);
   }
 }
 
@@ -1148,7 +1207,7 @@ void Database::ReleaseSnapshotPin(uint64_t id, uint64_t vseq) {
         break;
       }
     }
-    CollectChainLocked(&it->second);
+    CollectChainLocked(id, &it->second);
     if (it->second.empty()) versions_.erase(it);
   }
   open_gauge->Add(-1);
@@ -1160,7 +1219,7 @@ Status Database::DrainVersionGcLocked() {
   {
     LatchGuard vguard(versions_latch_);
     for (auto it = versions_.begin(); it != versions_.end();) {
-      CollectChainLocked(&it->second);
+      CollectChainLocked(it->first, &it->second);
       it = it->second.empty() ? versions_.erase(it) : std::next(it);
     }
     ready.swap(gc_ready_);
@@ -1235,6 +1294,10 @@ StatusOr<Bytes> Database::SnapshotRead(const Snapshot& snap, uint64_t offset,
   // page it references allocated, so concurrent mutators are invisible
   // here. Page-level consistency is the pager's own latching.
   obs::ScopedOp span("db.snapshot_read", snap.object_id(), device_.get());
+  // The pinned version is immutable, so its cached extents can never be
+  // stale — hits are lock-free memcpys keyed by the snapshot's own vseq.
+  ScopedExtentCacheRef cache_scope(cache_.get(), snap.object_id(),
+                                   snap.vseq());
   Bytes out;
   Status s = lob_->Read(snap.root(), offset, n, &out);
   if (!s.ok()) return span.Close(std::move(s));

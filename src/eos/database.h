@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "buddy/segment_allocator.h"
+#include "cache/extent_cache.h"
 #include "common/bytes.h"
 #include "common/latch.h"
 #include "common/retry.h"
@@ -101,6 +102,19 @@ struct DatabaseOptions {
   // their WAL markers (LogManager::LogCommitDurable) when a log is
   // attached.
   bool mvcc = false;
+
+  // Hot-object DRAM cache tier (DESIGN.md §14): a non-zero byte budget
+  // attaches an ExtentCache above the leaf-read path. Read()/SnapshotRead()
+  // hits are served as a zero-I/O memcpy off the cached immutable extent
+  // image; misses fill through the ordinary read machinery. Entries are
+  // keyed by (object id, version sequence, extent), so a published version's
+  // cached bytes can never be stale; superseded versions are invalidated as
+  // version GC retires them (per-object generations without mvcc).
+  size_t cache_bytes = 0;
+  // Compress probation-resident cache entries (common/compress.h): the cold
+  // tail of the cache packs 2-4x more logical bytes per DRAM byte, while
+  // promoted hot entries stay raw (hits remain a pure memcpy).
+  bool cache_compression = true;
 };
 
 // FreeInterceptor that parks every freed extent until the next
@@ -357,6 +371,8 @@ class Database : private DefragHost {
   const LobDescriptor& dir_object() const { return dir_object_; }
 
   LobManager* lob() { return lob_.get(); }
+  // Non-null iff options.cache_bytes > 0.
+  ExtentCache* extent_cache() { return cache_.get(); }
   SegmentAllocator* allocator() { return allocator_.get(); }
   Pager* pager() { return pager_.get(); }
   PageDevice* device() { return device_.get(); }
@@ -406,6 +422,12 @@ class Database : private DefragHost {
   // defragmenter can tell cold objects from ones still being written.
   void TouchLocked(uint64_t id);
 
+  // The version tag Read() binds into the extent cache for `id`: the
+  // chain-current vseq under mvcc, the per-object mutation generation
+  // otherwise. 0 (don't cache) when the cache is off or the id is unknown.
+  // Caller holds dir_latch_ (shared suffices).
+  uint64_t CacheVseqLocked(uint64_t id);
+
   // ----- version chains (MVCC, DESIGN.md §13) --------------------------------
 
   // One committed version of one object. `retired` is the storage that
@@ -430,9 +452,11 @@ class Database : private DefragHost {
   void PublishVersion(uint64_t id, const Bytes& root, uint64_t lsn,
                       bool dead);
   // FIFO-drains the chain front (collectable = unpinned and superseded, or
-  // an unpinned drop marker), staging retire batches into gc_ready_.
-  // Caller holds versions_latch_.
-  void CollectChainLocked(VersionChain* chain);
+  // an unpinned drop marker), staging retire batches into gc_ready_. When
+  // the front advances, cached extents of the collected versions — which no
+  // reader can pin anymore — are dropped from the extent cache. Caller
+  // holds versions_latch_ (the cache's shard latches are leaves below it).
+  void CollectChainLocked(uint64_t id, VersionChain* chain);
   // Unpin from Snapshot teardown: may run on any thread, takes only
   // versions_latch_, never calls into the allocator (a writer may have a
   // capturing interceptor installed) — collectable storage waits in
@@ -470,11 +494,15 @@ class Database : private DefragHost {
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<SegmentAllocator> allocator_;
   std::unique_ptr<LobManager> lob_;
+  std::unique_ptr<ExtentCache> cache_;  // options.cache_bytes > 0 only
   std::unique_ptr<CheckpointFreeList> deferred_frees_;  // crash-safe only
   LogManager* log_ = nullptr;
 
   uint64_t next_object_id_ = 1;
   std::map<uint64_t, uint32_t> threshold_hints_;
+  // Non-mvcc cache versioning: bumped on every root publication so stale
+  // cache keys die with their generation (guarded by dir_latch_).
+  std::map<uint64_t, uint64_t> cache_gen_;
   LobDescriptor dir_object_;  // the directory's own root
   std::vector<std::pair<uint64_t, Bytes>> directory_;  // id -> root image
   std::map<uint64_t, std::vector<HoleRange>> holes_;   // id -> hole map

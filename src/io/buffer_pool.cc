@@ -50,8 +50,8 @@ void BufferPool::Buffer::Release() {
   size_class_ = -1;
 }
 
-BufferPool::BufferPool(size_t max_per_class)
-    : max_per_class_(max_per_class) {
+BufferPool::BufferPool(size_t max_per_class, size_t max_idle_bytes)
+    : max_per_class_(max_per_class), max_idle_bytes_(max_idle_bytes) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   m_reused_ = reg.counter(obs::kPoolBuffersReused);
   m_allocated_ = reg.counter(obs::kPoolBuffersAllocated);
@@ -87,6 +87,7 @@ BufferPool::Buffer BufferPool::Acquire(size_t n) {
     if (!free_[c].empty()) {
       uint8_t* p = free_[c].back();
       free_[c].pop_back();
+      idle_bytes_ -= ClassBytes(c);
       m_reused_->Inc();
       return Buffer(this, p, n, c);
     }
@@ -96,10 +97,13 @@ BufferPool::Buffer BufferPool::Acquire(size_t n) {
 }
 
 void BufferPool::Return(uint8_t* data, int size_class) {
+  size_t bytes = ClassBytes(size_class);
   {
     LatchGuard g(latch_);
-    if (free_[size_class].size() < max_per_class_) {
+    if (free_[size_class].size() < max_per_class_ &&
+        idle_bytes_ + bytes <= max_idle_bytes_) {
       free_[size_class].push_back(data);
+      idle_bytes_ += bytes;
       return;
     }
   }
@@ -111,6 +115,11 @@ size_t BufferPool::idle_buffers() const {
   size_t n = 0;
   for (const auto& cls : free_) n += cls.size();
   return n;
+}
+
+size_t BufferPool::idle_bytes() const {
+  LatchGuard g(latch_);
+  return idle_bytes_;
 }
 
 BufferPool* BufferPool::Default() {

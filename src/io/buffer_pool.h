@@ -63,8 +63,14 @@ class BufferPool {
     int size_class_ = -1;  // -1: unpooled (too large), freed on release
   };
 
-  // Retains at most `max_per_class` idle buffers in each size class.
-  explicit BufferPool(size_t max_per_class = 16);
+  // Retains at most `max_per_class` idle buffers in each size class, and at
+  // most `max_idle_bytes` across all classes combined. The per-class count
+  // bound alone is not a memory bound: 16 idle buffers in every class from
+  // 4 KiB to 16 MiB pins ~512 MiB. Whole-extent staging fills (cache fills,
+  // large leaf reads) cycle through the megabyte classes, so returns beyond
+  // the byte budget are freed instead of retained.
+  explicit BufferPool(size_t max_per_class = 16,
+                      size_t max_idle_bytes = 64u << 20);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -76,6 +82,10 @@ class BufferPool {
 
   // Idle (recyclable) buffers currently held, across all classes.
   size_t idle_buffers() const;
+
+  // Bytes pinned by idle buffers; never exceeds the `max_idle_bytes`
+  // construction bound.
+  size_t idle_bytes() const;
 
   // Process-wide pool shared by the I/O stack.
   static BufferPool* Default();
@@ -91,8 +101,10 @@ class BufferPool {
   void Return(uint8_t* data, int size_class);
 
   const size_t max_per_class_;
+  const size_t max_idle_bytes_;
   mutable Latch latch_;
   std::vector<uint8_t*> free_[kNumClasses];
+  size_t idle_bytes_ = 0;  // sum of ClassBytes over free_, guarded by latch_
 
   obs::Counter* m_reused_;
   obs::Counter* m_allocated_;

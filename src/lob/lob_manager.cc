@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "cache/extent_cache.h"
 #include "common/math.h"
 #include "io/buffer_pool.h"
 #include "lob/walker.h"
@@ -101,10 +102,56 @@ Status LobManager::DescendToLeaf(const LobDescriptor& d, uint64_t offset,
 
 // ----- leaf I/O --------------------------------------------------------------
 
+bool LobManager::CacheHasExtent(const Extent& extent) const {
+  const ScopedExtentCacheRef::Binding* b = ScopedExtentCacheRef::Current();
+  return b != nullptr &&
+         b->cache->Contains(b->object_id, b->vseq, extent.first);
+}
+
 Status LobManager::ReadLeafBytes(const LeafRef& leaf, uint64_t lo, uint64_t hi,
                                  uint8_t* out) {
   assert(lo <= hi && hi <= leaf.bytes);
   if (lo == hi) return Status::OK();
+  const ScopedExtentCacheRef::Binding* cache = ScopedExtentCacheRef::Current();
+  if (cache != nullptr) {
+    if (cache->cache->Lookup(cache->object_id, cache->vseq, leaf.extent.first,
+                             lo, hi, out)) {
+      return Status::OK();  // zero-I/O hit off the immutable version extent
+    }
+    // Miss: fill with the whole extent image so any later touch of this
+    // segment hits. A partial-range miss would amplify the fill into a
+    // whole-extent over-read, so it pays that only when the admission
+    // sketch says the extent would actually enter the cache — a one-touch
+    // cold scan takes the direct read below at no amplification — and
+    // never under a bounded operation (deadline pressure must not pay for
+    // speculative bytes) or during emergency-reserve work.
+    bool whole = lo == 0 && hi == leaf.bytes;
+    const OpContext* op = ScopedOpContext::Current();
+    bool skip_fill =
+        SegmentAllocator::EmergencyScope::active() ||
+        (!whole &&
+         ((op != nullptr && op->bounded()) ||
+          !cache->cache->WouldAdmit(cache->object_id, cache->vseq,
+                                    leaf.extent.first, leaf.bytes)));
+    if (!skip_fill) {
+      static obs::Counter* fill_fail =
+          obs::MetricsRegistry::Default().counter(obs::kCacheFillFail);
+      uint32_t npages = LeafPages(leaf.bytes);
+      BufferPool::Buffer buf =
+          BufferPool::Default()->Acquire(size_t{npages} * page_size());
+      Status s = device()->ReadPages(leaf.extent.first, npages, buf.data());
+      if (s.ok()) {
+        std::memcpy(out, buf.data() + lo, hi - lo);
+        cache->cache->Insert(cache->object_id, cache->vseq,
+                             leaf.extent.first, buf.data(), leaf.bytes);
+        return Status::OK();
+      }
+      // A failed fill (injected fault, transient error) degrades to the
+      // direct read below, which carries the authoritative retry/report
+      // semantics.
+      fill_fail->Inc();
+    }
+  }
   uint32_t ps = page_size();
   uint64_t p0 = lo / ps;
   uint64_t p1 = (hi - 1) / ps;
@@ -398,8 +445,13 @@ Status LobManager::ReadImpl(const LobDescriptor& d, uint64_t offset,
     std::vector<std::function<Status()>> tasks;
     tasks.reserve(chunks.size());
     uint8_t* base = out->data();
+    // The cache binding is thread-local; copy it by value so the executor
+    // workers see the submitting operation's (cache, object, vseq).
+    ScopedExtentCacheRef::Binding cache_ref;
+    if (const auto* b = ScopedExtentCacheRef::Current()) cache_ref = *b;
     for (const LeafChunk& c : chunks) {
-      tasks.push_back([this, &c, base] {
+      tasks.push_back([this, &c, base, cache_ref] {
+        ScopedExtentCacheRef cache_scope(cache_ref);
         return ReadLeafBytes(c.leaf, c.lo, c.hi, base + c.out_off);
       });
     }

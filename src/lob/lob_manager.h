@@ -231,6 +231,10 @@ class LobManager {
   void set_cow_replace(bool on) { cow_replace_ = on; }
   bool cow_replace() const { return cow_replace_; }
 
+  // True when the ambient ScopedExtentCacheRef binding (if any) already
+  // holds this leaf extent's image; read-ahead skips prefetching it.
+  bool CacheHasExtent(const Extent& extent) const;
+
   // Parallel leaf I/O: with a non-null executor, multi-segment reads fan
   // their device transfers out to the executor's workers and join before
   // returning. Off (nullptr, the default) every transfer is issued inline

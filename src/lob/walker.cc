@@ -105,6 +105,13 @@ void LobReader::ArmPrefetch() {
   // Peek failures are not read failures: the real descent will surface the
   // error (with retry semantics) when the scan actually gets there.
   if (!more.ok() || !more.value()) return;
+  // The next segment is already resident in the extent cache: its bytes
+  // will be served as a memcpy, so a device prefetch would be redundant
+  // I/O. Counted as a cancelled prefetch (cancelled before issue).
+  if (mgr_->CacheHasExtent(next)) {
+    if (m_cancelled_ != nullptr) m_cancelled_->Inc();
+    return;
+  }
   // Keep the buffer alive in the reader and hand the worker the raw
   // pointer; DropPrefetch always joins the ticket before touching the
   // buffer, so the pointer outlives the task.

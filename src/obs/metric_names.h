@@ -78,6 +78,17 @@ inline constexpr char kIoPrefetchCancelled[] = "io.prefetch_cancelled";
 inline constexpr char kPoolBuffersReused[] = "pool.buffers_reused";
 inline constexpr char kPoolBuffersAllocated[] = "pool.buffers_allocated";
 
+// --- hot-object DRAM cache tier (DESIGN.md §14) -----------------------------
+inline constexpr char kCacheHit[] = "cache.hit";
+inline constexpr char kCacheMiss[] = "cache.miss";
+inline constexpr char kCacheAdmit[] = "cache.admit";
+inline constexpr char kCacheReject[] = "cache.reject";
+inline constexpr char kCacheEvict[] = "cache.evict";
+inline constexpr char kCacheInvalidate[] = "cache.invalidate";
+inline constexpr char kCacheFillFail[] = "cache.fill_fail";
+inline constexpr char kCacheResidentBytes[] = "cache.resident_bytes";  // gauge
+inline constexpr char kCacheLogicalBytes[] = "cache.logical_bytes";    // gauge
+
 // --- scrub / repair ---------------------------------------------------------
 inline constexpr char kScrubPagesVerified[] = "scrub.pages_verified";
 inline constexpr char kScrubCorruptPages[] = "scrub.corrupt_pages";

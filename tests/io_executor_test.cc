@@ -242,6 +242,45 @@ TEST(BufferPoolTest, RetentionIsBounded) {
   EXPECT_EQ(pool.idle_buffers(), 2u);
 }
 
+TEST(BufferPoolTest, RetainedBytesAreBoundedAcrossClasses) {
+  // The per-class count cap alone is not a memory bound: a workload that
+  // cycles whole-extent staging buffers (cache fills) through every size
+  // class would retain max_per_class buffers of each class — hundreds of
+  // MiB. The pool must also enforce a total idle-byte budget.
+  constexpr size_t kBudget = 8u << 20;  // 8 MiB
+  BufferPool pool(/*max_per_class=*/16, /*max_idle_bytes=*/kBudget);
+  // Touch every pooled class, several buffers each, mimicking repeated
+  // compressed-fill staging of differently-sized extents.
+  for (int round = 0; round < 4; ++round) {
+    for (size_t bytes = 4096; bytes <= (16u << 20); bytes <<= 1) {
+      BufferPool::Buffer b = pool.Acquire(bytes);
+      ASSERT_TRUE(b.valid());
+      b.data()[0] = 1;  // returned on scope exit
+    }
+    EXPECT_LE(pool.idle_bytes(), kBudget);
+  }
+  EXPECT_LE(pool.idle_bytes(), kBudget);
+  // The budget still leaves room for small-class recycling: a 4 KiB block
+  // released under budget must be retained, not freed.
+  size_t before = pool.idle_bytes();
+  if (before + 4096 <= kBudget) {
+    { BufferPool::Buffer b = pool.Acquire(32u << 20); }  // unpooled, no-op
+    { BufferPool::Buffer b = pool.Acquire(4096); }
+    EXPECT_GE(pool.idle_bytes(), before);
+  }
+}
+
+TEST(BufferPoolTest, IdleBytesTracksAcquireAndReturn) {
+  BufferPool pool;
+  EXPECT_EQ(pool.idle_bytes(), 0u);
+  { BufferPool::Buffer b = pool.Acquire(8192); }
+  EXPECT_EQ(pool.idle_bytes(), 8192u);
+  BufferPool::Buffer again = pool.Acquire(8192);
+  EXPECT_EQ(pool.idle_bytes(), 0u);
+  again.Release();
+  EXPECT_EQ(pool.idle_bytes(), 8192u);
+}
+
 TEST(BufferPoolTest, ConcurrentAcquireRelease) {
   BufferPool pool;
   std::vector<std::thread> threads;

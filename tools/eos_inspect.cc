@@ -6,6 +6,9 @@
 //   eos_inspect <volume> verify                 integrity + read every byte
 //   eos_inspect <volume> --spaces               buddy free-list report
 //   eos_inspect <volume> stats                  metrics snapshot summary
+//   eos_inspect <volume> cache                  extent-cache effectiveness
+//                                               (hits, admission, eviction,
+//                                               compression ratio)
 //   eos_inspect <volume> trace                  recent operation spans
 //   eos_inspect <volume> trace --chrome=out.json  export spans as Chrome
 //                                               trace events (chrome://tracing)
@@ -51,7 +54,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: eos_inspect <volume> [--page-size N] "
                "[--object ID | versions ID | --check | verify | --spaces | "
-               "stats | trace [--chrome=OUT] | top [--interval MS] "
+               "stats | cache | trace [--chrome=OUT] | top [--interval MS] "
                "[--count N] | scrub | repair | leak-check | "
                "defrag [--apply] [--min-scatter X]]\n");
   return 2;
@@ -260,6 +263,47 @@ void PrintStats(const std::string& volume) {
   }
 }
 
+// Extent-cache effectiveness from the sidecar (DESIGN.md §14): hit rate,
+// admission-filter behaviour, eviction/invalidation churn, and how far the
+// probation-segment compression stretches the configured budget.
+void PrintCacheStats(const std::string& volume) {
+  namespace obs = eos::obs;
+  obs::JsonValue snap = LoadSnapshotOrExit(volume);
+
+  double hits = CounterOf(snap, obs::kCacheHit);
+  double misses = CounterOf(snap, obs::kCacheMiss);
+  double lookups = hits + misses;
+  double admitted = CounterOf(snap, obs::kCacheAdmit);
+  double rejected = CounterOf(snap, obs::kCacheReject);
+  double offered = admitted + rejected;
+  double resident = GaugeOf(snap, obs::kCacheResidentBytes);
+  double logical = GaugeOf(snap, obs::kCacheLogicalBytes);
+
+  if (lookups == 0 && offered == 0) {
+    std::printf("cache: no activity recorded (cache_bytes=0 or no reads)\n");
+    return;
+  }
+  std::printf("%-22s %14s %14s\n", "extent cache", "count", "rate");
+  std::printf("%-22s %14.0f %13.1f%%\n", "  hits", hits,
+              lookups == 0 ? 0.0 : 100.0 * hits / lookups);
+  std::printf("%-22s %14.0f %13.1f%%\n", "  misses", misses,
+              lookups == 0 ? 0.0 : 100.0 * misses / lookups);
+  std::printf("%-22s %14.0f %13.1f%%\n", "  admitted", admitted,
+              offered == 0 ? 0.0 : 100.0 * admitted / offered);
+  std::printf("%-22s %14.0f %13.1f%%\n", "  rejected (TinyLFU)", rejected,
+              offered == 0 ? 0.0 : 100.0 * rejected / offered);
+  std::printf("%-22s %14.0f\n", "  evicted",
+              CounterOf(snap, obs::kCacheEvict));
+  std::printf("%-22s %14.0f\n", "  invalidated",
+              CounterOf(snap, obs::kCacheInvalidate));
+  std::printf("%-22s %14.0f\n", "  fill failures",
+              CounterOf(snap, obs::kCacheFillFail));
+  std::printf("resident: %.1f MB holding %.1f MB logical "
+              "(compression ratio %.2fx)\n",
+              resident / 1048576.0, logical / 1048576.0,
+              resident == 0 ? 1.0 : logical / resident);
+}
+
 void PrintTrace(const std::string& volume) {
   eos::obs::JsonValue snap = LoadSnapshotOrExit(volume);
   const eos::obs::JsonValue* trace = snap.Find("trace");
@@ -321,6 +365,8 @@ struct TopSample {
   double bytes_written = 0;
   double cost_sum = 0;       // cost.read_actual_over_model sum (percent)
   double cost_count = 0;
+  double cache_hits = 0;     // extent-cache lookups
+  double cache_misses = 0;
   double busiest_count = 0;  // for picking the latency line
   std::string busiest_op;
   double p50 = 0;
@@ -335,6 +381,8 @@ TopSample ReadTopSample(const std::string& volume) {
   t.valid = true;
   t.bytes_read = CounterOf(*snap, eos::obs::kIoBytesRead);
   t.bytes_written = CounterOf(*snap, eos::obs::kIoBytesWritten);
+  t.cache_hits = CounterOf(*snap, eos::obs::kCacheHit);
+  t.cache_misses = CounterOf(*snap, eos::obs::kCacheMiss);
   const eos::obs::JsonValue* metrics = snap->Find("metrics");
   const eos::obs::JsonValue* hists =
       metrics == nullptr ? nullptr : metrics->Find("histograms");
@@ -359,14 +407,15 @@ TopSample ReadTopSample(const std::string& volume) {
 
 // Renders rate deltas between successive sidecar snapshots, like top(1)
 // for a volume: ops/s and MB/s are per-interval rates, the latency
-// percentiles are the busiest operation's cumulative histogram, and
-// `conf` is the interval's mean read conformance ratio (actual/model I/O —
-// creeping above 1.00 means fragmentation; see DESIGN.md).
+// percentiles are the busiest operation's cumulative histogram, `conf` is
+// the interval's mean read conformance ratio (actual/model I/O — creeping
+// above 1.00 means fragmentation; see DESIGN.md), and `cache%` is the
+// interval's extent-cache hit rate ("-" when the cache saw no lookups).
 void Top(const std::string& volume, uint64_t interval_ms, uint64_t count) {
   if (interval_ms == 0) interval_ms = 1000;
-  std::printf("%8s %9s %9s %9s %22s %8s %8s %6s\n", "ops/s", "rd MB/s",
+  std::printf("%8s %9s %9s %9s %22s %8s %8s %6s %6s\n", "ops/s", "rd MB/s",
               "wr MB/s", "total ops", "busiest op", "p50 us", "p99 us",
-              "conf");
+              "conf", "cache%");
   TopSample prev = ReadTopSample(volume);
   if (!prev.valid) {
     std::printf("waiting for %s ...\n",
@@ -391,10 +440,20 @@ void Top(const std::string& volume, uint64_t interval_ms, uint64_t count) {
                              : (cur.cost_count > 0
                                     ? cur.cost_sum / cur.cost_count / 100.0
                                     : 0);
-    std::printf("%8.1f %9.2f %9.2f %9.0f %22s %8.0f %8.0f %6.2f\n", ops_s,
-                rd, wr, cur.ops,
+    double dhits = cur.cache_hits - (prev.valid ? prev.cache_hits : 0);
+    double dlookups =
+        dhits + cur.cache_misses - (prev.valid ? prev.cache_misses : 0);
+    char cache_col[16];
+    if (dlookups > 0) {
+      std::snprintf(cache_col, sizeof(cache_col), "%5.1f%%",
+                    100.0 * dhits / dlookups);
+    } else {
+      std::snprintf(cache_col, sizeof(cache_col), "%6s", "-");
+    }
+    std::printf("%8.1f %9.2f %9.2f %9.0f %22s %8.0f %8.0f %6.2f %6s\n",
+                ops_s, rd, wr, cur.ops,
                 cur.busiest_op.empty() ? "-" : cur.busiest_op.c_str(),
-                cur.p50, cur.p99, conf);
+                cur.p50, cur.p99, conf, cache_col);
     std::fflush(stdout);
     prev = cur;
   }
@@ -625,6 +684,8 @@ int main(int argc, char** argv) {
       mode = "spaces";
     } else if (arg == "stats" || arg == "--stats") {
       mode = "stats";
+    } else if (arg == "cache" || arg == "--cache") {
+      mode = "cache";
     } else if (arg == "trace" || arg == "--trace") {
       mode = "trace";
     } else if (arg == "top" || arg == "--top") {
@@ -656,6 +717,10 @@ int main(int argc, char** argv) {
   // The snapshot subcommands read only the sidecar; no volume open needed.
   if (mode == "stats") {
     PrintStats(path);
+    return 0;
+  }
+  if (mode == "cache") {
+    PrintCacheStats(path);
     return 0;
   }
   if (mode == "trace") {

@@ -8,18 +8,22 @@
 #      provoking >= 1.5x read-cost drift with the defragmenter off,
 #      recovery to <= 1.25x the §4 cost model with it on (the PR-6
 #      fresh-volume bar), and foreground read p99 within 20% of the
-#      defrag-off run (no build needed);
-#   1. fast + sanitizer-, obs- and mvcc-labelled tests under ASan/UBSan
-#      (the `asan` preset);
-#   2. the `tsan`-, obs- and mvcc-labelled concurrency suites (concurrent
-#      scrub + readers, parallel allocator use, concurrent journal
-#      writers, snapshot readers racing writers) under ThreadSanitizer
-#      (the `tsan` preset);
+#      defrag-off run (no build needed); plus the BENCH_9.json cache gate
+#      (DESIGN.md §14): hot-set speedup >= 3x with the extent cache on,
+#      hit rate >= 80% at Zipf(0.99), cold-set regression <= 10%, p99
+#      flat;
+#   1. fast + sanitizer-, obs-, mvcc- and cache-labelled tests under
+#      ASan/UBSan (the `asan` preset);
+#   2. the `tsan`-, obs-, mvcc- and cache-labelled concurrency suites
+#      (concurrent scrub + readers, parallel allocator use, concurrent
+#      journal writers, snapshot readers racing writers, cache torture)
+#      under ThreadSanitizer (the `tsan` preset);
 #   3. the full suite, including the `torture` crash-recovery, bit-rot and
 #      stress tests, in the default RelWithDebInfo build;
-#   4. the seed sweep: every `aging`- or `mvcc`-labelled suite re-run
-#      under an EOS_TEST_SEED matrix, so single-seed latent bugs (like the
-#      pinned 4242 recovery case) cannot hide behind the default seed.
+#   4. the seed sweep: every `aging`-, `mvcc`- or `cache`-labelled suite
+#      re-run under an EOS_TEST_SEED matrix, so single-seed latent bugs
+#      (like the pinned 4242 recovery case) cannot hide behind the
+#      default seed.
 #
 # The `exhaustion` label (resource-exhaustion/deadline suites, DESIGN.md
 # §11) rides in tiers 1 and 2 via its sanitizer/tsan labels and can be
@@ -153,24 +157,70 @@ print(f"aging gate: drift {need('drift_off_first'):.2f}x -> "
       f"(defrag on, {int(migrated)} migrations, p99 {p99_ratio:.2f}x)")
 PY
 
+echo "== [0/4] cache gate (committed BENCH_9.json, DESIGN.md §14) =="
+python3 - BENCH_9.json <<'PY'
+import json, sys
+
+vals = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if "metric" in rec:
+            vals[rec["metric"]] = rec["value"]
+
+def need(metric):
+    if metric not in vals:
+        print(f"cache gate: BENCH_9.json is missing '{metric}'")
+        sys.exit(1)
+    return vals[metric]
+
+failures = []
+speedup = need("zipf_hot_speedup")
+hit_rate = need("zipf_hit_rate")
+cold_ratio = need("zipf_cold_ratio")
+p99_ratio = need("zipf_hot_p99_ratio")
+if speedup < 3.0:
+    failures.append(f"hot-set speedup with the cache on is only "
+                    f"{speedup:.2f}x (< 3x)")
+if hit_rate < 80.0:
+    failures.append(f"hot-phase hit rate {hit_rate:.1f}% < 80% at "
+                    f"Zipf(0.99)")
+if cold_ratio < 0.9:
+    failures.append(f"uniform cold-set throughput with the cache on is "
+                    f"{cold_ratio:.2f}x cache-off (> 10% regression)")
+if p99_ratio > 1.2:
+    failures.append(f"hot-phase foreground p99 with the cache on is "
+                    f"{p99_ratio:.2f}x cache-off (> 1.2x)")
+if failures:
+    for f in failures:
+        print(f"cache gate: {f}")
+    sys.exit(1)
+print(f"cache gate: hot {speedup:.2f}x (hit {hit_rate:.1f}%, "
+      f"nocomp {need('zipf_hot_speedup_nocomp'):.2f}x), cold "
+      f"{cold_ratio:.2f}x, p99 {p99_ratio:.2f}x")
+PY
+
 POSTMORTEM_DIR="$PWD/build/postmortems"
 mkdir -p "$POSTMORTEM_DIR"
 
-echo "== [1/4] sanitizer tier (ASan/UBSan, labels: sanitizer|obs|mvcc) =="
+echo "== [1/4] sanitizer tier (ASan/UBSan, labels: sanitizer|obs|mvcc|cache) =="
 cmake --preset asan
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 \
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
-  ctest --test-dir build-asan -L 'sanitizer|obs|mvcc' --output-on-failure \
+  ctest --test-dir build-asan -L 'sanitizer|obs|mvcc|cache' --output-on-failure \
   -j "$JOBS"
 
-echo "== [2/4] concurrency tier (TSan, labels: tsan|obs|mvcc) =="
+echo "== [2/4] concurrency tier (TSan, labels: tsan|obs|mvcc|cache) =="
 cmake --preset tsan
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
-  ctest --test-dir build-tsan -L 'tsan|obs|mvcc' --output-on-failure \
+  ctest --test-dir build-tsan -L 'tsan|obs|mvcc|cache' --output-on-failure \
   -j "$JOBS"
 
 echo "== [3/4] full suite incl. torture (default build) =="
@@ -179,11 +229,11 @@ cmake --build build -j "$JOBS"
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
   ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [4/4] seed sweep (labels: aging|mvcc, EOS_TEST_SEED matrix) =="
+echo "== [4/4] seed sweep (labels: aging|mvcc|cache, EOS_TEST_SEED matrix) =="
 for SEED in 4242 31337 99991; do
   echo "-- seed $SEED --"
   EOS_TEST_SEED="$SEED" EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
-    ctest --test-dir build -L 'aging|mvcc' --output-on-failure -j "$JOBS"
+    ctest --test-dir build -L 'aging|mvcc|cache' --output-on-failure -j "$JOBS"
 done
 
 if compgen -G "$POSTMORTEM_DIR/eos_postmortem.*.json" > /dev/null; then
