@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_threshold.dir/bench_adaptive_threshold.cc.o"
+  "CMakeFiles/bench_adaptive_threshold.dir/bench_adaptive_threshold.cc.o.d"
+  "bench_adaptive_threshold"
+  "bench_adaptive_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aging.dir/bench_aging.cc.o"
+  "CMakeFiles/bench_aging.dir/bench_aging.cc.o.d"
+  "bench_aging"
+  "bench_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buddy_alloc.dir/bench_buddy_alloc.cc.o"
+  "CMakeFiles/bench_buddy_alloc.dir/bench_buddy_alloc.cc.o.d"
+  "bench_buddy_alloc"
+  "bench_buddy_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buddy_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

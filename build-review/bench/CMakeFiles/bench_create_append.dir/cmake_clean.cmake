@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_create_append.dir/bench_create_append.cc.o"
+  "CMakeFiles/bench_create_append.dir/bench_create_append.cc.o.d"
+  "bench_create_append"
+  "bench_create_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_create_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

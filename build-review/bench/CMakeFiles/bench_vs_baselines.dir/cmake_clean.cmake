@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_baselines.dir/bench_vs_baselines.cc.o"
+  "CMakeFiles/bench_vs_baselines.dir/bench_vs_baselines.cc.o.d"
+  "bench_vs_baselines"
+  "bench_vs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

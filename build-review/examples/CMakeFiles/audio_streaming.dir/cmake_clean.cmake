@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_streaming.dir/audio_streaming.cpp.o"
+  "CMakeFiles/audio_streaming.dir/audio_streaming.cpp.o.d"
+  "audio_streaming"
+  "audio_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

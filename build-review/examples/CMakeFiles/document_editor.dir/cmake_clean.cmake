@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_editor.dir/document_editor.cpp.o"
+  "CMakeFiles/document_editor.dir/document_editor.cpp.o.d"
+  "document_editor"
+  "document_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_list.dir/persistent_list.cpp.o"
+  "CMakeFiles/persistent_list.dir/persistent_list.cpp.o.d"
+  "persistent_list"
+  "persistent_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

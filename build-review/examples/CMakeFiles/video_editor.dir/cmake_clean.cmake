@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_editor.dir/video_editor.cpp.o"
+  "CMakeFiles/video_editor.dir/video_editor.cpp.o.d"
+  "video_editor"
+  "video_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for video_editor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("io")
+subdirs("cache")
+subdirs("buddy")
+subdirs("txn")
+subdirs("lob")
+subdirs("baselines")
+subdirs("eos")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_exodus.dir/exodus_manager.cc.o"
+  "CMakeFiles/eos_exodus.dir/exodus_manager.cc.o.d"
+  "libeos_exodus.a"
+  "libeos_exodus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_exodus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_starburst.dir/starburst_manager.cc.o"
+  "CMakeFiles/eos_starburst.dir/starburst_manager.cc.o.d"
+  "libeos_starburst.a"
+  "libeos_starburst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_starburst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

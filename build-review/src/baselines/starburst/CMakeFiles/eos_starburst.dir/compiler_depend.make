@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eos_starburst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buddy/alloc_map.cc" "src/buddy/CMakeFiles/eos_buddy.dir/alloc_map.cc.o" "gcc" "src/buddy/CMakeFiles/eos_buddy.dir/alloc_map.cc.o.d"
+  "/root/repo/src/buddy/buddy_space.cc" "src/buddy/CMakeFiles/eos_buddy.dir/buddy_space.cc.o" "gcc" "src/buddy/CMakeFiles/eos_buddy.dir/buddy_space.cc.o.d"
+  "/root/repo/src/buddy/segment_allocator.cc" "src/buddy/CMakeFiles/eos_buddy.dir/segment_allocator.cc.o" "gcc" "src/buddy/CMakeFiles/eos_buddy.dir/segment_allocator.cc.o.d"
+  "/root/repo/src/buddy/space_reservation.cc" "src/buddy/CMakeFiles/eos_buddy.dir/space_reservation.cc.o" "gcc" "src/buddy/CMakeFiles/eos_buddy.dir/space_reservation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/eos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/eos_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/eos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

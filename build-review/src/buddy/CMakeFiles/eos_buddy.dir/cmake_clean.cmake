@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_buddy.dir/alloc_map.cc.o"
+  "CMakeFiles/eos_buddy.dir/alloc_map.cc.o.d"
+  "CMakeFiles/eos_buddy.dir/buddy_space.cc.o"
+  "CMakeFiles/eos_buddy.dir/buddy_space.cc.o.d"
+  "CMakeFiles/eos_buddy.dir/segment_allocator.cc.o"
+  "CMakeFiles/eos_buddy.dir/segment_allocator.cc.o.d"
+  "CMakeFiles/eos_buddy.dir/space_reservation.cc.o"
+  "CMakeFiles/eos_buddy.dir/space_reservation.cc.o.d"
+  "libeos_buddy.a"
+  "libeos_buddy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_buddy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_cache.dir/extent_cache.cc.o"
+  "CMakeFiles/eos_cache.dir/extent_cache.cc.o.d"
+  "libeos_cache.a"
+  "libeos_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_common.dir/compress.cc.o"
+  "CMakeFiles/eos_common.dir/compress.cc.o.d"
+  "CMakeFiles/eos_common.dir/crc32c.cc.o"
+  "CMakeFiles/eos_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/eos_common.dir/retry.cc.o"
+  "CMakeFiles/eos_common.dir/retry.cc.o.d"
+  "CMakeFiles/eos_common.dir/status.cc.o"
+  "CMakeFiles/eos_common.dir/status.cc.o.d"
+  "libeos_common.a"
+  "libeos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_db.dir/database.cc.o"
+  "CMakeFiles/eos_db.dir/database.cc.o.d"
+  "libeos_db.a"
+  "libeos_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

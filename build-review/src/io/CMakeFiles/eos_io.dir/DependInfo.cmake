@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/buffer_pool.cc" "src/io/CMakeFiles/eos_io.dir/buffer_pool.cc.o" "gcc" "src/io/CMakeFiles/eos_io.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/io/chaos_device.cc" "src/io/CMakeFiles/eos_io.dir/chaos_device.cc.o" "gcc" "src/io/CMakeFiles/eos_io.dir/chaos_device.cc.o.d"
+  "/root/repo/src/io/io_executor.cc" "src/io/CMakeFiles/eos_io.dir/io_executor.cc.o" "gcc" "src/io/CMakeFiles/eos_io.dir/io_executor.cc.o.d"
+  "/root/repo/src/io/page_device.cc" "src/io/CMakeFiles/eos_io.dir/page_device.cc.o" "gcc" "src/io/CMakeFiles/eos_io.dir/page_device.cc.o.d"
+  "/root/repo/src/io/pager.cc" "src/io/CMakeFiles/eos_io.dir/pager.cc.o" "gcc" "src/io/CMakeFiles/eos_io.dir/pager.cc.o.d"
+  "/root/repo/src/io/verified_device.cc" "src/io/CMakeFiles/eos_io.dir/verified_device.cc.o" "gcc" "src/io/CMakeFiles/eos_io.dir/verified_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/eos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/eos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_io.dir/buffer_pool.cc.o"
+  "CMakeFiles/eos_io.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/eos_io.dir/chaos_device.cc.o"
+  "CMakeFiles/eos_io.dir/chaos_device.cc.o.d"
+  "CMakeFiles/eos_io.dir/io_executor.cc.o"
+  "CMakeFiles/eos_io.dir/io_executor.cc.o.d"
+  "CMakeFiles/eos_io.dir/page_device.cc.o"
+  "CMakeFiles/eos_io.dir/page_device.cc.o.d"
+  "CMakeFiles/eos_io.dir/pager.cc.o"
+  "CMakeFiles/eos_io.dir/pager.cc.o.d"
+  "CMakeFiles/eos_io.dir/verified_device.cc.o"
+  "CMakeFiles/eos_io.dir/verified_device.cc.o.d"
+  "libeos_io.a"
+  "libeos_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

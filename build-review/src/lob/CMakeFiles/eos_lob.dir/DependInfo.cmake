@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lob/adaptive.cc" "src/lob/CMakeFiles/eos_lob.dir/adaptive.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/adaptive.cc.o.d"
+  "/root/repo/src/lob/appender.cc" "src/lob/CMakeFiles/eos_lob.dir/appender.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/appender.cc.o.d"
+  "/root/repo/src/lob/defrag.cc" "src/lob/CMakeFiles/eos_lob.dir/defrag.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/defrag.cc.o.d"
+  "/root/repo/src/lob/delete.cc" "src/lob/CMakeFiles/eos_lob.dir/delete.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/delete.cc.o.d"
+  "/root/repo/src/lob/insert.cc" "src/lob/CMakeFiles/eos_lob.dir/insert.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/insert.cc.o.d"
+  "/root/repo/src/lob/leaf_io.cc" "src/lob/CMakeFiles/eos_lob.dir/leaf_io.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/leaf_io.cc.o.d"
+  "/root/repo/src/lob/lob_manager.cc" "src/lob/CMakeFiles/eos_lob.dir/lob_manager.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/lob_manager.cc.o.d"
+  "/root/repo/src/lob/node.cc" "src/lob/CMakeFiles/eos_lob.dir/node.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/node.cc.o.d"
+  "/root/repo/src/lob/reshuffle.cc" "src/lob/CMakeFiles/eos_lob.dir/reshuffle.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/reshuffle.cc.o.d"
+  "/root/repo/src/lob/scrub.cc" "src/lob/CMakeFiles/eos_lob.dir/scrub.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/scrub.cc.o.d"
+  "/root/repo/src/lob/walker.cc" "src/lob/CMakeFiles/eos_lob.dir/walker.cc.o" "gcc" "src/lob/CMakeFiles/eos_lob.dir/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/eos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/eos_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cache/CMakeFiles/eos_cache.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/buddy/CMakeFiles/eos_buddy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/txn/CMakeFiles/eos_txn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/eos_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_lob.dir/adaptive.cc.o"
+  "CMakeFiles/eos_lob.dir/adaptive.cc.o.d"
+  "CMakeFiles/eos_lob.dir/appender.cc.o"
+  "CMakeFiles/eos_lob.dir/appender.cc.o.d"
+  "CMakeFiles/eos_lob.dir/defrag.cc.o"
+  "CMakeFiles/eos_lob.dir/defrag.cc.o.d"
+  "CMakeFiles/eos_lob.dir/delete.cc.o"
+  "CMakeFiles/eos_lob.dir/delete.cc.o.d"
+  "CMakeFiles/eos_lob.dir/insert.cc.o"
+  "CMakeFiles/eos_lob.dir/insert.cc.o.d"
+  "CMakeFiles/eos_lob.dir/leaf_io.cc.o"
+  "CMakeFiles/eos_lob.dir/leaf_io.cc.o.d"
+  "CMakeFiles/eos_lob.dir/lob_manager.cc.o"
+  "CMakeFiles/eos_lob.dir/lob_manager.cc.o.d"
+  "CMakeFiles/eos_lob.dir/node.cc.o"
+  "CMakeFiles/eos_lob.dir/node.cc.o.d"
+  "CMakeFiles/eos_lob.dir/reshuffle.cc.o"
+  "CMakeFiles/eos_lob.dir/reshuffle.cc.o.d"
+  "CMakeFiles/eos_lob.dir/scrub.cc.o"
+  "CMakeFiles/eos_lob.dir/scrub.cc.o.d"
+  "CMakeFiles/eos_lob.dir/walker.cc.o"
+  "CMakeFiles/eos_lob.dir/walker.cc.o.d"
+  "libeos_lob.a"
+  "libeos_lob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_lob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

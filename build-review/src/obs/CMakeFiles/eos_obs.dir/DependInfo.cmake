@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/cost_model.cc" "src/obs/CMakeFiles/eos_obs.dir/cost_model.cc.o" "gcc" "src/obs/CMakeFiles/eos_obs.dir/cost_model.cc.o.d"
+  "/root/repo/src/obs/event_journal.cc" "src/obs/CMakeFiles/eos_obs.dir/event_journal.cc.o" "gcc" "src/obs/CMakeFiles/eos_obs.dir/event_journal.cc.o.d"
+  "/root/repo/src/obs/json.cc" "src/obs/CMakeFiles/eos_obs.dir/json.cc.o" "gcc" "src/obs/CMakeFiles/eos_obs.dir/json.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/eos_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/eos_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/op_tracer.cc" "src/obs/CMakeFiles/eos_obs.dir/op_tracer.cc.o" "gcc" "src/obs/CMakeFiles/eos_obs.dir/op_tracer.cc.o.d"
+  "/root/repo/src/obs/snapshot.cc" "src/obs/CMakeFiles/eos_obs.dir/snapshot.cc.o" "gcc" "src/obs/CMakeFiles/eos_obs.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/eos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_obs.dir/cost_model.cc.o"
+  "CMakeFiles/eos_obs.dir/cost_model.cc.o.d"
+  "CMakeFiles/eos_obs.dir/event_journal.cc.o"
+  "CMakeFiles/eos_obs.dir/event_journal.cc.o.d"
+  "CMakeFiles/eos_obs.dir/json.cc.o"
+  "CMakeFiles/eos_obs.dir/json.cc.o.d"
+  "CMakeFiles/eos_obs.dir/metrics.cc.o"
+  "CMakeFiles/eos_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/eos_obs.dir/op_tracer.cc.o"
+  "CMakeFiles/eos_obs.dir/op_tracer.cc.o.d"
+  "CMakeFiles/eos_obs.dir/snapshot.cc.o"
+  "CMakeFiles/eos_obs.dir/snapshot.cc.o.d"
+  "libeos_obs.a"
+  "libeos_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

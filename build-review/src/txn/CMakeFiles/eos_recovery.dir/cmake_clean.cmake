@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_recovery.dir/recovery.cc.o"
+  "CMakeFiles/eos_recovery.dir/recovery.cc.o.d"
+  "CMakeFiles/eos_recovery.dir/transaction.cc.o"
+  "CMakeFiles/eos_recovery.dir/transaction.cc.o.d"
+  "libeos_recovery.a"
+  "libeos_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

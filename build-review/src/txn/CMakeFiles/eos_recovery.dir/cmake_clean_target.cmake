@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeos_recovery.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_txn.dir/byte_range_locks.cc.o"
+  "CMakeFiles/eos_txn.dir/byte_range_locks.cc.o.d"
+  "CMakeFiles/eos_txn.dir/log_manager.cc.o"
+  "CMakeFiles/eos_txn.dir/log_manager.cc.o.d"
+  "CMakeFiles/eos_txn.dir/release_locks.cc.o"
+  "CMakeFiles/eos_txn.dir/release_locks.cc.o.d"
+  "libeos_txn.a"
+  "libeos_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appender_test.dir/appender_test.cc.o"
+  "CMakeFiles/appender_test.dir/appender_test.cc.o.d"
+  "appender_test"
+  "appender_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buddy_amap_test.dir/buddy_amap_test.cc.o"
+  "CMakeFiles/buddy_amap_test.dir/buddy_amap_test.cc.o.d"
+  "buddy_amap_test"
+  "buddy_amap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buddy_amap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buddy_param_test.dir/buddy_param_test.cc.o"
+  "CMakeFiles/buddy_param_test.dir/buddy_param_test.cc.o.d"
+  "buddy_param_test"
+  "buddy_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buddy_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buddy_space_test.dir/buddy_space_test.cc.o"
+  "CMakeFiles/buddy_space_test.dir/buddy_space_test.cc.o.d"
+  "buddy_space_test"
+  "buddy_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buddy_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byte_range_locks_test.dir/byte_range_locks_test.cc.o"
+  "CMakeFiles/byte_range_locks_test.dir/byte_range_locks_test.cc.o.d"
+  "byte_range_locks_test"
+  "byte_range_locks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byte_range_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_torture_test.dir/cache_torture_test.cc.o"
+  "CMakeFiles/cache_torture_test.dir/cache_torture_test.cc.o.d"
+  "cache_torture_test"
+  "cache_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

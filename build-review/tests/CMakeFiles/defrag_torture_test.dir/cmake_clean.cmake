@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defrag_torture_test.dir/defrag_torture_test.cc.o"
+  "CMakeFiles/defrag_torture_test.dir/defrag_torture_test.cc.o.d"
+  "defrag_torture_test"
+  "defrag_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defrag_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

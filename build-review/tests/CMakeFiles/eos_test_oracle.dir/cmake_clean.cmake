@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_test_oracle.dir/model_oracle.cc.o"
+  "CMakeFiles/eos_test_oracle.dir/model_oracle.cc.o.d"
+  "libeos_test_oracle.a"
+  "libeos_test_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_test_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

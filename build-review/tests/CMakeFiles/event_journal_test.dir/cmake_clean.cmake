@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_journal_test.dir/event_journal_test.cc.o"
+  "CMakeFiles/event_journal_test.dir/event_journal_test.cc.o.d"
+  "event_journal_test"
+  "event_journal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_journal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

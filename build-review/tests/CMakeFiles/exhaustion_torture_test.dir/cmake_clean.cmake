@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustion_torture_test.dir/exhaustion_torture_test.cc.o"
+  "CMakeFiles/exhaustion_torture_test.dir/exhaustion_torture_test.cc.o.d"
+  "exhaustion_torture_test"
+  "exhaustion_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustion_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

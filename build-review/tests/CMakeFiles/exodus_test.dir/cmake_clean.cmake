@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exodus_test.dir/exodus_test.cc.o"
+  "CMakeFiles/exodus_test.dir/exodus_test.cc.o.d"
+  "exodus_test"
+  "exodus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exodus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

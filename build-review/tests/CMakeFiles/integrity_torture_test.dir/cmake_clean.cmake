@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_torture_test.dir/integrity_torture_test.cc.o"
+  "CMakeFiles/integrity_torture_test.dir/integrity_torture_test.cc.o.d"
+  "integrity_torture_test"
+  "integrity_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

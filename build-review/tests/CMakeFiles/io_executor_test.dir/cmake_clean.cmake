@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_executor_test.dir/io_executor_test.cc.o"
+  "CMakeFiles/io_executor_test.dir/io_executor_test.cc.o.d"
+  "io_executor_test"
+  "io_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_io_test.dir/leaf_io_test.cc.o"
+  "CMakeFiles/leaf_io_test.dir/leaf_io_test.cc.o.d"
+  "leaf_io_test"
+  "leaf_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

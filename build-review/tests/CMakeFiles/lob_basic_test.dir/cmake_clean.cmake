@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lob_basic_test.dir/lob_basic_test.cc.o"
+  "CMakeFiles/lob_basic_test.dir/lob_basic_test.cc.o.d"
+  "lob_basic_test"
+  "lob_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lob_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lob_cost_test.dir/lob_cost_test.cc.o"
+  "CMakeFiles/lob_cost_test.dir/lob_cost_test.cc.o.d"
+  "lob_cost_test"
+  "lob_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lob_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

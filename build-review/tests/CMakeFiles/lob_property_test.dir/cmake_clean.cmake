@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lob_property_test.dir/lob_property_test.cc.o"
+  "CMakeFiles/lob_property_test.dir/lob_property_test.cc.o.d"
+  "lob_property_test"
+  "lob_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lob_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

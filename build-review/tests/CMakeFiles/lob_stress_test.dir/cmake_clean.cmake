@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lob_stress_test.dir/lob_stress_test.cc.o"
+  "CMakeFiles/lob_stress_test.dir/lob_stress_test.cc.o.d"
+  "lob_stress_test"
+  "lob_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lob_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

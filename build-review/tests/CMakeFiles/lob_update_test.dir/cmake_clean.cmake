@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lob_update_test.dir/lob_update_test.cc.o"
+  "CMakeFiles/lob_update_test.dir/lob_update_test.cc.o.d"
+  "lob_update_test"
+  "lob_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lob_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcc_torture_test.dir/mvcc_torture_test.cc.o"
+  "CMakeFiles/mvcc_torture_test.dir/mvcc_torture_test.cc.o.d"
+  "mvcc_torture_test"
+  "mvcc_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcc_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

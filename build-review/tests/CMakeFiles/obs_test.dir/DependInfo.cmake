@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/eos/CMakeFiles/eos_db.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/txn/CMakeFiles/eos_recovery.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/exodus/CMakeFiles/eos_exodus.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/starburst/CMakeFiles/eos_starburst.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lob/CMakeFiles/eos_lob.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/txn/CMakeFiles/eos_txn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/buddy/CMakeFiles/eos_buddy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/eos_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/eos_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/eos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/tests/CMakeFiles/eos_test_oracle.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cache/CMakeFiles/eos_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

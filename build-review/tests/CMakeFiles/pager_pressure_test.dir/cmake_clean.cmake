@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pager_pressure_test.dir/pager_pressure_test.cc.o"
+  "CMakeFiles/pager_pressure_test.dir/pager_pressure_test.cc.o.d"
+  "pager_pressure_test"
+  "pager_pressure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pager_pressure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshuffle_test.dir/reshuffle_test.cc.o"
+  "CMakeFiles/reshuffle_test.dir/reshuffle_test.cc.o.d"
+  "reshuffle_test"
+  "reshuffle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshuffle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

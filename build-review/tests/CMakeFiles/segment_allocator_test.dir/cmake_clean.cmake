@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_allocator_test.dir/segment_allocator_test.cc.o"
+  "CMakeFiles/segment_allocator_test.dir/segment_allocator_test.cc.o.d"
+  "segment_allocator_test"
+  "segment_allocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

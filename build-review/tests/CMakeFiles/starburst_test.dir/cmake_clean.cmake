@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starburst_test.dir/starburst_test.cc.o"
+  "CMakeFiles/starburst_test.dir/starburst_test.cc.o.d"
+  "starburst_test"
+  "starburst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starburst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walker_test.dir/walker_test.cc.o"
+  "CMakeFiles/walker_test.dir/walker_test.cc.o.d"
+  "walker_test"
+  "walker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

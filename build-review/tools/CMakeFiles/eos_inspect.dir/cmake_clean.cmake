@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eos_inspect.dir/eos_inspect.cc.o"
+  "CMakeFiles/eos_inspect.dir/eos_inspect.cc.o.d"
+  "eos_inspect"
+  "eos_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eos_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
