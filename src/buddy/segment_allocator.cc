@@ -95,7 +95,15 @@ Status SegmentAllocator::RefreshHint(uint32_t space) {
 
 StatusOr<Extent> SegmentAllocator::TryAllocate(uint32_t npages) {
   uint32_t t_need = CeilLog2(npages);
-  for (uint32_t i = 0; i < num_spaces_; ++i) {
+  // With rotate_spaces on, each allocation starts its scan one space
+  // further along, so equal-preference spaces (and, on a volume set, the
+  // volumes hosting them) fill round-robin instead of first-fit.
+  uint32_t start =
+      options_.rotate_spaces && num_spaces_ > 0
+          ? static_cast<uint32_t>(rotate_cursor_++ % num_spaces_)
+          : 0;
+  for (uint32_t k = 0; k < num_spaces_; ++k) {
+    uint32_t i = (start + k) % num_spaces_;
     if (use_superdirectory_) {
       int8_t hint;
       {
@@ -111,7 +119,12 @@ StatusOr<Extent> SegmentAllocator::TryAllocate(uint32_t npages) {
     m_dir_visit_->Inc();
     auto r = Space(i).Allocate(npages);
     if (r.ok()) {
-      EOS_RETURN_IF_ERROR(RefreshHint(i));
+      if (!RefreshHint(i).ok()) {
+        // The allocation already succeeded; failing now would leak the
+        // extent. Keep the optimistic bound instead.
+        LatchGuard h(superdir_latch_);
+        hints_[i] = static_cast<int8_t>(geo_.max_type);
+      }
       m_alloc_->Inc();
       m_alloc_pages_->Record(npages);
       m_free_pages_->Add(-int64_t{npages});
@@ -264,7 +277,16 @@ Status SegmentAllocator::FreeInternal(const Extent& extent) {
   m_free_->Inc();
   m_free_pages_->Add(extent.pages);
   free_pages_fast_.fetch_add(extent.pages, std::memory_order_relaxed);
-  return RefreshHint(space);
+  // The free is applied above; the hint is only a search accelerator.
+  // Reporting a refresh failure (dir page unreachable during a volume
+  // outage) would make callers re-queue an extent that IS free, and the
+  // next drain would double-free it into someone's live allocation. Fall
+  // back to the optimistic bound — the next visit corrects it.
+  if (!RefreshHint(space).ok()) {
+    LatchGuard h(superdir_latch_);
+    hints_[space] = static_cast<int8_t>(geo_.max_type);
+  }
+  return Status::OK();
 }
 
 uint64_t SegmentAllocator::free_pages_fast() const {

@@ -74,6 +74,12 @@ class SegmentAllocator {
     // dip below this floor; an EmergencyScope on the calling thread may
     // consume the reserve. 0 disables the floor.
     uint32_t emergency_reserve_pages = 0;
+    // Start each allocation scan at a rotating space index instead of
+    // space 0. On a volume set — where consecutive spaces live on
+    // different volumes — this stripes objects across members instead of
+    // packing them onto the first volume. Off by default so single-volume
+    // layouts (and the cost-model conformance suite) are unchanged.
+    bool rotate_spaces = false;
   };
 
   // While one of these is live on the current thread, allocations may dip
@@ -174,6 +180,28 @@ class SegmentAllocator {
   // at storage the buddy system actually considers live.
   StatusOr<bool> IsAllocated(const Extent& extent);
 
+  // ---- unwind-failed frees -------------------------------------------------
+
+  // An extent a reservation unwind could not return (its buddy directory
+  // page was unreachable, e.g. during a volume outage). No root references
+  // it, so it must eventually reach the buddy maps — never a transactional
+  // free list, whose entries a failed operation drops. Parked extents are
+  // retried by Database::Checkpoint and counted as reachable by LeakCheck.
+  void DeferUnwindFree(const Extent& extent) {
+    LatchGuard g(unwind_frees_latch_);
+    deferred_unwind_frees_.push_back(extent);
+  }
+  std::vector<Extent> TakeDeferredUnwindFrees() {
+    LatchGuard g(unwind_frees_latch_);
+    std::vector<Extent> out;
+    out.swap(deferred_unwind_frees_);
+    return out;
+  }
+  std::vector<Extent> deferred_unwind_frees() const {
+    LatchGuard g(unwind_frees_latch_);
+    return deferred_unwind_frees_;
+  }
+
   // Installs (or clears, with nullptr) the deferred-free hook.
   void set_free_interceptor(FreeInterceptor* interceptor) {
     free_interceptor_ = interceptor;
@@ -240,7 +268,10 @@ class SegmentAllocator {
   std::vector<int8_t> hints_;
   Latch superdir_latch_;
   uint64_t directory_visits_ = 0;
+  uint64_t rotate_cursor_ = 0;  // under op_latch_ (rotate_spaces placer)
   Latch op_latch_;  // serializes allocator operations
+  mutable Latch unwind_frees_latch_;
+  std::vector<Extent> deferred_unwind_frees_;
   FreeInterceptor* free_interceptor_ = nullptr;
   // Atomics so the const accessors need no latch; mutations happen under
   // op_latch_ (or before the allocator is shared).

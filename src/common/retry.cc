@@ -2,6 +2,10 @@
 
 #include <time.h>
 
+#include <chrono>
+
+#include "common/deadline.h"
+
 namespace eos {
 
 void BackoffSleep(uint32_t us) {
@@ -24,7 +28,29 @@ Status RunWithRetry(const RetryPolicy& policy,
   Status s = op();
   for (int retry = 1; retry < policy.max_attempts; ++retry) {
     if (s.ok() || !policy.RetriableError(s)) return s;
-    BackoffSleep(policy.BackoffUs(retry));
+    // Deadline-aware backoff: a retry loop must never sleep an operation
+    // past its own deadline. If the ambient OpContext has already expired
+    // (or is cancelled) return the typed error now; if the next backoff
+    // would outlive the remaining budget, sleep only the remainder and
+    // let the expiry check fire instead of the retry.
+    uint32_t backoff_us = policy.BackoffUs(retry);
+    if (const OpContext* ctx = ScopedOpContext::Current()) {
+      Status bound = ctx->Check("retry backoff");
+      if (!bound.ok()) return bound;
+      std::chrono::nanoseconds left = ctx->deadline.remaining();
+      if (!ctx->deadline.infinite()) {
+        uint64_t left_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(left)
+                .count());
+        if (uint64_t{backoff_us} >= left_us) {
+          BackoffSleep(static_cast<uint32_t>(left_us));
+          return Status::DeadlineExceeded(
+              "deadline expired while backing off for retry: " +
+              s.ToString());
+        }
+      }
+    }
+    BackoffSleep(backoff_us);
     if (on_retry != nullptr) on_retry();
     s = op();
   }

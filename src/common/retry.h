@@ -38,6 +38,11 @@ void BackoffSleep(uint32_t us);
 // `policy.max_attempts` tries are spent; returns the last status. Each
 // retry (not the first attempt) invokes `on_retry` before re-running, which
 // is where callers count metrics.
+//
+// Deadline-aware: when the calling thread has a ScopedOpContext installed,
+// the loop never sleeps past its deadline — an expired (or cancelled)
+// context returns DeadlineExceeded instead of another backoff, and a
+// backoff longer than the remaining budget is clipped to it.
 Status RunWithRetry(const RetryPolicy& policy,
                     const std::function<Status()>& op,
                     const std::function<void()>& on_retry = nullptr);

@@ -26,6 +26,8 @@ const char* CodeName(Status::Code code) {
       return "Busy";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

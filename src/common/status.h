@@ -26,6 +26,7 @@ class Status {
     kNotSupported = 7,
     kBusy = 8,
     kDeadlineExceeded = 9,
+    kUnavailable = 10,
   };
 
   Status() = default;  // OK
@@ -56,6 +57,12 @@ class Status {
   static Status DeadlineExceeded(std::string_view msg) {
     return Status(Code::kDeadlineExceeded, msg);
   }
+  // A whole backing resource (e.g. one volume of a set) is out of service.
+  // Distinct from kIOError so callers can tell "this transfer failed" from
+  // "this device is gone"; retry loops treat it as non-transient.
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -69,6 +76,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == Code::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "buddy/free_capture.h"
 #include "buddy/geometry.h"
@@ -142,6 +143,49 @@ StatusOr<std::unique_ptr<Database>> Database::OpenOnDevice(
   return Init(std::move(device), options, /*fresh=*/false);
 }
 
+StatusOr<std::unique_ptr<Database>> Database::CreateOnVolumeSet(
+    std::vector<std::unique_ptr<PageDevice>> members,
+    VolumeSetOptions set_options, const DatabaseOptions& options) {
+  for (const auto& m : members) {
+    if (m != nullptr && m->page_size() != options.page_size) {
+      return Status::InvalidArgument(
+          "member page size differs from the configured page size");
+    }
+  }
+  if (set_options.chunk_pages == 0) {
+    // One buddy space footprint (directory page + data pages) per chunk:
+    // extents never straddle members and spaces stripe across volumes.
+    EOS_ASSIGN_OR_RETURN(
+        BuddyGeometry geo,
+        BuddyGeometry::Make(
+            options.page_size - VerifiedPageDevice::kTrailerBytes,
+            options.space_pages));
+    set_options.chunk_pages = geo.space_pages + 1;
+  }
+  set_options.format_epoch = kFormatEpoch;
+  EOS_ASSIGN_OR_RETURN(
+      std::unique_ptr<VolumeSetDevice> set,
+      VolumeSetDevice::Format(std::move(members), set_options));
+  EOS_RETURN_IF_ERROR(set->Grow(1));  // the superblock chunk
+  return Init(std::move(set), options, /*fresh=*/true);
+}
+
+StatusOr<std::unique_ptr<Database>> Database::OpenOnVolumeSet(
+    std::vector<std::unique_ptr<PageDevice>> members,
+    VolumeSetOptions set_options, const DatabaseOptions& options) {
+  for (const auto& m : members) {
+    if (m != nullptr && m->page_size() != options.page_size) {
+      return Status::InvalidArgument(
+          "member page size differs from the configured page size");
+    }
+  }
+  set_options.format_epoch = kFormatEpoch;
+  EOS_ASSIGN_OR_RETURN(
+      std::unique_ptr<VolumeSetDevice> set,
+      VolumeSetDevice::Open(std::move(members), set_options));
+  return Init(std::move(set), options, /*fresh=*/false);
+}
+
 StatusOr<std::unique_ptr<Database>> Database::Init(
     std::unique_ptr<PageDevice> device, const DatabaseOptions& options,
     bool fresh) {
@@ -151,11 +195,18 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
   // via options (crash_safe implies it: a torn page must fail closed, not
   // read back as garbage); existing volumes declare it themselves via the
   // format epoch in the raw superblock.
+  // A volume set already verifies per member (trailers and quarantine are
+  // member-local); stacking another integrity layer on the logical space
+  // would double-trailer every page.
+  auto* vs = dynamic_cast<VolumeSetDevice*>(device.get());
+  db->volume_set_ = vs;
   uint16_t epoch = 0;
-  if (fresh) {
-    if (options.checksums || options.crash_safe) epoch = kFormatEpoch;
-  } else {
-    EOS_ASSIGN_OR_RETURN(epoch, PeekEpoch(device.get()));
+  if (vs == nullptr) {
+    if (fresh) {
+      if (options.checksums || options.crash_safe) epoch = kFormatEpoch;
+    } else {
+      EOS_ASSIGN_OR_RETURN(epoch, PeekEpoch(device.get()));
+    }
   }
   if (epoch != 0) {
     if (device->page_size() <= 2 * VerifiedPageDevice::kTrailerBytes) {
@@ -186,6 +237,9 @@ StatusOr<std::unique_ptr<Database>> Database::Init(
   aopt.initial_spaces = num_spaces;
   aopt.auto_grow = true;
   aopt.emergency_reserve_pages = options.emergency_reserve_pages;
+  // Consecutive spaces live on different volume-set members; rotating the
+  // scan start stripes objects across them instead of packing member 0.
+  aopt.rotate_spaces = vs != nullptr;
   if (fresh) {
     EOS_ASSIGN_OR_RETURN(db->allocator_,
                          SegmentAllocator::Format(db->pager_.get(), geo,
@@ -244,7 +298,11 @@ Status Database::WriteSuperblock() {
   EncodeU32(p + 12, allocator_->geometry().space_pages);
   EncodeU32(p + 16, allocator_->num_spaces());
   EncodeU64(p + 20, next_object_id_);
-  EncodeU16(p + 30, verified_ != nullptr ? verified_->epoch() : 0);
+  EncodeU16(p + 30, verified_ != nullptr
+                        ? verified_->epoch()
+                        : (volume_set_ != nullptr
+                               ? volume_set_->options().format_epoch
+                               : 0));
   Bytes root = dir_object_.Serialize();
   if (root.size() > DirRootSlotBytes()) {
     return Status::Corruption("directory root outgrew its superblock slot");
@@ -711,16 +769,40 @@ Status Database::CheckpointLocked() {
   // below so this very checkpoint reclaims them.
   EOS_RETURN_IF_ERROR(DrainVersionGcLocked());
   EOS_RETURN_IF_ERROR(FlushLocked());
-  if (deferred_frees_ == nullptr) return Status::OK();
   // Every root that could reach the parked segments is durably superseded
   // now; detach the interceptor so the frees reach the buddy system.
+  FreeInterceptor* saved = allocator_->free_interceptor();
   allocator_->set_free_interceptor(nullptr);
   Status s;
-  for (const Extent& e : deferred_frees_->TakeAll()) {
-    s = allocator_->Free(e);
-    if (!s.ok()) break;
+  // Extents a reservation unwind could not return (volume outage) retry
+  // first: no root references them, so they may only ever reach the buddy
+  // maps — never a transactional free list a failed op would drop.
+  std::vector<Extent> unwound = allocator_->TakeDeferredUnwindFrees();
+  for (size_t i = 0; i < unwound.size(); ++i) {
+    s = allocator_->Free(unwound[i]);
+    if (!s.ok()) {
+      for (size_t j = i; j < unwound.size(); ++j) {
+        allocator_->DeferUnwindFree(unwound[j]);
+      }
+      break;
+    }
   }
-  allocator_->set_free_interceptor(deferred_frees_.get());
+  if (s.ok() && deferred_frees_ != nullptr) {
+    std::vector<Extent> parked = deferred_frees_->TakeAll();
+    for (size_t i = 0; i < parked.size(); ++i) {
+      s = allocator_->Free(parked[i]);
+      if (!s.ok()) {
+        // Re-park the failed extent and everything behind it: a free that
+        // a volume outage refused must stay on the checkpoint list for the
+        // next attempt, not fall off into a leak.
+        for (size_t j = i; j < parked.size(); ++j) {
+          deferred_frees_->InterceptFree(parked[j]);
+        }
+        break;
+      }
+    }
+  }
+  allocator_->set_free_interceptor(saved);
   return s;
 }
 
@@ -877,6 +959,11 @@ Status Database::LeakCheck(LeakCheckReport* report) {
       refs.push_back(e);
     }
   }
+  // Unwind-failed frees are likewise allocated on purpose until a
+  // checkpoint manages to return them to the buddy maps.
+  for (const Extent& e : allocator_->deferred_unwind_frees()) {
+    refs.push_back(e);
+  }
   // 1b. Version-chain coverage (MVCC): superseded version roots, their
   //     retire batches, and extents staged for version GC are allocated on
   //     purpose while snapshots may still read them. Shadowing means a
@@ -966,6 +1053,17 @@ Status Database::Scrub(ScrubReport* report) {
   // below only touches the pager and superblock, which no reader does.
   SharedLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.scrub", 0, device_.get());
+  // On a volume set, scrub reads consult both mirror copies and repair the
+  // bad one from the good one instead of reporting an issue.
+  VolumeRepairScope repair_scope(volume_set_);
+  const uint64_t repaired_before =
+      volume_set_ != nullptr ? volume_set_->repaired_pages() : 0;
+  auto fill_repaired = [&] {
+    if (volume_set_ != nullptr) {
+      report->repaired_from_replica +=
+          volume_set_->repaired_pages() - repaired_before;
+    }
+  };
   // Scrub reads the device directly; make it current first.
   Status s = FlushLocked();
   if (!s.ok()) return span.Close(std::move(s));
@@ -992,22 +1090,75 @@ Status Database::Scrub(ScrubReport* report) {
   if (!dir_object_.empty()) {
     size_t before = report->issues.size();
     s = lob_->ScrubObject(dir_object_, 0, report);
-    if (!s.ok()) return span.Close(std::move(s));
+    if (!s.ok()) {
+      fill_repaired();
+      return span.Close(std::move(s));
+    }
     for (size_t i = before; i < report->issues.size(); ++i) {
       report->issues[i].role = PageRole::kDirectory;
     }
   }
-  for (const auto& [id, root] : directory_) {
-    EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(root));
-    s = lob_->ScrubObject(d, id, report);
-    if (!s.ok()) return span.Close(std::move(s));
+  s = ScrubObjectsLocked(report);
+  fill_repaired();
+  return span.Close(std::move(s));
+}
+
+// The per-object leg of Scrub(). On a multi-member volume set the walk is
+// read-only device traffic spread across independent spindles, so it fans
+// out over a few worker threads (each with its own repair scope and
+// report, merged afterward); otherwise it runs inline.
+Status Database::ScrubObjectsLocked(ScrubReport* report) {
+  std::vector<std::pair<uint64_t, Bytes>> work(directory_.begin(),
+                                               directory_.end());
+  size_t threads = 1;
+  if (options_.parallel_io && volume_set_ != nullptr) {
+    threads = std::min<size_t>({4, volume_set_->member_count(), work.size()});
   }
-  return span.Close(Status::OK());
+  if (threads <= 1) {
+    for (const auto& [id, root] : work) {
+      EOS_ASSIGN_OR_RETURN(LobDescriptor d, LobDescriptor::Deserialize(root));
+      EOS_RETURN_IF_ERROR(lob_->ScrubObject(d, id, report));
+    }
+    return Status::OK();
+  }
+  std::vector<ScrubReport> parts(threads);
+  std::vector<Status> results(threads, Status::OK());
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      // The repair scope is thread-local; each worker installs its own.
+      VolumeRepairScope scope(volume_set_);
+      for (size_t i = t; i < work.size(); i += threads) {
+        auto d = LobDescriptor::Deserialize(work[i].second);
+        if (!d.ok()) {
+          results[t] = d.status();
+          return;
+        }
+        Status s = lob_->ScrubObject(*d, work[i].first, &parts[t]);
+        if (!s.ok()) {
+          results[t] = std::move(s);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (size_t t = 0; t < threads; ++t) {
+    report->pages_verified += parts[t].pages_verified;
+    report->issues.insert(report->issues.end(), parts[t].issues.begin(),
+                          parts[t].issues.end());
+    EOS_RETURN_IF_ERROR(results[t]);
+  }
+  return Status::OK();
 }
 
 Status Database::RepairObject(uint64_t id) {
   ExclusiveLatchGuard guard(dir_latch_);
   obs::ScopedOp span("db.repair_object", id, device_.get());
+  // Salvage reads heal from the mirror copy where one exists, so holes are
+  // zero-filled only when no replica survives either.
+  VolumeRepairScope repair_scope(volume_set_);
   if (options_.mvcc && HasOpenPins()) {
     // The rebuild below reclaims everything unreachable from current
     // roots, which includes whatever superseded versions still reference.

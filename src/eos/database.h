@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "io/page_device.h"
 #include "io/pager.h"
+#include "io/volume_set.h"
 #include "lob/defrag.h"
 #include "lob/lob_manager.h"
 #include "obs/snapshot.h"
@@ -235,6 +236,23 @@ class Database : private DefragHost {
   static StatusOr<std::unique_ptr<Database>> OpenOnDevice(
       std::unique_ptr<PageDevice> device, const DatabaseOptions& options);
 
+  // Formats a database across N member volumes (DESIGN.md §15): each
+  // member gets its own verified stack, and the logical page space is
+  // placed chunk-by-chunk across them — one buddy space per chunk when
+  // set_options.chunk_pages is 0 (the default), so extents never straddle
+  // members. With set_options.mirrored every chunk has a replica on a
+  // second member: reads fail over, writes degrade typed, and
+  // Scrub/RepairObject reconstruct bad pages from the replica.
+  static StatusOr<std::unique_ptr<Database>> CreateOnVolumeSet(
+      std::vector<std::unique_ptr<PageDevice>> members,
+      VolumeSetOptions set_options, const DatabaseOptions& options);
+
+  // Opens a previously formatted volume set. Members must come in their
+  // formatted order; placement geometry is read from the member headers.
+  static StatusOr<std::unique_ptr<Database>> OpenOnVolumeSet(
+      std::vector<std::unique_ptr<PageDevice>> members,
+      VolumeSetOptions set_options, const DatabaseOptions& options);
+
   ~Database();
 
   Database(const Database&) = delete;
@@ -368,6 +386,10 @@ class Database : private DefragHost {
   // Non-null iff the volume runs with the integrity layer stacked.
   VerifiedPageDevice* verified_device() { return verified_; }
 
+  // Non-null iff the database runs on a multi-volume set (each member
+  // carries its own integrity layer; verified_device() is null then).
+  VolumeSetDevice* volume_set() { return volume_set_; }
+
   const LobDescriptor& dir_object() const { return dir_object_; }
 
   LobManager* lob() { return lob_.get(); }
@@ -418,6 +440,9 @@ class Database : private DefragHost {
   Status PutRootLocked(uint64_t id, const LobDescriptor& d);
   Status FlushLocked();
   Status CheckpointLocked();
+  // Per-object leg of Scrub(); fans out across threads on a multi-member
+  // volume set with parallel_io.
+  Status ScrubObjectsLocked(ScrubReport* report);
   // Records a foreground mutation of `id` on the heat clock, so the
   // defragmenter can tell cold objects from ones still being written.
   void TouchLocked(uint64_t id);
@@ -491,6 +516,7 @@ class Database : private DefragHost {
   std::unique_ptr<obs::SnapshotWriter> snapshot_writer_;
   std::unique_ptr<PageDevice> device_;
   VerifiedPageDevice* verified_ = nullptr;  // aliases device_ when stacked
+  VolumeSetDevice* volume_set_ = nullptr;   // aliases device_ when multi-volume
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<SegmentAllocator> allocator_;
   std::unique_ptr<LobManager> lob_;

@@ -110,6 +110,26 @@ Status ChaosPageDevice::MaybeDelay(uint64_t base_us, const char* what) {
   return Status::OK();
 }
 
+void ChaosPageDevice::SetOffline(bool offline) {
+  bool fired = false;
+  {
+    LatchGuard g(latch_);
+    fired = offline && !offline_;
+    offline_ = offline;
+    if (fired) ++injected_;
+  }
+  if (fired) {
+    FaultCounter()->Inc();
+    obs::RecordEvent(obs::EventKind::kChaosFault, "volume_offline", /*a=*/0,
+                     /*b=*/0, /*c=*/0, /*ok=*/false);
+  }
+}
+
+bool ChaosPageDevice::offline() const {
+  LatchGuard g(latch_);
+  return offline_;
+}
+
 void ChaosPageDevice::Heal() {
   LatchGuard g(latch_);
   read_fault_ = Fault{};
@@ -118,6 +138,7 @@ void ChaosPageDevice::Heal() {
   grow_fault_ = false;
   grow_nospace_ = Fault{};
   tear_countdown_ = -1;
+  offline_ = false;
 }
 
 void ChaosPageDevice::TearWriteAfter(int ops, uint32_t keep_pages) {
@@ -196,6 +217,7 @@ Status ChaosPageDevice::Grow(uint64_t new_page_count) {
   {
     LatchGuard g(latch_);
     if (crashed_) return Status::IOError("simulated crash: device offline");
+    if (offline_) return Status::Unavailable("injected fault: volume offline");
     if (grow_fault_) {
       grow_fault_ = false;
       ++injected_;
@@ -225,6 +247,7 @@ Status ChaosPageDevice::Sync() {
   {
     LatchGuard g(latch_);
     if (crashed_) return Status::IOError("simulated crash: device offline");
+    if (offline_) return Status::Unavailable("injected fault: volume offline");
   }
   return inner_->Sync();
 }
@@ -247,6 +270,7 @@ Status ChaosPageDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
   {
     LatchGuard g(latch_);
     if (crashed_) return Status::IOError("simulated crash: device offline");
+    if (offline_) return Status::Unavailable("injected fault: volume offline");
     EOS_RETURN_IF_ERROR(Tick(&any_fault_, "I/O"));
     EOS_RETURN_IF_ERROR(Tick(&read_fault_, "read"));
   }
@@ -261,6 +285,7 @@ Status ChaosPageDevice::DoWrite(PageId first, uint32_t n,
   {
     LatchGuard g(latch_);
     if (crashed_) return Status::IOError("simulated crash: device offline");
+    if (offline_) return Status::Unavailable("injected fault: volume offline");
     EOS_RETURN_IF_ERROR(Tick(&any_fault_, "I/O"));
     EOS_RETURN_IF_ERROR(Tick(&write_fault_, "write"));
     if (crash_write_budget_ == 0) {

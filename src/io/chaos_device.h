@@ -59,6 +59,14 @@ class ChaosPageDevice final : public PageDevice {
   // which models an I/O error during the grow itself.
   void FailGrowsAfter(int ops, bool permanent = false);
 
+  // ---- whole-device faults --------------------------------------------------
+  // Takes the entire volume out of service: every read, write, grow and
+  // sync returns typed Unavailable until SetOffline(false) or Heal(). The
+  // persisted bytes survive — unlike Crash(), an offline volume can come
+  // back. Models a pulled cable / dead controller in a volume set.
+  void SetOffline(bool offline);
+  bool offline() const;
+
   // ---- latency injection ----------------------------------------------------
   // Delays every read/write by the given base plus a seeded uniform jitter
   // in [0, jitter_us]. Deadline-aware: a delayed call whose ambient
@@ -128,6 +136,7 @@ class ChaosPageDevice final : public PageDevice {
   int tear_countdown_ = -1;  // -1 = unarmed
   uint32_t tear_keep_pages_ = 0;
   bool crashed_ = false;
+  bool offline_ = false;
   int64_t crash_write_budget_ = -1;  // -1 = unarmed
   uint32_t crash_tear_pages_ = 0;
   uint64_t injected_ = 0;

@@ -37,10 +37,11 @@ const DeviceByteCounters& ByteCounters() {
 
 Status PageDevice::CheckRange(PageId first, uint32_t n) const {
   if (n == 0) return Status::InvalidArgument("zero-page I/O");
-  if (first + n > page_count_ || first + n < first) {
+  const uint64_t count = page_count();
+  if (first + n > count || first + n < first) {
     return Status::OutOfRange("page range [" + std::to_string(first) + ", " +
                               std::to_string(first + n) + ") beyond volume of " +
-                              std::to_string(page_count_) + " pages");
+                              std::to_string(count) + " pages");
   }
   return Status::OK();
 }

@@ -66,7 +66,9 @@ class PageDevice {
   PageDevice& operator=(const PageDevice&) = delete;
 
   uint32_t page_size() const { return page_size_; }
-  uint64_t page_count() const { return page_count_; }
+  uint64_t page_count() const {
+    return page_count_.load(std::memory_order_relaxed);
+  }
 
   // Reads `n` physically adjacent pages starting at `first` into `out`
   // (n * page_size bytes). Charged as one access: at most one seek.
@@ -121,7 +123,12 @@ class PageDevice {
   // Grow paths record the new size only after the backing store has
   // actually grown; a failed Grow must leave the count untouched, or the
   // range check would admit I/O beyond the real end of the volume.
-  void SetPageCount(uint64_t n) { page_count_ = n; }
+  // Relaxed: readers racing a concurrent Grow may see either the old or
+  // the new count; both are safe (the count never shrinks), and the grow
+  // path publishes the new pages to other threads via its own latch.
+  void SetPageCount(uint64_t n) {
+    page_count_.store(n, std::memory_order_relaxed);
+  }
 
   uint32_t page_size_;
 
@@ -137,7 +144,7 @@ class PageDevice {
   // would serve.
   void Account(bool is_read, PageId first, uint32_t n);
 
-  uint64_t page_count_;
+  std::atomic<uint64_t> page_count_;
 
   std::atomic<uint64_t> read_calls_{0};
   std::atomic<uint64_t> write_calls_{0};

@@ -13,7 +13,10 @@ PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
     Reset();
     pager_ = o.pager_;
     frame_ = o.frame_;
+    id_ = o.id_;
+    data_ = o.data_;
     o.pager_ = nullptr;
+    o.data_ = nullptr;
   }
   return *this;
 }
@@ -27,13 +30,11 @@ void PageHandle::Reset() {
   }
 }
 
-PageId PageHandle::id() const { return pager_->frames_[frame_].id; }
+PageId PageHandle::id() const { return id_; }
 
-uint8_t* PageHandle::data() { return pager_->frames_[frame_].data.data(); }
+uint8_t* PageHandle::data() { return data_; }
 
-const uint8_t* PageHandle::data() const {
-  return pager_->frames_[frame_].data.data();
-}
+const uint8_t* PageHandle::data() const { return data_; }
 
 void PageHandle::MarkDirty() { pager_->MarkFrameDirty(frame_); }
 
@@ -70,7 +71,42 @@ StatusOr<size_t> Pager::GetFrame(PageId id, bool read, bool* was_hit) {
     free_frames_.pop_back();
   } else {
     EOS_ASSIGN_OR_RETURN(idx, FindVictim());
-    EOS_RETURN_IF_ERROR(FlushFrame(frames_[idx]));
+    Status fs = FlushFrame(frames_[idx]);
+    if (!fs.ok()) {
+      // The victim's write-back failed (its volume may be offline). Fall
+      // back to the oldest clean frame so an unrelated read does not
+      // inherit the write error; the dirty frame stays cached for retry.
+      StatusOr<size_t> clean = FindVictim(/*require_clean=*/true);
+      if (clean.ok()) {
+        idx = *clean;
+      } else {
+        // Every unpinned frame is dirty and stuck behind the same outage.
+        // Grow an overflow frame rather than failing the read: the stuck
+        // frames keep the only copy of committed state, so they can be
+        // neither dropped nor flushed, yet unrelated reads must proceed.
+        // Once flushes succeed again these frames rejoin the reuse pool.
+        frames_.emplace_back();
+        frames_.back().data.resize(device_->page_size());
+        idx = frames_.size() - 1;
+        Frame& nf = frames_[idx];
+        nf.id = id;
+        nf.pins = 0;
+        nf.dirty = false;
+        if (read) {
+          Status s = device_->ReadPages(id, 1, nf.data.data());
+          if (!s.ok()) {
+            nf.id = kInvalidPage;
+            free_frames_.push_back(idx);
+            return s;
+          }
+        } else {
+          std::memset(nf.data.data(), 0, nf.data.size());
+        }
+        map_[id] = idx;
+        m_cached_->Add(1);
+        return idx;
+      }
+    }
     map_.erase(frames_[idx].id);
     ++evictions_;
     m_eviction_->Inc();
@@ -98,17 +134,19 @@ StatusOr<size_t> Pager::GetFrame(PageId id, bool read, bool* was_hit) {
   return idx;
 }
 
-StatusOr<size_t> Pager::FindVictim() {
-  size_t best = capacity_;
+StatusOr<size_t> Pager::FindVictim(bool require_clean) {
+  const size_t none = frames_.size();
+  size_t best = none;
   uint64_t best_tick = ~uint64_t{0};
   for (size_t i = 0; i < frames_.size(); ++i) {
     const Frame& f = frames_[i];
+    if (require_clean && f.dirty) continue;
     if (f.id != kInvalidPage && f.pins == 0 && f.tick < best_tick) {
       best = i;
       best_tick = f.tick;
     }
   }
-  if (best == capacity_) {
+  if (best == none) {
     return Status::Busy("pager: all frames pinned");
   }
   return best;
@@ -143,7 +181,7 @@ StatusOr<PageHandle> Pager::Fetch(PageId id) {
   Frame& f = frames_[idx];
   ++f.pins;
   f.tick = ++tick_;
-  return PageHandle(this, idx);
+  return PageHandle(this, idx, f.id, f.data.data());
 }
 
 StatusOr<PageHandle> Pager::Zeroed(PageId id) {
@@ -155,7 +193,7 @@ StatusOr<PageHandle> Pager::Zeroed(PageId id) {
   f.dirty = true;
   ++f.pins;
   f.tick = ++tick_;
-  return PageHandle(this, idx);
+  return PageHandle(this, idx, f.id, f.data.data());
 }
 
 void Pager::Unpin(size_t frame) {
@@ -208,15 +246,15 @@ Status Pager::FlushAll() {
 
 Status Pager::EvictAll() {
   LatchGuard g(latch_);
-  for (auto& f : frames_) {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
     if (f.id != kInvalidPage && f.pins == 0) {
       EOS_RETURN_IF_ERROR(FlushFrame(f));
       map_.erase(f.id);
       m_cached_->Add(-1);
       // Reuse the slot via the free list.
-      size_t idx = static_cast<size_t>(&f - frames_.data());
       f.id = kInvalidPage;
-      free_frames_.push_back(idx);
+      free_frames_.push_back(i);
     }
   }
   return Status::OK();

@@ -2,6 +2,7 @@
 #define EOS_IO_PAGER_H_
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -40,10 +41,15 @@ class PageHandle {
 
  private:
   friend class Pager;
-  PageHandle(Pager* pager, size_t frame) : pager_(pager), frame_(frame) {}
+  PageHandle(Pager* pager, size_t frame, PageId id, uint8_t* data)
+      : pager_(pager), frame_(frame), id_(id), data_(data) {}
 
   Pager* pager_ = nullptr;
   size_t frame_ = 0;
+  // Cached under the pager latch at pin time so accessors never touch the
+  // frame table; the buffer is stable while the pin is held.
+  PageId id_ = kInvalidPage;
+  uint8_t* data_ = nullptr;
 };
 
 // Small LRU buffer cache, used for pages that are touched repeatedly and
@@ -53,9 +59,17 @@ class PageHandle {
 // behaviour the benches measure.
 //
 // Thread-safe: frame bookkeeping is latched; a pinned frame's buffer is
-// stable (the frame table never reallocates), so handle data access needs
-// no latch. Concurrent use of the same page's buffer is the caller's
-// concern (pin the page through one owner at a time).
+// stable (handles cache it at pin time and frame buffers never move), so
+// handle data access needs no latch. Concurrent use of the same page's
+// buffer is the caller's concern (pin the page through one owner at a
+// time).
+//
+// `capacity` is a soft bound: in write-through mode a device outage can
+// strand dirty frames that refuse to flush, and a read must never inherit
+// that write error just because every evictable frame is stuck. When no
+// clean victim exists the pager grows an overflow frame instead; growth
+// stops once flushes succeed again and the overflow frames rejoin the
+// normal reuse pool.
 class Pager {
  public:
   // `capacity` frames; device must outlive the pager.
@@ -118,7 +132,7 @@ class Pager {
   };
 
   StatusOr<size_t> GetFrame(PageId id, bool read, bool* was_hit);
-  StatusOr<size_t> FindVictim();
+  StatusOr<size_t> FindVictim(bool require_clean = false);
   Status FlushFrame(Frame& f);
   void Unpin(size_t frame);
   void MarkFrameDirty(size_t frame);
@@ -127,7 +141,9 @@ class Pager {
   PageDevice* device_;
   size_t capacity_;
   bool write_through_ = false;
-  std::vector<Frame> frames_;
+  // Deque: overflow growth must not move existing frames (pinned handles
+  // hold their buffer pointers; Unpin/MarkDirty index by frame number).
+  std::deque<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::unordered_map<PageId, size_t> map_;
   uint64_t tick_ = 0;

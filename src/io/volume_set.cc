@@ -1,0 +1,795 @@
+#include "io/volume_set.h"
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <string>
+
+#include "common/bytes.h"
+#include "obs/metric_names.h"
+
+namespace eos {
+
+namespace {
+
+// Member-local header layout (payload bytes of pages 0..kHeaderPages-1):
+//   0  magic u32        "EVST"
+//   4  version u32
+//   8  set uuid u64
+//  16  member count u16
+//  18  member index u16
+//  20  mirrored u8, 3 pad bytes
+//  24  chunk pages u32
+//  28  chunk count u32
+//  32  entries, 12 bytes each:
+//      primary u16, replica u16 (0xFFFF = none), primary block u32,
+//      replica block u32
+constexpr size_t kFixedHeaderBytes = 32;
+constexpr size_t kEntryBytes = 12;
+
+// A member is declared offline after this many consecutive I/O failures
+// (an Unavailable is definitive and trips it immediately).
+constexpr int kOfflineStreak = 3;
+// Every Nth read of an offline member probes the device anyway, so a
+// healed volume comes back without operator action.
+constexpr uint64_t kProbeInterval = 64;
+
+uint64_t FreshSetUuid() {
+  std::random_device rd;
+  return (uint64_t{rd()} << 32) ^ rd();
+}
+
+}  // namespace
+
+// ---- repair scope ----------------------------------------------------------
+
+namespace {
+thread_local VolumeSetDevice* g_repair_set = nullptr;
+}
+
+VolumeRepairScope::VolumeRepairScope(VolumeSetDevice* set)
+    : set_(set), prev_(g_repair_set) {
+  if (set_ != nullptr) g_repair_set = set_;
+}
+
+VolumeRepairScope::~VolumeRepairScope() { g_repair_set = prev_; }
+
+VolumeSetDevice* VolumeRepairScope::ActiveSet() { return g_repair_set; }
+
+// ---- construction ----------------------------------------------------------
+
+VolumeSetDevice::VolumeSetDevice(
+    uint32_t payload_page_size, std::vector<std::unique_ptr<Member>> members,
+    const VolumeSetOptions& options)
+    : PageDevice(payload_page_size, 0),
+      options_(options),
+      members_(std::move(members)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  m_failover_ = reg.counter(obs::kVolumeFailoverReads);
+  m_repaired_ = reg.counter(obs::kVolumeRepairedPages);
+  m_degraded_write_ = reg.counter(obs::kVolumeDegradedWrites);
+  m_shed_ = reg.counter(obs::kVolumeShedPlacements);
+  m_offline_ = reg.gauge(obs::kVolumeMembersOffline);
+}
+
+VolumeSetDevice::~VolumeSetDevice() {
+  // Leave the process-wide offline gauge balanced across set lifetimes.
+  for (auto& m : members_) {
+    if (!m->online.load(std::memory_order_relaxed)) m_offline_->Add(-1);
+  }
+}
+
+Status VolumeSetDevice::CheckMembers(
+    const std::vector<std::unique_ptr<PageDevice>>& members,
+    const VolumeSetOptions& options) {
+  if (members.empty()) {
+    return Status::InvalidArgument("volume set needs at least one member");
+  }
+  if (members.size() >= kNoReplica) {
+    return Status::InvalidArgument("too many volume set members");
+  }
+  uint32_t page_size = members[0]->page_size();
+  if (page_size <= 2 * VerifiedPageDevice::kTrailerBytes) {
+    return Status::InvalidArgument("member page size too small for trailers");
+  }
+  for (const auto& m : members) {
+    if (m == nullptr) {
+      return Status::InvalidArgument("null volume set member");
+    }
+    if (m->page_size() != page_size) {
+      return Status::InvalidArgument(
+          "volume set members disagree on page size");
+    }
+  }
+  if (options.mirrored && members.size() < 2) {
+    return Status::InvalidArgument(
+        "mirrored placement needs at least two members");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<VolumeSetDevice>> VolumeSetDevice::Format(
+    std::vector<std::unique_ptr<PageDevice>> members,
+    const VolumeSetOptions& options) {
+  EOS_RETURN_IF_ERROR(CheckMembers(members, options));
+  if (options.chunk_pages == 0) {
+    return Status::InvalidArgument("chunk_pages must be set to format a set");
+  }
+  uint32_t payload = members[0]->page_size() - VerifiedPageDevice::kTrailerBytes;
+  std::vector<std::unique_ptr<Member>> wrapped;
+  for (auto& raw : members) {
+    auto m = std::make_unique<Member>();
+    m->raw = std::move(raw);
+    m->verified = std::make_unique<VerifiedPageDevice>(
+        m->raw.get(), options.format_epoch, options.io_retry);
+    if (m->verified->page_count() < kHeaderPages) {
+      EOS_RETURN_IF_ERROR(m->verified->Grow(kHeaderPages));
+    }
+    wrapped.push_back(std::move(m));
+  }
+  std::unique_ptr<VolumeSetDevice> set(
+      new VolumeSetDevice(payload, std::move(wrapped), options));
+  set->set_uuid_ = FreshSetUuid();
+  // A fresh set must be able to stamp every member; partial formats are
+  // refused rather than silently degraded.
+  ExclusiveLatchGuard g(set->map_latch_);
+  EOS_RETURN_IF_ERROR(set->PersistHeaders());
+  for (const auto& m : set->members_) {
+    if (!m->online.load(std::memory_order_relaxed)) {
+      return Status::Unavailable("volume failed while formatting the set");
+    }
+  }
+  return set;
+}
+
+Status VolumeSetDevice::ParseHeader(const uint8_t* buf, size_t len,
+                                    uint64_t* uuid,
+                                    std::vector<Chunk>* chunks) const {
+  if (len < kFixedHeaderBytes) {
+    return Status::Corruption("volume set header truncated");
+  }
+  if (DecodeU32(buf) != kHeaderMagic) {
+    return Status::Corruption("not a volume set member (bad header magic)");
+  }
+  if (DecodeU32(buf + 4) != kHeaderVersion) {
+    return Status::Corruption("unsupported volume set header version");
+  }
+  *uuid = DecodeU64(buf + 8);
+  uint32_t count = DecodeU32(buf + 28);
+  if (kFixedHeaderBytes + uint64_t{count} * kEntryBytes > len) {
+    return Status::Corruption("volume set chunk table overruns header");
+  }
+  chunks->clear();
+  chunks->reserve(count);
+  for (uint32_t c = 0; c < count; ++c) {
+    const uint8_t* e = buf + kFixedHeaderBytes + size_t{c} * kEntryBytes;
+    Chunk chunk;
+    chunk.primary = DecodeU16(e);
+    chunk.replica = DecodeU16(e + 2);
+    chunk.primary_block = DecodeU32(e + 4);
+    chunk.replica_block = DecodeU32(e + 8);
+    if (chunk.primary >= members_.size() ||
+        (chunk.replica != kNoReplica && chunk.replica >= members_.size())) {
+      return Status::Corruption("volume set chunk names a missing member");
+    }
+    chunks->push_back(chunk);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<VolumeSetDevice>> VolumeSetDevice::Open(
+    std::vector<std::unique_ptr<PageDevice>> members,
+    const VolumeSetOptions& options) {
+  EOS_RETURN_IF_ERROR(CheckMembers(members, options));
+  uint32_t payload = members[0]->page_size() - VerifiedPageDevice::kTrailerBytes;
+  std::vector<std::unique_ptr<Member>> wrapped;
+  for (auto& raw : members) {
+    auto m = std::make_unique<Member>();
+    m->raw = std::move(raw);
+    m->verified = std::make_unique<VerifiedPageDevice>(
+        m->raw.get(), options.format_epoch, options.io_retry);
+    wrapped.push_back(std::move(m));
+  }
+  std::unique_ptr<VolumeSetDevice> set(
+      new VolumeSetDevice(payload, std::move(wrapped), options));
+
+  // Read every member's header; the longest readable chunk table is
+  // authoritative (a member that missed the last placement flush simply
+  // has a stale prefix). Members with unreadable headers start offline.
+  bool have_any = false;
+  uint64_t uuid = 0;
+  uint32_t mirrored_and_chunk[2] = {0, 0};
+  std::vector<Chunk> best;
+  size_t header_bytes = size_t{kHeaderPages} * payload;
+  std::vector<uint8_t> buf(header_bytes);
+  for (size_t i = 0; i < set->members_.size(); ++i) {
+    Member* m = set->members_[i].get();
+    Status s = m->verified->page_count() >= kHeaderPages
+                   ? m->verified->ReadPages(0, kHeaderPages, buf.data())
+                   : Status::Corruption("member too small for a set header");
+    uint64_t member_uuid = 0;
+    std::vector<Chunk> chunks;
+    if (s.ok()) s = set->ParseHeader(buf.data(), header_bytes, &member_uuid,
+                                     &chunks);
+    if (s.ok()) {
+      uint16_t member_count = DecodeU16(buf.data() + 16);
+      uint16_t member_index = DecodeU16(buf.data() + 18);
+      if (member_count != set->members_.size()) {
+        return Status::InvalidArgument(
+            "volume set opened with wrong member count");
+      }
+      if (member_index != i) {
+        return Status::InvalidArgument(
+            "volume set members passed out of order");
+      }
+      if (have_any && member_uuid != uuid) {
+        return Status::InvalidArgument(
+            "volume set members belong to different sets");
+      }
+      uuid = member_uuid;
+      mirrored_and_chunk[0] = buf[20];
+      mirrored_and_chunk[1] = DecodeU32(buf.data() + 24);
+      have_any = true;
+      if (chunks.size() > best.size()) best = std::move(chunks);
+    } else {
+      m->online.store(false, std::memory_order_relaxed);
+      m->fail_streak.store(kOfflineStreak, std::memory_order_relaxed);
+      set->m_offline_->Add(1);
+    }
+  }
+  if (!have_any) {
+    return Status::Unavailable(
+        "no volume set member has a readable header");
+  }
+  // The persisted geometry wins over whatever the caller guessed.
+  const_cast<VolumeSetOptions&>(set->options_).mirrored =
+      mirrored_and_chunk[0] != 0;
+  const_cast<VolumeSetOptions&>(set->options_).chunk_pages =
+      mirrored_and_chunk[1];
+  if (set->options_.chunk_pages == 0) {
+    return Status::Corruption("volume set header has zero chunk size");
+  }
+  set->set_uuid_ = uuid;
+  set->chunks_ = std::move(best);
+  for (const Chunk& c : set->chunks_) {
+    Member* p = set->members_[c.primary].get();
+    p->next_block = std::max(p->next_block, uint64_t{c.primary_block} + 1);
+    p->primary_blocks++;
+    if (c.replica != kNoReplica) {
+      Member* r = set->members_[c.replica].get();
+      r->next_block = std::max(r->next_block, uint64_t{c.replica_block} + 1);
+    }
+  }
+  set->SetPageCount(set->logical_pages_for_chunks(set->chunks_.size()));
+  return set;
+}
+
+// ---- placement -------------------------------------------------------------
+
+bool VolumeSetDevice::HasRoomForBlock(int m) const {
+  if (options_.member_capacity_pages == 0) return true;
+  uint64_t used = kHeaderPages +
+                  (members_[m]->next_block + 1) * uint64_t{options_.chunk_pages};
+  return used <= options_.member_capacity_pages;
+}
+
+void VolumeSetDevice::MarkShedding(int m, const char* why) {
+  (void)why;
+  if (!members_[m]->shedding.exchange(true, std::memory_order_relaxed)) {
+    shed_placements_.fetch_add(1, std::memory_order_relaxed);
+    m_shed_->Inc();
+  }
+}
+
+int VolumeSetDevice::PickMember(int exclude, bool allow_shedding,
+                                bool for_primary, uint64_t salt,
+                                const std::vector<bool>& tried) const {
+  int best = -1;
+  uint64_t best_load = 0;
+  uint64_t best_primaries = 0;
+  size_t n = members_.size();
+  for (size_t k = 0; k < n; ++k) {
+    // Rotating scan order: equal loads stripe round-robin by chunk.
+    int i = static_cast<int>((salt + k) % n);
+    const Member* m = members_[i].get();
+    if (i == exclude || tried[i]) continue;
+    if (!m->online.load(std::memory_order_relaxed)) continue;
+    if (!allow_shedding && m->shedding.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    if (!HasRoomForBlock(i)) continue;
+    // Least-loaded wins; a load tie for a primary goes to the member
+    // serving the fewest primaries so read traffic stripes evenly too.
+    bool better =
+        best < 0 || m->next_block < best_load ||
+        (for_primary && m->next_block == best_load &&
+         m->primary_blocks < best_primaries);
+    if (better) {
+      best = i;
+      best_load = m->next_block;
+      best_primaries = m->primary_blocks;
+    }
+  }
+  return best;
+}
+
+void VolumeSetDevice::MaybeShedAfterPlacement(int m) {
+  if (options_.member_capacity_pages == 0 ||
+      options_.shed_watermark_pages == 0) {
+    return;
+  }
+  uint64_t used =
+      kHeaderPages + members_[m]->next_block * uint64_t{options_.chunk_pages};
+  uint64_t remaining = options_.member_capacity_pages > used
+                           ? options_.member_capacity_pages - used
+                           : 0;
+  if (remaining < options_.shed_watermark_pages) {
+    MarkShedding(m, "capacity watermark");
+  }
+}
+
+Status VolumeSetDevice::EnsureBlock(int m, uint64_t block) {
+  Member* member = members_[m].get();
+  uint64_t need = kHeaderPages + (block + 1) * uint64_t{options_.chunk_pages};
+  if (member->verified->page_count() >= need) return Status::OK();
+  Status s = member->verified->Grow(need);
+  if (s.IsNoSpace()) MarkShedding(m, "device full");
+  if (!s.ok()) NoteMemberFailure(m, s);
+  return s;
+}
+
+Status VolumeSetDevice::Grow(uint64_t new_page_count) {
+  if (new_page_count <= page_count()) return Status::OK();
+  uint64_t need_chunks =
+      new_page_count <= 1
+          ? new_page_count
+          : 1 + (new_page_count - 2) / options_.chunk_pages + 1;
+  ExclusiveLatchGuard g(map_latch_);
+  // Refuse up front if the chunk table cannot index that many chunks; a
+  // placement the header cannot record must never be exposed to callers.
+  const size_t max_chunks =
+      (size_t{kHeaderPages} * page_size_ - kFixedHeaderBytes) / kEntryBytes;
+  if (need_chunks > max_chunks) {
+    return Status::NoSpace("volume set chunk table is full (" +
+                           std::to_string(max_chunks) + " chunks)");
+  }
+  const size_t placed_from = chunks_.size();
+  bool placed_any = false;
+  Status failure;
+  while (chunks_.size() < need_chunks) {
+    uint64_t c = chunks_.size();
+    Chunk chunk;
+    int primary = -1;
+    // A member whose grow failed for this chunk is out of the running —
+    // both passes — or a permanently full member would be re-picked
+    // forever once shedding members are allowed back in.
+    std::vector<bool> tried(members_.size(), false);
+    // Two passes: prefer members that are not shedding, fall back to
+    // shedding (but not offline/full) ones before giving up.
+    for (int pass = 0; pass < 2 && primary < 0; ++pass) {
+      for (;;) {
+        int m = PickMember(-1, /*allow_shedding=*/pass == 1,
+                           /*for_primary=*/true, c, tried);
+        if (m < 0) break;
+        Status s = EnsureBlock(m, members_[m]->next_block);
+        if (s.ok()) {
+          primary = m;
+          break;
+        }
+        tried[m] = true;
+        failure = s;
+      }
+    }
+    if (primary < 0) {
+      if (failure.ok()) {
+        failure = Status::NoSpace("no volume can take another chunk");
+      }
+      break;
+    }
+    chunk.primary = static_cast<uint16_t>(primary);
+    chunk.primary_block =
+        static_cast<uint32_t>(members_[primary]->next_block++);
+    members_[primary]->primary_blocks++;
+    MaybeShedAfterPlacement(primary);
+    if (options_.mirrored) {
+      int replica = -1;
+      std::fill(tried.begin(), tried.end(), false);
+      for (int pass = 0; pass < 2 && replica < 0; ++pass) {
+        for (;;) {
+          int m = PickMember(primary, /*allow_shedding=*/pass == 1,
+                             /*for_primary=*/false, c + 1, tried);
+          if (m < 0) break;
+          Status s = EnsureBlock(m, members_[m]->next_block);
+          if (s.ok()) {
+            replica = m;
+            break;
+          }
+          tried[m] = true;
+          failure = s;
+        }
+      }
+      if (replica < 0) {
+        // Mirrored mode refuses to place a chunk with a single copy:
+        // degrade writes, never redundancy.
+        members_[primary]->next_block--;
+        members_[primary]->primary_blocks--;
+        if (failure.ok()) {
+          failure = Status::NoSpace(
+              "mirrored placement needs a second live volume");
+        }
+        break;
+      }
+      chunk.replica = static_cast<uint16_t>(replica);
+      chunk.replica_block =
+          static_cast<uint32_t>(members_[replica]->next_block++);
+      MaybeShedAfterPlacement(replica);
+    }
+    chunks_.push_back(chunk);
+    placed_any = true;
+  }
+  if (placed_any) {
+    Status hs = PersistHeaders();
+    if (!hs.ok()) {
+      // A placement no member recorded must not be exposed: readers would
+      // rely on chunks a reopen cannot see. Unwind to the persisted state
+      // so chunks_ and page_count() never diverge.
+      while (chunks_.size() > placed_from) {
+        const Chunk& c = chunks_.back();
+        members_[c.primary]->next_block--;
+        members_[c.primary]->primary_blocks--;
+        if (c.replica != kNoReplica) members_[c.replica]->next_block--;
+        chunks_.pop_back();
+      }
+      return hs;
+    }
+    SetPageCount(logical_pages_for_chunks(chunks_.size()));
+  }
+  if (chunks_.size() < need_chunks) {
+    return failure.ok()
+               ? Status::NoSpace("no volume can take another chunk")
+               : failure;
+  }
+  return Status::OK();
+}
+
+Status VolumeSetDevice::PersistHeaders() {
+  size_t header_bytes = size_t{kHeaderPages} * page_size_;
+  if (kFixedHeaderBytes + chunks_.size() * kEntryBytes > header_bytes) {
+    return Status::NoSpace(
+        "volume set chunk table exceeds the member header capacity");
+  }
+  std::vector<uint8_t> buf(header_bytes, 0);
+  EncodeU32(buf.data(), kHeaderMagic);
+  EncodeU32(buf.data() + 4, kHeaderVersion);
+  EncodeU64(buf.data() + 8, set_uuid_);
+  EncodeU16(buf.data() + 16, static_cast<uint16_t>(members_.size()));
+  buf[20] = options_.mirrored ? 1 : 0;
+  EncodeU32(buf.data() + 24, options_.chunk_pages);
+  EncodeU32(buf.data() + 28, static_cast<uint32_t>(chunks_.size()));
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    uint8_t* e = buf.data() + kFixedHeaderBytes + c * kEntryBytes;
+    EncodeU16(e, chunks_[c].primary);
+    EncodeU16(e + 2, chunks_[c].replica);
+    EncodeU32(e + 4, chunks_[c].primary_block);
+    EncodeU32(e + 8, chunks_[c].replica_block);
+  }
+  size_t stamped = 0;
+  Status first_failure;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    Member* m = members_[i].get();
+    if (!m->online.load(std::memory_order_relaxed)) continue;
+    EncodeU16(buf.data() + 18, static_cast<uint16_t>(i));
+    Status s = m->verified->WritePages(0, kHeaderPages, buf.data());
+    if (s.ok()) {
+      ++stamped;
+    } else {
+      NoteMemberFailure(static_cast<int>(i), s);
+      if (first_failure.ok()) first_failure = s;
+    }
+  }
+  if (stamped == 0) {
+    return first_failure.ok()
+               ? Status::Unavailable("no volume accepted the placement table")
+               : first_failure;
+  }
+  return Status::OK();
+}
+
+// ---- member health bookkeeping ---------------------------------------------
+
+void VolumeSetDevice::NoteMemberFailure(int m, const Status& s) {
+  Member* member = members_[m].get();
+  if (s.IsUnavailable() || s.IsIOError()) {
+    int streak = member->fail_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((s.IsUnavailable() || streak >= kOfflineStreak) &&
+        member->online.exchange(false, std::memory_order_relaxed)) {
+      m_offline_->Add(1);
+    }
+  }
+}
+
+void VolumeSetDevice::NoteMemberSuccess(int m) {
+  Member* member = members_[m].get();
+  member->fail_streak.store(0, std::memory_order_relaxed);
+  if (!member->online.exchange(true, std::memory_order_relaxed)) {
+    m_offline_->Add(-1);
+  }
+}
+
+bool VolumeSetDevice::ShouldTryMember(int m) {
+  Member* member = members_[m].get();
+  if (member->online.load(std::memory_order_relaxed)) return true;
+  return member->probe_tick.fetch_add(1, std::memory_order_relaxed) %
+             kProbeInterval ==
+         0;
+}
+
+Status VolumeSetDevice::ReadFromMember(int m, PageId local, uint32_t n,
+                                       uint8_t* out) {
+  Status s = members_[m]->verified->ReadPages(local, n, out);
+  if (s.ok()) {
+    NoteMemberSuccess(m);
+  } else {
+    NoteMemberFailure(m, s);
+  }
+  return s;
+}
+
+// ---- data path -------------------------------------------------------------
+
+Status VolumeSetDevice::ReadChunkRange(const Chunk& chunk, uint32_t offset,
+                                       uint32_t n, uint8_t* out) {
+  int primary = chunk.primary;
+  Status s;
+  bool skipped_primary = !ShouldTryMember(primary);
+  if (!skipped_primary) {
+    s = ReadFromMember(primary, local_page(chunk.primary_block, offset), n,
+                       out);
+    if (s.ok()) return s;
+  } else {
+    s = Status::Unavailable("volume " + std::to_string(primary) +
+                            " is offline");
+  }
+  if (chunk.replica != kNoReplica) {
+    Status r = ReadFromMember(chunk.replica,
+                              local_page(chunk.replica_block, offset), n, out);
+    if (r.ok()) {
+      failover_reads_.fetch_add(1, std::memory_order_relaxed);
+      m_failover_->Inc();
+      return r;
+    }
+    // Last resort: the offline flag that made us skip the primary may be
+    // stale (the volume healed but no probe has hit it yet). With the
+    // replica genuinely failing, try the primary for real before
+    // declaring the chunk lost — a wrongly-skipped healthy copy must
+    // never turn into an Unavailable read.
+    if (skipped_primary) {
+      s = ReadFromMember(primary, local_page(chunk.primary_block, offset), n,
+                         out);
+      if (s.ok()) return s;
+    }
+    // Both copies failed: report loss of availability when a whole volume
+    // is gone, otherwise the primary's (more specific) error.
+    if (r.IsUnavailable() && !s.IsCorruption()) {
+      return Status::Unavailable("no live copy of the requested pages: " +
+                                 r.ToString());
+    }
+  }
+  if (!members_[primary]->online.load(std::memory_order_relaxed) &&
+      !s.IsCorruption()) {
+    return Status::Unavailable("no live copy of the requested pages: " +
+                               s.ToString());
+  }
+  return s;
+}
+
+Status VolumeSetDevice::ReadBothAndRepair(const Chunk& chunk, uint32_t offset,
+                                          uint32_t n, uint8_t* out) {
+  if (chunk.replica == kNoReplica) {
+    return ReadFromMember(chunk.primary,
+                          local_page(chunk.primary_block, offset), n, out);
+  }
+  PageId p_local = local_page(chunk.primary_block, offset);
+  PageId r_local = local_page(chunk.replica_block, offset);
+  Status p = ReadFromMember(chunk.primary, p_local, n, out);
+  std::vector<uint8_t> mirror(size_t{n} * page_size_);
+  Status r = ReadFromMember(chunk.replica, r_local, n, mirror.data());
+  auto heal = [&](int m, PageId local, const uint8_t* good) {
+    Status w = members_[m]->verified->WritePages(local, n, good);
+    if (w.ok()) {
+      members_[m]->repaired_pages.fetch_add(n, std::memory_order_relaxed);
+      repaired_pages_.fetch_add(n, std::memory_order_relaxed);
+      m_repaired_->Inc(n);
+      NoteMemberSuccess(m);
+    } else {
+      // Best effort: an offline mirror cannot be healed right now; the
+      // next scrub after it returns will.
+      NoteMemberFailure(m, w);
+    }
+  };
+  if (p.ok() && r.ok()) {
+    if (std::memcmp(out, mirror.data(), size_t{n} * page_size_) != 0) {
+      // Both copies verify but disagree — a write that failed after
+      // updating one side. The primary is what readers have been served;
+      // make the mirror match it.
+      heal(chunk.replica, r_local, out);
+    }
+    return Status::OK();
+  }
+  if (p.ok()) {
+    heal(chunk.replica, r_local, out);
+    return Status::OK();
+  }
+  if (r.ok()) {
+    std::memcpy(out, mirror.data(), size_t{n} * page_size_);
+    heal(chunk.primary, p_local, mirror.data());
+    failover_reads_.fetch_add(1, std::memory_order_relaxed);
+    m_failover_->Inc();
+    return Status::OK();
+  }
+  return p.IsCorruption() ? p : r;
+}
+
+Status VolumeSetDevice::DoRead(PageId first, uint32_t n, uint8_t* out) {
+  bool repairing = VolumeRepairScope::ActiveSet() == this;
+  PageId page = first;
+  uint32_t left = n;
+  uint8_t* dst = out;
+  while (left > 0) {
+    uint64_t c = chunk_for(page);
+    uint32_t off = offset_in_chunk(page);
+    uint32_t span =
+        page == 0 ? 1
+                  : std::min(left, options_.chunk_pages - off);
+    Chunk chunk;
+    {
+      SharedLatchGuard g(map_latch_);
+      if (c >= chunks_.size()) {
+        return Status::OutOfRange("read beyond the placed volume set");
+      }
+      chunk = chunks_[c];
+    }
+    Status s = repairing ? ReadBothAndRepair(chunk, off, span, dst)
+                         : ReadChunkRange(chunk, off, span, dst);
+    EOS_RETURN_IF_ERROR(s);
+    page += span;
+    left -= span;
+    dst += size_t{span} * page_size_;
+  }
+  return Status::OK();
+}
+
+Status VolumeSetDevice::WriteChunkRange(const Chunk& chunk, uint32_t offset,
+                                        uint32_t n, const uint8_t* data) {
+  // Replica first: if the pair diverges because the second write failed,
+  // the copy readers prefer (the primary) still holds the old bytes, which
+  // matches the caller's unwind-to-old-state semantics.
+  if (chunk.replica != kNoReplica) {
+    Status r = members_[chunk.replica]->verified->WritePages(
+        local_page(chunk.replica_block, offset), n, data);
+    if (!r.ok()) {
+      NoteMemberFailure(chunk.replica, r);
+      degraded_writes_.fetch_add(1, std::memory_order_relaxed);
+      m_degraded_write_->Inc();
+      return r;
+    }
+    NoteMemberSuccess(chunk.replica);
+  }
+  Status p = members_[chunk.primary]->verified->WritePages(
+      local_page(chunk.primary_block, offset), n, data);
+  if (!p.ok()) {
+    NoteMemberFailure(chunk.primary, p);
+    degraded_writes_.fetch_add(1, std::memory_order_relaxed);
+    m_degraded_write_->Inc();
+    return p;
+  }
+  NoteMemberSuccess(chunk.primary);
+  return Status::OK();
+}
+
+Status VolumeSetDevice::DoWrite(PageId first, uint32_t n,
+                                const uint8_t* data) {
+  PageId page = first;
+  uint32_t left = n;
+  const uint8_t* src = data;
+  while (left > 0) {
+    uint64_t c = chunk_for(page);
+    uint32_t off = offset_in_chunk(page);
+    uint32_t span =
+        page == 0 ? 1
+                  : std::min(left, options_.chunk_pages - off);
+    Chunk chunk;
+    {
+      SharedLatchGuard g(map_latch_);
+      if (c >= chunks_.size()) {
+        return Status::OutOfRange("write beyond the placed volume set");
+      }
+      chunk = chunks_[c];
+    }
+    EOS_RETURN_IF_ERROR(WriteChunkRange(chunk, off, span, src));
+    page += span;
+    left -= span;
+    src += size_t{span} * page_size_;
+  }
+  return Status::OK();
+}
+
+Status VolumeSetDevice::Sync() {
+  // Offline members are excluded from the durability barrier: every write
+  // that touched them already failed typed, so their chunks are durable
+  // only through the mirror copy until they return.
+  Status first_failure;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    Member* m = members_[i].get();
+    if (!m->online.load(std::memory_order_relaxed)) continue;
+    Status s = m->verified->Sync();
+    if (!s.ok()) {
+      NoteMemberFailure(static_cast<int>(i), s);
+      if (!s.IsUnavailable() && first_failure.ok()) first_failure = s;
+    }
+  }
+  return first_failure;
+}
+
+// ---- introspection ---------------------------------------------------------
+
+StatusOr<VolumeSetDevice::Location> VolumeSetDevice::Resolve(
+    PageId page) const {
+  SharedLatchGuard g(map_latch_);
+  uint64_t c = chunk_for(page);
+  if (c >= chunks_.size()) {
+    return Status::OutOfRange("page beyond the placed volume set");
+  }
+  const Chunk& chunk = chunks_[c];
+  uint32_t off = offset_in_chunk(page);
+  Location loc;
+  loc.member = chunk.primary;
+  loc.local = local_page(chunk.primary_block, off);
+  if (chunk.replica != kNoReplica) {
+    loc.replica_member = chunk.replica;
+    loc.replica_local = local_page(chunk.replica_block, off);
+  }
+  return loc;
+}
+
+VolumeSetDevice::Health VolumeSetDevice::GetHealth() const {
+  SharedLatchGuard g(map_latch_);
+  Health h;
+  h.mirrored = options_.mirrored;
+  h.chunk_pages = options_.chunk_pages;
+  h.chunks = chunks_.size();
+  h.failover_reads = failover_reads_.load(std::memory_order_relaxed);
+  h.degraded_writes = degraded_writes_.load(std::memory_order_relaxed);
+  h.shed_placements = shed_placements_.load(std::memory_order_relaxed);
+  h.repaired_pages = repaired_pages_.load(std::memory_order_relaxed);
+  h.members.resize(members_.size());
+  for (size_t i = 0; i < members_.size(); ++i) {
+    const Member* m = members_[i].get();
+    MemberHealth& mh = h.members[i];
+    mh.index = static_cast<int>(i);
+    mh.online = m->online.load(std::memory_order_relaxed);
+    mh.shedding = m->shedding.load(std::memory_order_relaxed);
+    mh.payload_pages = m->verified->page_count();
+    mh.data_blocks = m->next_block;
+    mh.capacity_pages = options_.member_capacity_pages;
+    mh.quarantined_pages = m->verified->quarantined_count();
+    mh.repaired_pages = m->repaired_pages.load(std::memory_order_relaxed);
+    uint64_t used = kHeaderPages + m->next_block * uint64_t{h.chunk_pages};
+    // Uncapped members grow on demand, so "allocated" is the denominator —
+    // but an offline device may report a stale (even zero) size, so never
+    // let used exceed it or the percentage explodes into nonsense.
+    uint64_t denom = mh.capacity_pages != 0
+                         ? mh.capacity_pages
+                         : std::max<uint64_t>(mh.payload_pages, used);
+    mh.fill_percent = denom == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(used) /
+                                       static_cast<double>(denom);
+  }
+  for (const Chunk& c : chunks_) {
+    h.members[c.primary].primary_chunks++;
+    if (c.replica != kNoReplica) h.members[c.replica].replica_chunks++;
+  }
+  return h;
+}
+
+}  // namespace eos

@@ -1,0 +1,293 @@
+#ifndef EOS_IO_VOLUME_SET_H_
+#define EOS_IO_VOLUME_SET_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "io/page_device.h"
+#include "io/verified_device.h"
+#include "obs/metrics.h"
+
+namespace eos {
+
+// Placement and redundancy knobs for a VolumeSetDevice (DESIGN.md §15).
+struct VolumeSetOptions {
+  // Every chunk gets a second copy on a different member; reads fail over
+  // to it and scrub repairs a bad primary copy from it.
+  bool mirrored = true;
+
+  // Pages per placement chunk. The database factory sets this to one buddy
+  // space footprint (space_pages + 1) so extents never straddle members;
+  // 0 is invalid at Format/Open time. Tests may pick small values for
+  // fine-grained striping.
+  uint32_t chunk_pages = 0;
+
+  // Optional hard cap on a member's payload pages (0 = unbounded, the
+  // backing device decides). The placer treats a capped-out member as full.
+  uint64_t member_capacity_pages = 0;
+
+  // When a capped member's remaining capacity drops below this many pages
+  // it is marked "shedding": new chunks go to the other members while
+  // everything already placed stays readable and writable.
+  uint64_t shed_watermark_pages = 0;
+
+  // Retry policy for each member's verified device.
+  RetryPolicy io_retry;
+
+  // Trailer epoch each member's pages are sealed with.
+  uint16_t format_epoch = 1;
+};
+
+// N independent page-device stacks presented as one logical page space
+// (DESIGN.md §15, ROADMAP item 3). Each member device is wrapped in its
+// own VerifiedPageDevice (CRC trailers and quarantine are per volume, with
+// member-local page ids), and the logical space is carved into fixed-size
+// chunks placed on the least-loaded member:
+//
+//   logical page 0            -> chunk 0 (the superblock, alone)
+//   logical pages 1 + (c-1)*K -> chunk c, K = chunk_pages
+//
+// With K = one buddy space footprint, chunk c is exactly space c-1: every
+// buddy extent stays within one member, and spaces stripe across members.
+//
+// In mirrored mode each chunk has a replica on a second member. Reads try
+// the primary and fail over to the replica; a member that keeps failing is
+// marked offline and skipped (with periodic re-probes), and a read with no
+// live copy returns typed Unavailable. Writes go to both copies and fail
+// typed when either copy cannot be written — degraded, never diverging
+// silently. When a member fills (capacity watermark or a NoSpace from the
+// backing device) the placer sheds new chunks to the other members while
+// the full member keeps serving reads.
+//
+// Inside a VolumeRepairScope (installed by Database::Scrub/RepairObject)
+// reads compare both copies and rewrite a bad or diverged copy from the
+// good one — repair-from-replica instead of zero-filling.
+//
+// A small header (kHeaderPages payload pages, member-local pages 0..7) on
+// every member persists the chunk table, so the set reopens as long as at
+// least one member survives; the longest readable table wins. The table is
+// fixed-size, so it caps how many chunks a set can hold; Grow returns a
+// typed NoSpace once it is full.
+class VolumeSetDevice final : public PageDevice {
+ public:
+  static constexpr uint32_t kHeaderPages = 8;
+  static constexpr uint32_t kHeaderMagic = 0x45565354;  // "EVST"
+  static constexpr uint32_t kHeaderVersion = 1;
+  static constexpr uint16_t kNoReplica = 0xFFFF;
+
+  // Formats a fresh set over `members` (raw devices; each gets its own
+  // verified wrapper). All members must share a page size; chunk_pages
+  // must be > 0.
+  static StatusOr<std::unique_ptr<VolumeSetDevice>> Format(
+      std::vector<std::unique_ptr<PageDevice>> members,
+      const VolumeSetOptions& options);
+
+  // Opens an existing set. Members must be passed in their formatted
+  // order; a member whose header cannot be read starts offline and is
+  // served from replicas. Fails unless at least one header is readable.
+  static StatusOr<std::unique_ptr<VolumeSetDevice>> Open(
+      std::vector<std::unique_ptr<PageDevice>> members,
+      const VolumeSetOptions& options);
+
+  ~VolumeSetDevice() override;
+
+  Status Grow(uint64_t new_page_count) override;
+  Status Sync() override;
+
+  size_t member_count() const { return members_.size(); }
+  const VolumeSetOptions& options() const { return options_; }
+  uint32_t chunk_pages() const { return options_.chunk_pages; }
+
+  // The member's verified stack — quarantine inspection for tools/tests.
+  VerifiedPageDevice* member_verified(size_t i) {
+    return members_[i]->verified.get();
+  }
+  // The raw device as passed in (a ChaosPageDevice in the torture tiers).
+  PageDevice* member_raw(size_t i) { return members_[i]->raw.get(); }
+
+  // Where a logical page lives. Test/tool hook: lets a harness corrupt or
+  // inspect one physical copy through the member devices.
+  struct Location {
+    int member = -1;
+    PageId local = kInvalidPage;  // member-local payload page id
+    int replica_member = -1;
+    PageId replica_local = kInvalidPage;
+  };
+  StatusOr<Location> Resolve(PageId page) const;
+
+  // ---- health -------------------------------------------------------------
+  struct MemberHealth {
+    int index = 0;
+    bool online = true;
+    bool shedding = false;
+    uint64_t payload_pages = 0;     // member device size above the trailer
+    uint64_t data_blocks = 0;       // chunk-sized blocks placed here
+    uint64_t capacity_pages = 0;    // 0 = unbounded
+    double fill_percent = 0.0;      // of capacity; of allocated when uncapped
+    uint64_t quarantined_pages = 0;
+    uint64_t primary_chunks = 0;
+    uint64_t replica_chunks = 0;
+    uint64_t repaired_pages = 0;    // pages rewritten here from the replica
+  };
+  struct Health {
+    bool mirrored = false;
+    uint32_t chunk_pages = 0;
+    uint64_t chunks = 0;
+    uint64_t failover_reads = 0;
+    uint64_t degraded_writes = 0;
+    uint64_t shed_placements = 0;
+    uint64_t repaired_pages = 0;
+    std::vector<MemberHealth> members;
+  };
+  Health GetHealth() const;
+
+  // Set-local counter mirrors (also exported as volume.* metrics).
+  uint64_t failover_reads() const {
+    return failover_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t repaired_pages() const {
+    return repaired_pages_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  Status DoRead(PageId first, uint32_t n, uint8_t* out) override;
+  Status DoWrite(PageId first, uint32_t n, const uint8_t* data) override;
+
+ private:
+  friend class VolumeRepairScope;
+
+  struct Member {
+    std::unique_ptr<PageDevice> raw;
+    std::unique_ptr<VerifiedPageDevice> verified;
+    std::atomic<bool> online{true};
+    std::atomic<bool> shedding{false};
+    std::atomic<int> fail_streak{0};
+    std::atomic<uint64_t> probe_tick{0};
+    std::atomic<uint64_t> repaired_pages{0};
+    uint64_t next_block = 0;      // under map_latch_ exclusive
+    uint64_t primary_blocks = 0;  // chunks whose primary copy is here
+  };
+
+  struct Chunk {
+    uint16_t primary = 0;
+    uint16_t replica = kNoReplica;
+    uint32_t primary_block = 0;
+    uint32_t replica_block = 0;
+  };
+
+  VolumeSetDevice(uint32_t payload_page_size,
+                  std::vector<std::unique_ptr<Member>> members,
+                  const VolumeSetOptions& options);
+
+  static Status CheckMembers(
+      const std::vector<std::unique_ptr<PageDevice>>& members,
+      const VolumeSetOptions& options);
+
+  uint64_t chunk_for(PageId page) const {
+    return page == 0 ? 0 : 1 + (page - 1) / options_.chunk_pages;
+  }
+  uint32_t offset_in_chunk(PageId page) const {
+    return page == 0 ? 0
+                     : static_cast<uint32_t>((page - 1) % options_.chunk_pages);
+  }
+  PageId local_page(uint32_t block, uint32_t offset) const {
+    return kHeaderPages + uint64_t{block} * options_.chunk_pages + offset;
+  }
+  uint64_t logical_pages_for_chunks(uint64_t chunks) const {
+    return chunks == 0 ? 0 : 1 + (chunks - 1) * options_.chunk_pages;
+  }
+
+  // One chunk-contiguous subrange of a transfer.
+  Status ReadChunkRange(const Chunk& chunk, uint32_t offset, uint32_t n,
+                        uint8_t* out);
+  Status WriteChunkRange(const Chunk& chunk, uint32_t offset, uint32_t n,
+                         const uint8_t* data);
+  // Repair-scope read: consult both copies, heal the bad one.
+  Status ReadBothAndRepair(const Chunk& chunk, uint32_t offset, uint32_t n,
+                           uint8_t* out);
+
+  Status ReadFromMember(int m, PageId local, uint32_t n, uint8_t* out);
+  void NoteMemberFailure(int m, const Status& s);
+  void NoteMemberSuccess(int m);
+  // Whether a read should even try this member (offline members are
+  // skipped except for a periodic probe).
+  bool ShouldTryMember(int m);
+
+  // Placer: picks the member for a new chunk copy. `exclude` is the
+  // primary's member when placing the replica; -1 otherwise. `salt`
+  // rotates the scan order so equal loads stripe round-robin; members
+  // flagged in `tried` already failed for this chunk and are skipped.
+  // `for_primary` breaks load ties toward the member serving the fewest
+  // primary copies — without it the least-loaded rule converges on a
+  // stable cycle that starves one member of primaries entirely (all its
+  // blocks replicas), concentrating read traffic on the others.
+  // Returns -1 when no member qualifies.
+  int PickMember(int exclude, bool allow_shedding, bool for_primary,
+                 uint64_t salt, const std::vector<bool>& tried) const;
+  // True if the member can take one more block under its capacity cap.
+  bool HasRoomForBlock(int m) const;
+  void MarkShedding(int m, const char* why);
+  // Sheds the member once its remaining capacity falls under the
+  // watermark; called after each successful placement.
+  void MaybeShedAfterPlacement(int m);
+
+  // Grows member `m` so block `block` exists; marks it shedding on
+  // NoSpace. Caller holds map_latch_ exclusive.
+  Status EnsureBlock(int m, uint64_t block);
+
+  // Serializes the chunk table into header images and writes them to every
+  // online member; needs at least one success. Caller holds map_latch_.
+  Status PersistHeaders();
+
+  Status ParseHeader(const uint8_t* buf, size_t len, uint64_t* uuid,
+                     std::vector<Chunk>* chunks) const;
+
+  const VolumeSetOptions options_;
+  uint64_t set_uuid_ = 0;
+  std::vector<std::unique_ptr<Member>> members_;
+
+  // Guards chunks_ and per-member next_block: shared on the data path,
+  // exclusive in Grow.
+  mutable SharedLatch map_latch_;
+  std::vector<Chunk> chunks_;
+
+  std::atomic<uint64_t> failover_reads_{0};
+  std::atomic<uint64_t> degraded_writes_{0};
+  std::atomic<uint64_t> shed_placements_{0};
+  std::atomic<uint64_t> repaired_pages_{0};
+
+  obs::Counter* m_failover_;
+  obs::Counter* m_repaired_;
+  obs::Counter* m_degraded_write_;
+  obs::Counter* m_shed_;
+  obs::Gauge* m_offline_;
+};
+
+// While alive on this thread, reads through `set` verify both mirror
+// copies and rewrite a bad or diverged copy from the good one. Installed
+// by scrub/repair so their existing device-direct walks heal the volume
+// set as a side effect. Null set (single-volume database) is a no-op;
+// scopes nest.
+class VolumeRepairScope {
+ public:
+  explicit VolumeRepairScope(VolumeSetDevice* set);
+  ~VolumeRepairScope();
+
+  VolumeRepairScope(const VolumeRepairScope&) = delete;
+  VolumeRepairScope& operator=(const VolumeRepairScope&) = delete;
+
+  // The set under repair on this thread, or nullptr.
+  static VolumeSetDevice* ActiveSet();
+
+ private:
+  VolumeSetDevice* set_;
+  VolumeSetDevice* prev_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_IO_VOLUME_SET_H_

@@ -83,6 +83,10 @@ struct ScrubIssue {
 
 struct ScrubReport {
   uint64_t pages_verified = 0;
+  // Pages rewritten from their mirror copy during this pass (volume sets
+  // only): the scrub read found one copy bad and healed it in place, so
+  // the page does not appear in `issues`.
+  uint64_t repaired_from_replica = 0;
   std::vector<ScrubIssue> issues;
 
   bool clean() const { return issues.empty(); }

@@ -132,6 +132,14 @@ inline constexpr char kDefragMigrateFailed[] = "defrag.migrate_failed";
 inline constexpr char kDefragSkippedHot[] = "defrag.skipped_hot";
 inline constexpr char kDefragRefused[] = "defrag.refused";
 
+// --- multi-volume set (placement, failover, repair, DESIGN.md §15) ----------
+inline constexpr char kVolumeFailoverReads[] = "volume.failover_read";
+inline constexpr char kVolumeRepairedPages[] = "volume.repaired_from_replica";
+inline constexpr char kVolumeDegradedWrites[] = "volume.degraded_write";
+inline constexpr char kVolumeShedPlacements[] = "volume.placement_shed";
+inline constexpr char kVolumeMembersOffline[] =
+    "volume.members_offline";  // gauge
+
 // --- event journal (flight recorder) ----------------------------------------
 inline constexpr char kJournalEvents[] = "journal.events";
 inline constexpr char kJournalPostMortems[] = "journal.postmortems";

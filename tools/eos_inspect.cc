@@ -20,6 +20,10 @@
 //                                               objects (lossy: see holes)
 //   eos_inspect <volume> leak-check             allocation maps vs object
 //                                               reachability
+//   eos_inspect <m0> volumes <m1> [<m2> ...]    multi-volume set health:
+//                                               per-member fill, watermark
+//                                               state, quarantined pages,
+//                                               repairs from replica
 //   eos_inspect <volume> defrag [--apply] [--min-scatter X]
 //                                               per-object layout-drift
 //                                               report; --apply migrates
@@ -34,8 +38,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "eos/database.h"
 #include "obs/json.h"
@@ -56,7 +62,8 @@ int Usage() {
                "[--object ID | versions ID | --check | verify | --spaces | "
                "stats | cache | trace [--chrome=OUT] | top [--interval MS] "
                "[--count N] | scrub | repair | leak-check | "
-               "defrag [--apply] [--min-scatter X]]\n");
+               "defrag [--apply] [--min-scatter X] | "
+               "volumes <member1> [<member2> ...]]\n");
   return 2;
 }
 
@@ -463,6 +470,10 @@ void PrintScrubReport(const eos::ScrubReport& report) {
   std::printf("scrub: %llu pages verified, %zu issue(s)\n",
               static_cast<unsigned long long>(report.pages_verified),
               report.issues.size());
+  if (report.repaired_from_replica > 0) {
+    std::printf("  %llu page(s) repaired from their mirror copy\n",
+                static_cast<unsigned long long>(report.repaired_from_replica));
+  }
   for (const eos::ScrubIssue& i : report.issues) {
     std::printf("  [%s] object %llu page %llu: %s\n",
                 eos::PageRoleName(i.role),
@@ -621,6 +632,51 @@ void Defrag(Database* db, bool apply) {
   if (total.refused > 0 || total.failed > 0) std::exit(1);
 }
 
+// Health of a multi-volume set (DESIGN.md §15): per-member fill against
+// the capacity cap, placement state (shedding/offline), quarantined pages
+// in each member's integrity layer, and how many pages each member had
+// rewritten from its mirror copy. argv[1] is member 0; the remaining
+// paths are the other members in formatted order.
+void PrintVolumes(const std::string& first,
+                  const std::vector<std::string>& rest,
+                  const DatabaseOptions& options) {
+  std::vector<std::unique_ptr<eos::PageDevice>> members;
+  auto add = [&](const std::string& p) {
+    auto dev = eos::FilePageDevice::Open(p, options.page_size);
+    if (!dev.ok()) Fail(dev.status(), p.c_str());
+    members.push_back(std::move(dev).value());
+  };
+  add(first);
+  for (const std::string& p : rest) add(p);
+  eos::VolumeSetOptions vopt;
+  auto db = Database::OpenOnVolumeSet(std::move(members), vopt, options);
+  if (!db.ok()) Fail(db.status(), "open volume set");
+  eos::VolumeSetDevice::Health h = (*db)->volume_set()->GetHealth();
+  std::printf("volume set: %zu member(s), %s, chunk %u pages, %llu chunk(s)\n",
+              h.members.size(), h.mirrored ? "mirrored" : "unmirrored",
+              h.chunk_pages, static_cast<unsigned long long>(h.chunks));
+  std::printf("set totals: %llu failover read(s), %llu degraded write(s), "
+              "%llu shed placement(s), %llu page(s) repaired from replica\n",
+              static_cast<unsigned long long>(h.failover_reads),
+              static_cast<unsigned long long>(h.degraded_writes),
+              static_cast<unsigned long long>(h.shed_placements),
+              static_cast<unsigned long long>(h.repaired_pages));
+  std::printf("%6s %-10s %7s %8s %8s %8s %12s %9s\n", "member", "state",
+              "fill", "blocks", "primary", "replica", "quarantined",
+              "repaired");
+  for (const eos::VolumeSetDevice::MemberHealth& m : h.members) {
+    const char* state =
+        !m.online ? "OFFLINE" : (m.shedding ? "shedding" : "ok");
+    std::printf("%6d %-10s %6.1f%% %8llu %8llu %8llu %12llu %9llu\n",
+                m.index, state, m.fill_percent,
+                static_cast<unsigned long long>(m.data_blocks),
+                static_cast<unsigned long long>(m.primary_chunks),
+                static_cast<unsigned long long>(m.replica_chunks),
+                static_cast<unsigned long long>(m.quarantined_pages),
+                static_cast<unsigned long long>(m.repaired_pages));
+  }
+}
+
 // Prints an object's version chain (DESIGN.md §13). Version chains are
 // in-process state: a freshly opened volume shows the single seeded
 // current version; inside a live mvcc process the chain also lists every
@@ -662,6 +718,7 @@ int main(int argc, char** argv) {
   uint64_t top_interval_ms = 1000;
   uint64_t top_count = 0;  // 0 = forever
   bool defrag_apply = false;
+  std::vector<std::string> member_paths;
   // A tool session drains in one pass; the per-tick throttles exist for
   // background ticks racing a live foreground, which a CLI run has none of.
   options.defrag.max_objects_per_tick = 256;
@@ -710,6 +767,10 @@ int main(int argc, char** argv) {
       defrag_apply = true;
     } else if (arg == "--min-scatter" && i + 1 < argc) {
       options.defrag.min_scatter = std::atof(argv[++i]);
+    } else if (arg == "volumes" || arg == "--volumes") {
+      mode = "volumes";
+    } else if (mode == "volumes" && !arg.empty() && arg[0] != '-') {
+      member_paths.push_back(arg);
     } else {
       return Usage();
     }
@@ -733,6 +794,11 @@ int main(int argc, char** argv) {
   }
   if (mode == "top") {
     Top(path, top_interval_ms, top_count);
+    return 0;
+  }
+  if (mode == "volumes") {
+    if (member_paths.empty()) return Usage();
+    PrintVolumes(path, member_paths, options);
     return 0;
   }
   auto db = Database::Open(path, options);

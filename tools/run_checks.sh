@@ -11,16 +11,19 @@
 #      defrag-off run (no build needed); plus the BENCH_9.json cache gate
 #      (DESIGN.md §14): hot-set speedup >= 3x with the extent cache on,
 #      hit rate >= 80% at Zipf(0.99), cold-set regression <= 10%, p99
-#      flat;
-#   1. fast + sanitizer-, obs-, mvcc- and cache-labelled tests under
-#      ASan/UBSan (the `asan` preset);
-#   2. the `tsan`-, obs-, mvcc- and cache-labelled concurrency suites
+#      flat; plus the BENCH_10.json volume gate (DESIGN.md §15):
+#      parallel per-volume scrub >= 1.3x serial and degraded-mode reads
+#      (1 of 3 members offline) >= 0.5x healthy throughput;
+#   1. fast + sanitizer-, obs-, mvcc-, cache- and volume-labelled tests
+#      under ASan/UBSan (the `asan` preset);
+#   2. the `tsan`-, obs-, mvcc-, cache- and volume-labelled concurrency suites
 #      (concurrent scrub + readers, parallel allocator use, concurrent
 #      journal writers, snapshot readers racing writers, cache torture)
 #      under ThreadSanitizer (the `tsan` preset);
 #   3. the full suite, including the `torture` crash-recovery, bit-rot and
 #      stress tests, in the default RelWithDebInfo build;
-#   4. the seed sweep: every `aging`-, `mvcc`- or `cache`-labelled suite
+#   4. the seed sweep: every `aging`-, `mvcc`-, `cache`- or
+#      `volume`-labelled suite
 #      re-run under an EOS_TEST_SEED matrix, so single-seed latent bugs
 #      (like the pinned 4242 recovery case) cannot hide behind the
 #      default seed.
@@ -203,24 +206,64 @@ print(f"cache gate: hot {speedup:.2f}x (hit {hit_rate:.1f}%, "
       f"{cold_ratio:.2f}x, p99 {p99_ratio:.2f}x")
 PY
 
+echo "== [0/4] volume gate (committed BENCH_10.json, DESIGN.md §15) =="
+python3 - BENCH_10.json <<'PY'
+import json, sys
+
+vals = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if "metric" in rec:
+            vals[rec["metric"]] = rec["value"]
+
+def need(metric):
+    if metric not in vals:
+        print(f"volume gate: BENCH_10.json is missing '{metric}'")
+        sys.exit(1)
+    return vals[metric]
+
+failures = []
+speedup = need("scrub_parallel_speedup")
+ratio = need("degraded_read_ratio")
+failovers = need("failover_reads")
+if speedup < 1.3:
+    failures.append(f"parallel per-volume scrub is only {speedup:.2f}x "
+                    f"serial (< 1.3x) on an IO-bound 3-member set")
+if ratio < 0.5:
+    failures.append(f"degraded-mode read throughput (1 of 3 members "
+                    f"offline) is {ratio:.2f}x healthy (> 50% collapse)")
+if failovers <= 0:
+    failures.append("the degraded pass never failed over to a replica")
+if failures:
+    for f in failures:
+        print(f"volume gate: {f}")
+    sys.exit(1)
+print(f"volume gate: scrub {speedup:.2f}x parallel, degraded reads "
+      f"{ratio:.2f}x healthy ({int(failovers)} failovers)")
+PY
+
 POSTMORTEM_DIR="$PWD/build/postmortems"
 mkdir -p "$POSTMORTEM_DIR"
 
-echo "== [1/4] sanitizer tier (ASan/UBSan, labels: sanitizer|obs|mvcc|cache) =="
+echo "== [1/4] sanitizer tier (ASan/UBSan, labels: sanitizer|obs|mvcc|cache|volume) =="
 cmake --preset asan
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 \
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
-  ctest --test-dir build-asan -L 'sanitizer|obs|mvcc|cache' --output-on-failure \
+  ctest --test-dir build-asan -L 'sanitizer|obs|mvcc|cache|volume' --output-on-failure \
   -j "$JOBS"
 
-echo "== [2/4] concurrency tier (TSan, labels: tsan|obs|mvcc|cache) =="
+echo "== [2/4] concurrency tier (TSan, labels: tsan|obs|mvcc|cache|volume) =="
 cmake --preset tsan
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
-  ctest --test-dir build-tsan -L 'tsan|obs|mvcc|cache' --output-on-failure \
+  ctest --test-dir build-tsan -L 'tsan|obs|mvcc|cache|volume' --output-on-failure \
   -j "$JOBS"
 
 echo "== [3/4] full suite incl. torture (default build) =="
@@ -229,11 +272,11 @@ cmake --build build -j "$JOBS"
 EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
   ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [4/4] seed sweep (labels: aging|mvcc|cache, EOS_TEST_SEED matrix) =="
+echo "== [4/4] seed sweep (labels: aging|mvcc|cache|volume, EOS_TEST_SEED matrix) =="
 for SEED in 4242 31337 99991; do
   echo "-- seed $SEED --"
   EOS_TEST_SEED="$SEED" EOS_JOURNAL_DIR="$POSTMORTEM_DIR" \
-    ctest --test-dir build -L 'aging|mvcc|cache' --output-on-failure -j "$JOBS"
+    ctest --test-dir build -L 'aging|mvcc|cache|volume' --output-on-failure -j "$JOBS"
 done
 
 if compgen -G "$POSTMORTEM_DIR/eos_postmortem.*.json" > /dev/null; then
